@@ -1,0 +1,224 @@
+//! Minimal unsigned arbitrary-precision integers.
+//!
+//! Used once, at startup, to derive the hard part of the pairing final
+//! exponentiation `(p^4 - p^2 + 1)/r` from the curve moduli. Not remotely
+//! optimized — it never appears on a hot path.
+
+/// Little-endian sequence of 64-bit limbs. Canonical form strips trailing
+/// zero limbs (zero is the empty vector).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs.
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut v = limbs.to_vec();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        Self { limbs: v }
+    }
+
+    /// Little-endian limb view.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() as u32 * 64 - top.leading_zeros(),
+        }
+    }
+
+    /// Bit `i` (little-endian order); bits past the top are zero.
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let t = a as u128 + b as u128 + carry as u128;
+            out.push(t as u64);
+            carry = (t >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_ge(other), "BigUint underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+            out.push(t as u64);
+            borrow = ((t >> 64) as u64) & 1;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self >= other`.
+    pub fn cmp_ge(&self, other: &Self) -> bool {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len() > other.limbs.len();
+        }
+        for i in (0..self.limbs.len()).rev() {
+            if self.limbs[i] != other.limbs[i] {
+                return self.limbs[i] > other.limbs[i];
+            }
+        }
+        true
+    }
+
+    /// `self * other` (school-book).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry as u128;
+                out[i + j] = t as u64;
+                carry = (t >> 64) as u64;
+            }
+            out[i + other.limbs.len()] = carry;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Shift left by `k` bits.
+    pub fn shl(&self, k: u32) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = (k / 64) as usize;
+        let bit_shift = k % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `(self / d, self % d)` by shift-and-subtract long division.
+    ///
+    /// # Panics
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &Self) -> (Self, Self) {
+        assert!(!d.is_zero(), "division by zero");
+        if !self.cmp_ge(d) {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.bits() - d.bits();
+        let mut rem = self.clone();
+        let mut quot_limbs = vec![0u64; (shift / 64 + 1) as usize];
+        let mut i = shift as i64;
+        while i >= 0 {
+            let shifted = d.shl(i as u32);
+            if rem.cmp_ge(&shifted) {
+                rem = rem.sub(&shifted);
+                quot_limbs[(i / 64) as usize] |= 1u64 << (i % 64);
+            }
+            i -= 1;
+        }
+        let mut q = Self { limbs: quot_limbs };
+        q.normalize();
+        (q, rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = BigUint::from_limbs(&[0xdeadbeef12345678, 0x1111, 42]);
+        let b = BigUint::from_limbs(&[0xabcdef, 7]);
+        let prod = a.mul(&b);
+        let (q, r) = prod.div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn div_with_remainder() {
+        let a = BigUint::from_limbs(&[100]);
+        let b = BigUint::from_limbs(&[7]);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigUint::from_limbs(&[14]));
+        assert_eq!(r, BigUint::from_limbs(&[2]));
+    }
+
+    #[test]
+    fn bits_and_shifts() {
+        let one = BigUint::one();
+        assert_eq!(one.bits(), 1);
+        assert_eq!(one.shl(200).bits(), 201);
+        assert!(one.shl(200).bit(200));
+        assert!(!one.shl(200).bit(199));
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = BigUint::from_limbs(&[0, 1]);
+        let b = BigUint::from_limbs(&[1]);
+        assert_eq!(a.sub(&b), BigUint::from_limbs(&[u64::MAX]));
+    }
+}

@@ -1,0 +1,393 @@
+//! Generic short-Weierstrass curve arithmetic (`y^2 = x^3 + b`, `a = 0`)
+//! in Jacobian coordinates, shared by G1 (over `Fq`) and G2 (over `Fq2`).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use crate::bigint::{bit, highest_bit};
+use crate::field::{batch_inverse, Field};
+use crate::fields::Fr;
+
+/// Static description of a curve group: its base field, the constant `b`,
+/// and the subgroup generator.
+pub trait CurveParams: 'static + Copy + Clone + Send + Sync + fmt::Debug {
+    /// Field the coordinates live in.
+    type Base: Field;
+    /// The Weierstrass constant `b`.
+    fn coeff_b() -> Self::Base;
+    /// Affine coordinates of the canonical generator.
+    fn generator_xy() -> (Self::Base, Self::Base);
+    /// Short name for Debug output.
+    const NAME: &'static str;
+}
+
+/// An affine point (or the point at infinity).
+#[derive(Clone, Copy)]
+pub struct Affine<C: CurveParams> {
+    /// x-coordinate (meaningless when `infinity`).
+    pub x: C::Base,
+    /// y-coordinate (meaningless when `infinity`).
+    pub y: C::Base,
+    /// Marker for the identity element.
+    pub infinity: bool,
+}
+
+/// A point in Jacobian projective coordinates `(X : Y : Z)`,
+/// `x = X/Z^2`, `y = Y/Z^3`; the identity has `Z = 0`.
+#[derive(Clone, Copy)]
+pub struct Projective<C: CurveParams> {
+    /// Jacobian X.
+    pub x: C::Base,
+    /// Jacobian Y.
+    pub y: C::Base,
+    /// Jacobian Z (zero encodes the identity).
+    pub z: C::Base,
+}
+
+impl<C: CurveParams> fmt::Debug for Affine<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "{}(inf)", C::NAME)
+        } else {
+            write!(f, "{}({:?}, {:?})", C::NAME, self.x, self.y)
+        }
+    }
+}
+
+impl<C: CurveParams> fmt::Debug for Projective<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_affine().fmt(f)
+    }
+}
+
+impl<C: CurveParams> Default for Affine<C> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<C: CurveParams> Default for Projective<C> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<C: CurveParams> Affine<C> {
+    /// The identity (point at infinity).
+    pub fn identity() -> Self {
+        Self {
+            x: C::Base::zero(),
+            y: C::Base::zero(),
+            infinity: true,
+        }
+    }
+
+    /// The canonical subgroup generator.
+    pub fn generator() -> Self {
+        let (x, y) = C::generator_xy();
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+
+    /// Constructs from coordinates, verifying the curve equation.
+    pub fn from_xy(x: C::Base, y: C::Base) -> Option<Self> {
+        let p = Self {
+            x,
+            y,
+            infinity: false,
+        };
+        if p.is_on_curve() {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// True when the point satisfies `y^2 = x^3 + b` (identity included).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + C::coeff_b()
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_projective(&self) -> Projective<C> {
+        if self.infinity {
+            Projective::identity()
+        } else {
+            Projective {
+                x: self.x,
+                y: self.y,
+                z: C::Base::one(),
+            }
+        }
+    }
+
+    /// Scalar multiplication by an `Fr` element.
+    pub fn mul(&self, k: Fr) -> Projective<C> {
+        self.to_projective().mul(k)
+    }
+
+    /// Negation (reflect over the x-axis).
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+}
+
+impl<C: CurveParams> PartialEq for Affine<C> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.infinity || other.infinity {
+            return self.infinity == other.infinity;
+        }
+        self.x == other.x && self.y == other.y
+    }
+}
+impl<C: CurveParams> Eq for Affine<C> {}
+
+impl<C: CurveParams> PartialEq for Projective<C> {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1 : Y1 : Z1) == (X2 : Y2 : Z2)  iff  X1 Z2^2 == X2 Z1^2 and
+        // Y1 Z2^3 == Y2 Z1^3 (or both are the identity).
+        let z1_zero = self.z.is_zero();
+        let z2_zero = other.z.is_zero();
+        if z1_zero || z2_zero {
+            return z1_zero == z2_zero;
+        }
+        let z1s = self.z.square();
+        let z2s = other.z.square();
+        self.x * z2s == other.x * z1s && self.y * z2s * other.z == other.y * z1s * self.z
+    }
+}
+impl<C: CurveParams> Eq for Projective<C> {}
+
+impl<C: CurveParams> Projective<C> {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Self {
+            x: C::Base::one(),
+            y: C::Base::one(),
+            z: C::Base::zero(),
+        }
+    }
+
+    /// The canonical generator.
+    pub fn generator() -> Self {
+        Affine::<C>::generator().to_projective()
+    }
+
+    /// True for the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (`dbl-2009-l`, valid for `a = 0`).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let mut d = (self.x + b).square() - a - c;
+        d = d.double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let y3 = e * (d - x3) - c.double().double().double();
+        let z3 = (self.y * self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General addition (`add-2007-bl`).
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * other.z * z2z2;
+        let s2 = other.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point (`madd-2007-bl`).
+    pub fn add_affine(&self, other: &Affine<C>) -> Self {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return other.to_projective();
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x * z1z1;
+        let s2 = other.y * self.z * z1z1;
+        if self.x == u2 {
+            if self.y == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let r = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+
+    /// Double-and-add scalar multiplication by the canonical representative
+    /// of `k`.
+    pub fn mul(&self, k: Fr) -> Self {
+        let limbs = k.to_canonical();
+        let top = match highest_bit(&limbs) {
+            None => return Self::identity(),
+            Some(t) => t,
+        };
+        let mut acc = *self;
+        for i in (0..top).rev() {
+            acc = acc.double();
+            if bit(&limbs, i) {
+                acc = Projective::add(&acc, self);
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication by a small integer.
+    pub fn mul_u64(&self, k: u64) -> Self {
+        if k == 0 {
+            return Self::identity();
+        }
+        let mut acc = *self;
+        for i in (0..63 - k.leading_zeros()).rev() {
+            acc = acc.double();
+            if (k >> i) & 1 == 1 {
+                acc = Projective::add(&acc, self);
+            }
+        }
+        acc
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine<C> {
+        if self.is_identity() {
+            return Affine::identity();
+        }
+        let zinv = self.z.inverse().expect("non-identity has invertible z");
+        let zinv2 = zinv.square();
+        Affine {
+            x: self.x * zinv2,
+            y: self.y * zinv2 * zinv,
+            infinity: false,
+        }
+    }
+
+    /// Batch conversion to affine with a single inversion.
+    pub fn batch_to_affine(points: &[Self]) -> Vec<Affine<C>> {
+        let mut zs: Vec<C::Base> = points.iter().map(|p| p.z).collect();
+        batch_inverse(&mut zs);
+        points
+            .iter()
+            .zip(zs)
+            .map(|(p, zinv)| {
+                if p.is_identity() {
+                    Affine::identity()
+                } else {
+                    let zinv2 = zinv.square();
+                    Affine {
+                        x: p.x * zinv2,
+                        y: p.y * zinv2 * zinv,
+                        infinity: false,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Sums an iterator of points.
+    pub fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(Self::identity(), |acc, p| Projective::add(&acc, &p))
+    }
+}
+
+impl<C: CurveParams> Add for Projective<C> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs)
+    }
+}
+impl<C: CurveParams> AddAssign for Projective<C> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = Projective::add(self, &rhs);
+    }
+}
+impl<C: CurveParams> Sub for Projective<C> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs.neg())
+    }
+}
+impl<C: CurveParams> SubAssign for Projective<C> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = Projective::add(self, &rhs.neg());
+    }
+}
+impl<C: CurveParams> Neg for Projective<C> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Projective::neg(&self)
+    }
+}

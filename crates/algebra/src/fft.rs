@@ -1,0 +1,234 @@
+//! Radix-2 FFT over the scalar field `Fr` (2-adicity 28), with coset
+//! variants. Powers the Groth16 QAP arithmetic of the SNARK strawman.
+
+use crate::field::Field;
+use crate::fields::{fr_two_adic_root, Fr, FR_TWO_ADICITY};
+
+/// A multiplicative evaluation domain `{1, w, w^2, ..., w^{n-1}}` of
+/// power-of-two size `n`.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// Domain size (a power of two).
+    pub size: usize,
+    log_size: u32,
+    /// Primitive `n`-th root of unity.
+    pub omega: Fr,
+    omega_inv: Fr,
+    size_inv: Fr,
+    /// Multiplicative coset shift used by [`Domain::coset_fft`].
+    pub coset_shift: Fr,
+    coset_shift_inv: Fr,
+}
+
+impl Domain {
+    /// Creates the smallest domain of size `>= min_size`.
+    ///
+    /// Returns `None` when `min_size` exceeds `2^28` (the field's 2-adic
+    /// subgroup) .
+    pub fn new(min_size: usize) -> Option<Self> {
+        let size = min_size.max(1).next_power_of_two();
+        let log_size = size.trailing_zeros();
+        if log_size > FR_TWO_ADICITY {
+            return None;
+        }
+        // omega = root^(2^(28 - log_size)) has order exactly 2^log_size
+        let mut omega = fr_two_adic_root();
+        for _ in 0..(FR_TWO_ADICITY - log_size) {
+            omega = omega.square();
+        }
+        let omega_inv = omega.inverse().expect("root of unity nonzero");
+        let size_inv = Fr::from_u64(size as u64)
+            .inverse()
+            .expect("domain size nonzero mod r");
+        // Any element outside the size-n subgroup works as a coset shift;
+        // try small integers.
+        let mut coset_shift = Fr::from_u64(5);
+        loop {
+            let mut probe = coset_shift;
+            for _ in 0..log_size {
+                probe = probe.square();
+            }
+            if probe != Fr::one() {
+                break;
+            }
+            coset_shift += Fr::one();
+        }
+        let coset_shift_inv = coset_shift.inverse().expect("nonzero");
+        Some(Self {
+            size,
+            log_size,
+            omega,
+            omega_inv,
+            size_inv,
+            coset_shift,
+            coset_shift_inv,
+        })
+    }
+
+    /// The `i`-th domain element `w^i`.
+    pub fn element(&self, i: usize) -> Fr {
+        self.omega.pow(&[i as u64, 0, 0, 0])
+    }
+
+    /// All domain elements in order.
+    pub fn elements(&self) -> Vec<Fr> {
+        let mut out = Vec::with_capacity(self.size);
+        let mut acc = Fr::one();
+        for _ in 0..self.size {
+            out.push(acc);
+            acc *= self.omega;
+        }
+        out
+    }
+
+    /// Evaluates the vanishing polynomial `Z(x) = x^n - 1` at `x`.
+    pub fn eval_vanishing(&self, x: Fr) -> Fr {
+        x.pow(&[self.size as u64, 0, 0, 0]) - Fr::one()
+    }
+
+    /// In-place forward FFT: coefficients -> evaluations over the domain.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.size`.
+    pub fn fft(&self, values: &mut [Fr]) {
+        self.fft_inner(values, self.omega);
+    }
+
+    /// In-place inverse FFT: evaluations -> coefficients.
+    pub fn ifft(&self, values: &mut [Fr]) {
+        self.fft_inner(values, self.omega_inv);
+        for v in values.iter_mut() {
+            *v *= self.size_inv;
+        }
+    }
+
+    /// Forward FFT over the coset `shift * H`.
+    pub fn coset_fft(&self, values: &mut [Fr]) {
+        let mut power = Fr::one();
+        for v in values.iter_mut() {
+            *v *= power;
+            power *= self.coset_shift;
+        }
+        self.fft(values);
+    }
+
+    /// Inverse FFT over the coset `shift * H`.
+    pub fn coset_ifft(&self, values: &mut [Fr]) {
+        self.ifft(values);
+        let mut power = Fr::one();
+        for v in values.iter_mut() {
+            *v *= power;
+            power *= self.coset_shift_inv;
+        }
+    }
+
+    /// Evaluates the vanishing polynomial on the coset (constant across
+    /// the coset: `shift^n - 1`).
+    pub fn coset_vanishing(&self) -> Fr {
+        self.coset_shift.pow(&[self.size as u64, 0, 0, 0]) - Fr::one()
+    }
+
+    fn fft_inner(&self, values: &mut [Fr], root: Fr) {
+        assert_eq!(values.len(), self.size, "input must match domain size");
+        let n = self.size;
+        // bit-reversal permutation
+        for i in 0..n {
+            let j = (i as u64).reverse_bits() >> (64 - self.log_size) as u64;
+            let j = j as usize;
+            if i < j {
+                values.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let step = root.pow(&[(n / len) as u64, 0, 0, 0]);
+            for start in (0..n).step_by(len) {
+                let mut w = Fr::one();
+                for i in 0..len / 2 {
+                    let even = values[start + i];
+                    let odd = values[start + i + len / 2] * w;
+                    values[start + i] = even + odd;
+                    values[start + i + len / 2] = even - odd;
+                    w *= step;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xff7)
+    }
+
+    fn eval_poly(coeffs: &[Fr], x: Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for c in coeffs.iter().rev() {
+            acc = acc * x + *c;
+        }
+        acc
+    }
+
+    #[test]
+    fn fft_matches_naive_eval() {
+        let mut rng = rng();
+        let d = Domain::new(8).unwrap();
+        let coeffs: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let mut values = coeffs.clone();
+        d.fft(&mut values);
+        for (i, x) in d.elements().into_iter().enumerate() {
+            assert_eq!(values[i], eval_poly(&coeffs, x), "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let mut rng = rng();
+        for log in [1u32, 3, 6, 10] {
+            let d = Domain::new(1 << log).unwrap();
+            let coeffs: Vec<Fr> = (0..d.size).map(|_| Fr::random(&mut rng)).collect();
+            let mut v = coeffs.clone();
+            d.fft(&mut v);
+            d.ifft(&mut v);
+            assert_eq!(v, coeffs);
+        }
+    }
+
+    #[test]
+    fn coset_fft_roundtrip_and_eval() {
+        let mut rng = rng();
+        let d = Domain::new(16).unwrap();
+        let coeffs: Vec<Fr> = (0..16).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = coeffs.clone();
+        d.coset_fft(&mut v);
+        // spot-check one evaluation: at shift * w^3
+        let x = d.coset_shift * d.element(3);
+        assert_eq!(v[3], eval_poly(&coeffs, x));
+        d.coset_ifft(&mut v);
+        assert_eq!(v, coeffs);
+    }
+
+    #[test]
+    fn vanishing_zero_on_domain_nonzero_on_coset() {
+        let d = Domain::new(32).unwrap();
+        assert!(d.eval_vanishing(d.element(7)).is_zero());
+        assert!(!d.coset_vanishing().is_zero());
+        assert_eq!(
+            d.eval_vanishing(d.coset_shift * d.element(5)),
+            d.coset_vanishing()
+        );
+    }
+
+    #[test]
+    fn domain_size_rounding() {
+        assert_eq!(Domain::new(5).unwrap().size, 8);
+        assert_eq!(Domain::new(8).unwrap().size, 8);
+        assert_eq!(Domain::new(1).unwrap().size, 1);
+        assert!(Domain::new(1 << 29).is_none());
+    }
+}

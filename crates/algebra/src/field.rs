@@ -1,0 +1,105 @@
+//! The [`Field`] abstraction shared by the base field, the scalar field and
+//! the extension tower.
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A finite field element.
+///
+/// Implemented by `Fq`, `Fr` and the tower extensions `Fq2`, `Fq6`, `Fq12`.
+/// All operations are by-value (elements are small `Copy` types).
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Eq
+    + Send
+    + Sync
+    + Default
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+
+    /// Multiplicative identity.
+    fn one() -> Self;
+
+    /// True for the additive identity.
+    fn is_zero(&self) -> bool;
+
+    /// `self * self`.
+    fn square(&self) -> Self;
+
+    /// `self + self`.
+    fn double(&self) -> Self {
+        *self + *self
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+
+    /// Exponentiation by a little-endian limb slice (square-and-multiply).
+    fn pow(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut started = false;
+        for limb in exp.iter().rev() {
+            for i in (0..64).rev() {
+                if started {
+                    res = res.square();
+                }
+                if (limb >> i) & 1 == 1 {
+                    res *= *self;
+                    started = true;
+                }
+            }
+        }
+        res
+    }
+
+    /// Uniformly random element.
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self;
+
+    /// Embeds a small integer.
+    fn from_u64(v: u64) -> Self;
+}
+
+/// Inverts a batch of field elements with a single inversion
+/// (Montgomery's trick). Zero entries are left untouched.
+pub fn batch_inverse<F: Field>(elems: &mut [F]) {
+    // prods[i] = product of the non-zero entries among elems[0..i]
+    let mut prods = Vec::with_capacity(elems.len());
+    let mut acc = F::one();
+    for e in elems.iter() {
+        prods.push(acc);
+        if !e.is_zero() {
+            acc *= *e;
+        }
+    }
+    // `inv` walks backwards as the inverse of the product of the non-zero
+    // entries among elems[0..=i].
+    let mut inv = match acc.inverse() {
+        Some(i) => i,
+        None => return, // all entries zero
+    };
+    for i in (0..elems.len()).rev() {
+        if elems[i].is_zero() {
+            continue;
+        }
+        let next_inv = inv * elems[i];
+        elems[i] = inv * prods[i];
+        inv = next_inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised via concrete fields in `fields.rs` tests.
+}

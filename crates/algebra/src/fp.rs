@@ -1,0 +1,362 @@
+//! Generic Montgomery-form prime field over four 64-bit limbs.
+//!
+//! A concrete field is obtained by supplying a [`FieldParams`] carrying the
+//! modulus; every other constant (Montgomery `R`, `R^2`, `R^3`,
+//! `-p^{-1} mod 2^64`, common exponents) is derived at compile time via
+//! `const fn`, so the modulus is the single point of trust.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::marker::PhantomData;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::bigint::{
+    self, adc, add_small, add_wide, div_small, geq, mac, mont_inv64, pow2k_mod, shr, sub,
+    sub_small, sub_wide, Limbs,
+};
+use crate::field::Field;
+
+/// Static parameters of a 254-bit prime field.
+pub trait FieldParams: 'static + Copy + Clone + Send + Sync + fmt::Debug + Default {
+    /// The prime modulus, little-endian limbs. Must be odd, with bit 255
+    /// clear (so doubling fits in 256 bits plus a carry).
+    const MODULUS: Limbs;
+    /// A short human-readable name used in `Debug` output.
+    const NAME: &'static str;
+}
+
+/// An element of the prime field defined by `P`, stored in Montgomery form.
+#[repr(transparent)]
+pub struct Fp<P: FieldParams>(pub(crate) Limbs, PhantomData<P>);
+
+impl<P: FieldParams> Fp<P> {
+    /// Montgomery constant `R = 2^256 mod p`.
+    pub const R: Limbs = pow2k_mod(256, &P::MODULUS);
+    /// `R^2 mod p` — converts raw integers into Montgomery form.
+    pub const R2: Limbs = pow2k_mod(512, &P::MODULUS);
+    /// `R^3 mod p` — used for reducing 512-bit wide inputs.
+    pub const R3: Limbs = pow2k_mod(768, &P::MODULUS);
+    /// `-p^{-1} mod 2^64`.
+    pub const INV: u64 = mont_inv64(P::MODULUS[0]);
+    /// `p - 2`, the inversion exponent.
+    pub const MODULUS_MINUS_2: Limbs = sub_small(&P::MODULUS, 2);
+    /// `(p - 1) / 2`, the Euler criterion exponent.
+    pub const HALF_MODULUS: Limbs = div_small(&sub_small(&P::MODULUS, 1), 2);
+    /// `(p + 1) / 4`, the Tonelli shortcut exponent (valid when p = 3 mod 4).
+    pub const SQRT_EXP: Limbs = shr(&add_small(&P::MODULUS, 1), 2);
+
+    /// The zero element.
+    pub const ZERO: Self = Self([0; 4], PhantomData);
+
+    /// The modulus of this field as raw limbs.
+    pub const fn modulus() -> Limbs {
+        P::MODULUS
+    }
+
+    /// Montgomery multiplication (CIOS), returning `a * b * R^{-1} mod p`.
+    #[inline]
+    fn mont_mul(a: &Limbs, b: &Limbs) -> Limbs {
+        let m = &P::MODULUS;
+        let mut t = [0u64; 6]; // t[0..4], t[4] high word, t[5] overflow
+        let mut i = 0;
+        while i < 4 {
+            // t += a[i] * b
+            let mut carry = 0u64;
+            let mut j = 0;
+            while j < 4 {
+                let (lo, hi) = mac(t[j], a[i], b[j], carry);
+                t[j] = lo;
+                carry = hi;
+                j += 1;
+            }
+            let (s, c) = adc(t[4], carry, 0);
+            t[4] = s;
+            t[5] = c;
+            // reduce one limb: t += k * p, then shift right one limb
+            let k = t[0].wrapping_mul(Self::INV);
+            let (_, mut carry) = mac(t[0], k, m[0], 0);
+            let mut j = 1;
+            while j < 4 {
+                let (lo, hi) = mac(t[j], k, m[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+                j += 1;
+            }
+            let (s, c) = adc(t[4], carry, 0);
+            t[3] = s;
+            t[4] = t[5] + c;
+            t[5] = 0;
+            i += 1;
+        }
+        let mut r = [t[0], t[1], t[2], t[3]];
+        if t[4] != 0 || geq(&r, m) {
+            r = sub(&r, m);
+        }
+        r
+    }
+
+    /// Converts a canonical (non-Montgomery) integer `< p` into the field.
+    pub const fn from_raw_limbs_unreduced(v: Limbs) -> RawFp<P> {
+        RawFp(v, PhantomData)
+    }
+
+    /// Canonical little-endian limbs of the represented integer.
+    pub fn to_canonical(&self) -> Limbs {
+        Self::mont_mul(&self.0, &[1, 0, 0, 0])
+    }
+
+    /// True when the canonical representative is odd.
+    pub fn is_odd(&self) -> bool {
+        self.to_canonical()[0] & 1 == 1
+    }
+
+    /// Big-endian canonical byte serialization (32 bytes).
+    pub fn to_bytes_be(&self) -> [u8; 32] {
+        bigint::to_bytes_be(&self.to_canonical())
+    }
+
+    /// Parses canonical big-endian bytes; `None` when the value is `>= p`.
+    pub fn from_bytes_be(bytes: &[u8; 32]) -> Option<Self> {
+        let limbs = bigint::from_bytes_be(bytes);
+        if geq(&limbs, &P::MODULUS) && limbs != P::MODULUS {
+            return None;
+        }
+        if limbs == P::MODULUS {
+            return None;
+        }
+        Some(Self(Self::mont_mul(&limbs, &Self::R2), PhantomData))
+    }
+
+    /// Reduces 64 little-endian bytes (a 512-bit integer) into the field.
+    /// The output is statistically close to uniform for uniform input.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Self {
+        let mut lo = [0u64; 4];
+        let mut hi = [0u64; 4];
+        for i in 0..4 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            lo[i] = u64::from_le_bytes(buf);
+            buf.copy_from_slice(&bytes[32 + i * 8..32 + (i + 1) * 8]);
+            hi[i] = u64::from_le_bytes(buf);
+        }
+        // value = lo + hi * 2^256
+        // mont(lo) = lo * R = mont_mul(lo, R^2)
+        // mont(hi * 2^256) = hi * R * R = mont_mul(hi, R^3)
+        let lo_m = Self::mont_mul(&lo, &Self::R2);
+        let hi_m = Self::mont_mul(&hi, &Self::R3);
+        Self(lo_m, PhantomData) + Self(hi_m, PhantomData)
+    }
+
+    /// Constructs from a canonical integer given as limbs; reduces mod p.
+    pub fn from_limbs(v: Limbs) -> Self {
+        let mut v = v;
+        while geq(&v, &P::MODULUS) {
+            v = sub(&v, &P::MODULUS);
+        }
+        Self(Self::mont_mul(&v, &Self::R2), PhantomData)
+    }
+
+    /// Parses a decimal string. `None` on bad characters or overflow.
+    pub fn from_decimal(s: &str) -> Option<Self> {
+        bigint::from_decimal(s).map(Self::from_limbs)
+    }
+
+    /// Square root via the `p = 3 mod 4` shortcut. `None` for non-residues.
+    ///
+    /// # Panics
+    /// Debug-asserts that the modulus is `3 mod 4`.
+    pub fn sqrt(&self) -> Option<Self> {
+        debug_assert_eq!(P::MODULUS[0] & 3, 3, "modulus must be 3 mod 4");
+        let cand = self.pow(&Self::SQRT_EXP);
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    /// Legendre symbol: 1 for residues, -1 for non-residues, 0 for zero.
+    pub fn legendre(&self) -> i8 {
+        if self.is_zero() {
+            return 0;
+        }
+        let e = self.pow(&Self::HALF_MODULUS);
+        if e == Self::one() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Lexicographic comparison of canonical representatives.
+    pub fn cmp_canonical(&self, other: &Self) -> Ordering {
+        let a = self.to_canonical();
+        let b = other.to_canonical();
+        for i in (0..4).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// A thin wrapper marking limbs as a *raw* (non-Montgomery) integer.
+/// Exists only so `const` contexts can carry raw constants around.
+#[derive(Clone, Copy)]
+pub struct RawFp<P: FieldParams>(pub Limbs, PhantomData<P>);
+
+impl<P: FieldParams> RawFp<P> {
+    /// Converts into Montgomery form at runtime.
+    pub fn into_fp(self) -> Fp<P> {
+        Fp::from_limbs(self.0)
+    }
+}
+
+// --- trait plumbing (manual impls to avoid `P: Trait` bounds) ---
+
+impl<P: FieldParams> Copy for Fp<P> {}
+impl<P: FieldParams> Clone for Fp<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: FieldParams> PartialEq for Fp<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<P: FieldParams> Eq for Fp<P> {}
+impl<P: FieldParams> Default for Fp<P> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+impl<P: FieldParams> Hash for Fp<P> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Montgomery form is canonical (always fully reduced).
+        self.0.hash(state);
+    }
+}
+
+impl<P: FieldParams> fmt::Debug for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(0x{})", P::NAME, bigint::to_hex(&self.to_canonical()))
+    }
+}
+
+impl<P: FieldParams> fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", bigint::to_hex(&self.to_canonical()))
+    }
+}
+
+impl<P: FieldParams> Add for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let (sum, carry) = add_wide(&self.0, &rhs.0);
+        let mut r = sum;
+        if carry != 0 || geq(&r, &P::MODULUS) {
+            r = sub(&r, &P::MODULUS);
+        }
+        Self(r, PhantomData)
+    }
+}
+
+impl<P: FieldParams> Sub for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = sub_wide(&self.0, &rhs.0);
+        let r = if borrow != 0 {
+            add_wide(&diff, &P::MODULUS).0
+        } else {
+            diff
+        };
+        Self(r, PhantomData)
+    }
+}
+
+impl<P: FieldParams> Neg for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.is_zero() {
+            self
+        } else {
+            Self(sub(&P::MODULUS, &self.0), PhantomData)
+        }
+    }
+}
+
+impl<P: FieldParams> Mul for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(Self::mont_mul(&self.0, &rhs.0), PhantomData)
+    }
+}
+
+impl<P: FieldParams> AddAssign for Fp<P> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl<P: FieldParams> SubAssign for Fp<P> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl<P: FieldParams> MulAssign for Fp<P> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<P: FieldParams> Field for Fp<P> {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+
+    fn one() -> Self {
+        Self(Self::R, PhantomData)
+    }
+
+    fn is_zero(&self) -> bool {
+        bigint::is_zero(&self.0)
+    }
+
+    fn square(&self) -> Self {
+        *self * *self
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(&Self::MODULUS_MINUS_2))
+        }
+    }
+
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 64];
+        rng.fill_bytes(&mut bytes);
+        Self::from_bytes_wide(&bytes)
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self(Self::mont_mul(&[v, 0, 0, 0], &Self::R2), PhantomData)
+    }
+}
+
+impl<P: FieldParams> From<u64> for Fp<P> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}

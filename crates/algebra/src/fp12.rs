@@ -1,0 +1,274 @@
+//! Quadratic extension `Fq12 = Fq6[w] / (w^2 - v)` — the pairing target
+//! field. `w` is a sixth root of `xi`: `w^6 = xi`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+use crate::bigint::{div_small, sub_small};
+use crate::field::Field;
+use crate::fields::{FqParams, BN_X};
+use crate::fp::FieldParams;
+use crate::fp2::Fq2;
+use crate::fp6::Fq6;
+
+/// An element `c0 + c1*w` of `Fq12`.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Fq12 {
+    /// Constant coefficient.
+    pub c0: Fq6,
+    /// Coefficient of `w`.
+    pub c1: Fq6,
+}
+
+/// Frobenius coefficients `xi^{(q^i - 1)/6}` for `i = 0..12`.
+fn frob12_c1() -> &'static [Fq2; 12] {
+    static CACHE: OnceLock<[Fq2; 12]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let exp = div_small(&sub_small(&FqParams::MODULUS, 1), 6); // (q-1)/6
+        let g1 = Fq2::xi().pow(&exp);
+        let mut out = [Fq2::one(); 12];
+        for i in 1..12 {
+            out[i] = out[i - 1].conjugate() * g1;
+        }
+        out
+    })
+}
+
+impl Fq12 {
+    /// Zero.
+    pub const ZERO: Self = Self {
+        c0: Fq6::ZERO,
+        c1: Fq6::ZERO,
+    };
+
+    /// Builds from coefficients.
+    pub const fn new(c0: Fq6, c1: Fq6) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// Embeds a base-field element into the tower.
+    pub fn from_fq(x: crate::fields::Fq) -> Self {
+        Self {
+            c0: Fq6::new(Fq2::from_base(x), Fq2::zero(), Fq2::zero()),
+            c1: Fq6::zero(),
+        }
+    }
+
+    /// Conjugation over `Fq6` (`c0 - c1 w`); equals the `q^6`-power
+    /// Frobenius, and the inverse for unitary (cyclotomic) elements.
+    pub fn conjugate(&self) -> Self {
+        Self {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// The `q^i`-power Frobenius endomorphism.
+    pub fn frobenius(&self, power: usize) -> Self {
+        let i = power % 12;
+        Self {
+            c0: self.c0.frobenius(i),
+            c1: self.c1.frobenius(i).scale(frob12_c1()[i]),
+        }
+    }
+
+    /// Exponentiation by the BN parameter `x = 4965661367192848881`.
+    pub fn pow_x(&self) -> Self {
+        self.pow(&[BN_X, 0, 0, 0])
+    }
+
+    /// True when `f * conj(f) = 1`, i.e. the element lies in the
+    /// cyclotomic subgroup (holds for all Miller-loop outputs after the
+    /// easy part of the final exponentiation).
+    pub fn is_unitary(&self) -> bool {
+        *self * self.conjugate() == Self::one()
+    }
+}
+
+impl fmt::Debug for Fq12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fq12({:?} + {:?}*w)", self.c0, self.c1)
+    }
+}
+
+impl Add for Fq12 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
+    }
+}
+
+impl Sub for Fq12 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
+    }
+}
+
+impl Neg for Fq12 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
+    }
+}
+
+impl Mul for Fq12 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba over Fq6 with w^2 = v:
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let t = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Self {
+            c0: v0 + v1.mul_by_v(),
+            c1: t - v0 - v1,
+        }
+    }
+}
+
+impl AddAssign for Fq12 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fq12 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fq12 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Field for Fq12 {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+
+    fn one() -> Self {
+        Self {
+            c0: Fq6::one(),
+            c1: Fq6::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        // (c0 + c1 w)^2 = c0^2 + v c1^2 + 2 c0 c1 w
+        let v0 = self.c0 * self.c1;
+        let t = (self.c0 + self.c1) * (self.c0 + self.c1.mul_by_v());
+        Self {
+            c0: t - v0 - v0.mul_by_v(),
+            c1: v0.double(),
+        }
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // (c0 - c1 w) / (c0^2 - v c1^2)
+        let det = self.c0.square() - self.c1.square().mul_by_v();
+        det.inverse().map(|dinv| Self {
+            c0: self.c0 * dinv,
+            c1: -(self.c1 * dinv),
+        })
+    }
+
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            c0: Fq6::random(rng),
+            c1: Fq6::random(rng),
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self {
+            c0: Fq6::from_u64(v),
+            c1: Fq6::zero(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(12)
+    }
+
+    #[test]
+    fn w_squared_is_v() {
+        let w = Fq12::new(Fq6::zero(), Fq6::one());
+        let v = Fq12::new(Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()), Fq6::zero());
+        assert_eq!(w.square(), v);
+    }
+
+    #[test]
+    fn w_sixth_is_xi() {
+        let w = Fq12::new(Fq6::zero(), Fq6::one());
+        let xi = Fq12::new(
+            Fq6::new(Fq2::xi(), Fq2::zero(), Fq2::zero()),
+            Fq6::zero(),
+        );
+        assert_eq!(w.pow(&[6, 0, 0, 0]), xi);
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = Fq12::random(&mut rng);
+            assert_eq!(a.square(), a * a);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = rng();
+        for _ in 0..5 {
+            let a = Fq12::random(&mut rng);
+            assert_eq!(a * a.inverse().unwrap(), Fq12::one());
+        }
+    }
+
+    #[test]
+    fn frobenius_matches_pow() {
+        let mut rng = rng();
+        let a = Fq12::random(&mut rng);
+        assert_eq!(a.frobenius(1), a.pow(&FqParams::MODULUS));
+    }
+
+    #[test]
+    fn frobenius_composes() {
+        let mut rng = rng();
+        let a = Fq12::random(&mut rng);
+        assert_eq!(a.frobenius(1).frobenius(1), a.frobenius(2));
+        assert_eq!(a.frobenius(2).frobenius(1), a.frobenius(3));
+        assert_eq!(a.frobenius(6).frobenius(6), a);
+    }
+
+    #[test]
+    fn conjugate_is_frobenius_six() {
+        let mut rng = rng();
+        let a = Fq12::random(&mut rng);
+        assert_eq!(a.conjugate(), a.frobenius(6));
+    }
+}

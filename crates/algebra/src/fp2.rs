@@ -1,0 +1,259 @@
+//! Quadratic extension `Fq2 = Fq[u] / (u^2 + 1)`.
+//!
+//! `-1` is a non-residue mod `q` because `q = 3 mod 4`. The sextic twist
+//! non-residue used further up the tower is `xi = 9 + u`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::field::Field;
+use crate::fields::Fq;
+
+/// An element `c0 + c1*u` of `Fq2`.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Fq2 {
+    /// Constant coefficient.
+    pub c0: Fq,
+    /// Coefficient of `u`.
+    pub c1: Fq,
+}
+
+impl Fq2 {
+    /// Zero.
+    pub const ZERO: Self = Self {
+        c0: Fq::ZERO,
+        c1: Fq::ZERO,
+    };
+
+    /// Builds from coefficients.
+    pub const fn new(c0: Fq, c1: Fq) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// Embeds a base-field element.
+    pub fn from_base(c0: Fq) -> Self {
+        Self {
+            c0,
+            c1: Fq::zero(),
+        }
+    }
+
+    /// The sextic-twist non-residue `xi = 9 + u`.
+    pub fn xi() -> Self {
+        Self::new(Fq::from_u64(9), Fq::one())
+    }
+
+    /// Complex conjugation `c0 - c1*u`; this is also the `q`-power
+    /// Frobenius endomorphism of `Fq2`.
+    pub fn conjugate(&self) -> Self {
+        Self {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// Multiplication by the non-residue `xi = 9 + u`:
+    /// `(9 c0 - c1) + (c0 + 9 c1) u`.
+    pub fn mul_by_nonresidue(&self) -> Self {
+        let nine_c0 = self.c0.double().double().double() + self.c0;
+        let nine_c1 = self.c1.double().double().double() + self.c1;
+        Self {
+            c0: nine_c0 - self.c1,
+            c1: self.c0 + nine_c1,
+        }
+    }
+
+    /// Scales by a base-field element.
+    pub fn scale(&self, k: Fq) -> Self {
+        Self {
+            c0: self.c0 * k,
+            c1: self.c1 * k,
+        }
+    }
+
+    /// The field norm `c0^2 + c1^2` in `Fq`.
+    pub fn norm(&self) -> Fq {
+        self.c0.square() + self.c1.square()
+    }
+}
+
+impl fmt::Debug for Fq2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fq2({:?} + {:?}*u)", self.c0, self.c1)
+    }
+}
+
+impl Add for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
+    }
+}
+
+impl Sub for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
+    }
+}
+
+impl Neg for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
+    }
+}
+
+impl Mul for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba: (a0 b0 - a1 b1) + ((a0+a1)(b0+b1) - a0 b0 - a1 b1) u
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let t = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Self {
+            c0: v0 - v1,
+            c1: t - v0 - v1,
+        }
+    }
+}
+
+impl AddAssign for Fq2 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fq2 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fq2 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Field for Fq2 {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+
+    fn one() -> Self {
+        Self {
+            c0: Fq::one(),
+            c1: Fq::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        // (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u
+        let s = self.c0 + self.c1;
+        let d = self.c0 - self.c1;
+        let p = self.c0 * self.c1;
+        Self {
+            c0: s * d,
+            c1: p.double(),
+        }
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // (c0 - c1 u) / (c0^2 + c1^2)
+        let n = self.norm();
+        n.inverse().map(|ninv| Self {
+            c0: self.c0 * ninv,
+            c1: -(self.c1 * ninv),
+        })
+    }
+
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            c0: Fq::random(rng),
+            c1: Fq::random(rng),
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self::from_base(Fq::from_u64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn u_squared_is_minus_one() {
+        let u = Fq2::new(Fq::zero(), Fq::one());
+        assert_eq!(u.square(), -Fq2::one());
+    }
+
+    #[test]
+    fn mul_matches_square() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let a = Fq2::random(&mut rng);
+            assert_eq!(a * a, a.square());
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let a = Fq2::random(&mut rng);
+            assert_eq!(a * a.inverse().unwrap(), Fq2::one());
+        }
+        assert!(Fq2::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn mul_by_nonresidue_matches_mul_by_xi() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let a = Fq2::random(&mut rng);
+            assert_eq!(a.mul_by_nonresidue(), a * Fq2::xi());
+        }
+    }
+
+    #[test]
+    fn conjugate_is_frobenius() {
+        let mut rng = rng();
+        let a = Fq2::random(&mut rng);
+        // a^q must equal conjugate(a)
+        assert_eq!(a.pow(&crate::fp::Fp::<crate::fields::FqParams>::modulus()), a.conjugate());
+    }
+
+    #[test]
+    fn distributivity() {
+        let mut rng = rng();
+        let (a, b, c) = (
+            Fq2::random(&mut rng),
+            Fq2::random(&mut rng),
+            Fq2::random(&mut rng),
+        );
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+}

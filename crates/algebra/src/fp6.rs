@@ -1,0 +1,287 @@
+//! Cubic extension `Fq6 = Fq2[v] / (v^3 - xi)` with `xi = 9 + u`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+use crate::bigint::{div_small, sub_small};
+use crate::field::Field;
+use crate::fields::FqParams;
+use crate::fp::FieldParams;
+use crate::fp2::Fq2;
+
+/// An element `c0 + c1*v + c2*v^2` of `Fq6`.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Fq6 {
+    /// Constant coefficient.
+    pub c0: Fq2,
+    /// Coefficient of `v`.
+    pub c1: Fq2,
+    /// Coefficient of `v^2`.
+    pub c2: Fq2,
+}
+
+/// Frobenius coefficients `xi^{(q^i - 1)/3}` for `i = 0..6`, derived at
+/// runtime from the chain `c[i] = frob(c[i-1]) * c[1]` so no large constant
+/// has to be transcribed.
+fn frob6_c1() -> &'static [Fq2; 6] {
+    static CACHE: OnceLock<[Fq2; 6]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let exp = div_small(&sub_small(&FqParams::MODULUS, 1), 3); // (q-1)/3
+        let c1 = Fq2::xi().pow(&exp);
+        let mut out = [Fq2::one(); 6];
+        for i in 1..6 {
+            out[i] = out[i - 1].conjugate() * c1;
+        }
+        out
+    })
+}
+
+/// `xi^{2(q^i - 1)/3}` — the coefficients for the `v^2` component.
+fn frob6_c2() -> &'static [Fq2; 6] {
+    static CACHE: OnceLock<[Fq2; 6]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let c1 = frob6_c1();
+        let mut out = [Fq2::one(); 6];
+        for i in 0..6 {
+            out[i] = c1[i].square();
+        }
+        out
+    })
+}
+
+impl Fq6 {
+    /// Zero.
+    pub const ZERO: Self = Self {
+        c0: Fq2::ZERO,
+        c1: Fq2::ZERO,
+        c2: Fq2::ZERO,
+    };
+
+    /// Builds from coefficients.
+    pub const fn new(c0: Fq2, c1: Fq2, c2: Fq2) -> Self {
+        Self { c0, c1, c2 }
+    }
+
+    /// Multiplication by `v`: `(c0 + c1 v + c2 v^2) * v = xi*c2 + c0 v + c1 v^2`.
+    pub fn mul_by_v(&self) -> Self {
+        Self {
+            c0: self.c2.mul_by_nonresidue(),
+            c1: self.c0,
+            c2: self.c1,
+        }
+    }
+
+    /// Scales every coefficient by an `Fq2` element.
+    pub fn scale(&self, k: Fq2) -> Self {
+        Self {
+            c0: self.c0 * k,
+            c1: self.c1 * k,
+            c2: self.c2 * k,
+        }
+    }
+
+    /// The `q^i`-power Frobenius endomorphism.
+    pub fn frobenius(&self, power: usize) -> Self {
+        let i = power % 6;
+        Self {
+            c0: if i % 2 == 0 { self.c0 } else { self.c0.conjugate() },
+            c1: (if i % 2 == 0 { self.c1 } else { self.c1.conjugate() }) * frob6_c1()[i],
+            c2: (if i % 2 == 0 { self.c2 } else { self.c2.conjugate() }) * frob6_c2()[i],
+        }
+    }
+}
+
+impl fmt::Debug for Fq6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fq6({:?}, {:?}, {:?})", self.c0, self.c1, self.c2)
+    }
+}
+
+impl Add for Fq6 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+            c2: self.c2 + rhs.c2,
+        }
+    }
+}
+
+impl Sub for Fq6 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+            c2: self.c2 - rhs.c2,
+        }
+    }
+}
+
+impl Neg for Fq6 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+            c2: -self.c2,
+        }
+    }
+}
+
+impl Mul for Fq6 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Toom/Karatsuba-style (CH-SQR3 layout): 6 Fq2 multiplications.
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let v2 = self.c2 * rhs.c2;
+        let t0 = ((self.c1 + self.c2) * (rhs.c1 + rhs.c2) - v1 - v2).mul_by_nonresidue() + v0;
+        let t1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1 + v2.mul_by_nonresidue();
+        let t2 = (self.c0 + self.c2) * (rhs.c0 + rhs.c2) - v0 - v2 + v1;
+        Self {
+            c0: t0,
+            c1: t1,
+            c2: t2,
+        }
+    }
+}
+
+impl AddAssign for Fq6 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fq6 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fq6 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Field for Fq6 {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+
+    fn one() -> Self {
+        Self {
+            c0: Fq2::one(),
+            c1: Fq2::zero(),
+            c2: Fq2::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        *self * *self
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // Standard formula via the adjugate:
+        // A = c0^2 - xi c1 c2, B = xi c2^2 - c0 c1, C = c1^2 - c0 c2
+        // det = c0 A + xi (c2 B + c1 C)
+        let a = self.c0.square() - (self.c1 * self.c2).mul_by_nonresidue();
+        let b = self.c2.square().mul_by_nonresidue() - self.c0 * self.c1;
+        let c = self.c1.square() - self.c0 * self.c2;
+        let det = self.c0 * a + ((self.c2 * b + self.c1 * c).mul_by_nonresidue());
+        det.inverse().map(|dinv| Self {
+            c0: a * dinv,
+            c1: b * dinv,
+            c2: c * dinv,
+        })
+    }
+
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            c0: Fq2::random(rng),
+            c1: Fq2::random(rng),
+            c2: Fq2::random(rng),
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self {
+            c0: Fq2::from_u64(v),
+            c1: Fq2::zero(),
+            c2: Fq2::zero(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(6)
+    }
+
+    #[test]
+    fn v_cubed_is_xi() {
+        let v = Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero());
+        let xi6 = Fq6::new(Fq2::xi(), Fq2::zero(), Fq2::zero());
+        assert_eq!(v * v * v, xi6);
+    }
+
+    #[test]
+    fn mul_by_v_matches_mul() {
+        let mut rng = rng();
+        let v = Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero());
+        for _ in 0..10 {
+            let a = Fq6::random(&mut rng);
+            assert_eq!(a.mul_by_v(), a * v);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = Fq6::random(&mut rng);
+            assert_eq!(a * a.inverse().unwrap(), Fq6::one());
+        }
+    }
+
+    #[test]
+    fn frobenius_matches_pow() {
+        let mut rng = rng();
+        let a = Fq6::random(&mut rng);
+        let frob = a.frobenius(1);
+        let pow = a.pow(&FqParams::MODULUS);
+        assert_eq!(frob, pow);
+    }
+
+    #[test]
+    fn frobenius_composes() {
+        let mut rng = rng();
+        let a = Fq6::random(&mut rng);
+        assert_eq!(a.frobenius(1).frobenius(1), a.frobenius(2));
+        assert_eq!(a.frobenius(3).frobenius(3), a.frobenius(6));
+        assert_eq!(a.frobenius(6), a.frobenius(0));
+    }
+
+    #[test]
+    fn associativity() {
+        let mut rng = rng();
+        let (a, b, c) = (
+            Fq6::random(&mut rng),
+            Fq6::random(&mut rng),
+            Fq6::random(&mut rng),
+        );
+        assert_eq!((a * b) * c, a * (b * c));
+    }
+}

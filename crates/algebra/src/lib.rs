@@ -1,0 +1,37 @@
+//! # dsaudit-algebra
+//!
+//! Self-contained pairing algebra for the dsaudit project: the BN254
+//! (alt_bn128) curve with its full extension-field tower, the optimal ate
+//! pairing, multi-scalar multiplication, radix-2 FFTs and dense polynomial
+//! arithmetic over the scalar field.
+//!
+//! Nothing in this crate depends on external cryptography; the only
+//! dependency is `rand` for sampling.
+
+pub mod bigint;
+pub mod biguint;
+pub mod field;
+pub mod fields;
+pub mod curve;
+pub mod fp2;
+pub mod g1;
+pub mod g2;
+pub mod fft;
+pub mod msm;
+pub mod pairing;
+pub mod poly;
+pub mod fp6;
+pub mod fp12;
+pub mod fp;
+
+pub use field::Field;
+pub use fields::{Fq, Fr, ATE_LOOP_COUNT, BN_X, FR_TWO_ADICITY};
+pub use fp2::Fq2;
+pub use g1::{G1Affine, G1Projective};
+pub use g2::{G2Affine, G2Projective};
+pub use fft::Domain;
+pub use msm::msm;
+pub use pairing::{final_exponentiation, miller_loop, multi_pairing, pairing, Gt};
+pub use poly::DensePoly;
+pub use fp6::Fq6;
+pub use fp12::Fq12;

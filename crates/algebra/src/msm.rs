@@ -1,0 +1,221 @@
+//! Multi-scalar multiplication (Pippenger's bucket algorithm).
+//!
+//! `msm(bases, scalars)` computes `sum_i scalars[i] * bases[i]` much faster
+//! than individual scalar multiplications. Used for aggregated
+//! authenticators, KZG openings and the Groth16 prover.
+
+use crate::curve::{Affine, CurveParams, Projective};
+use crate::fields::Fr;
+
+/// Picks a bucket window size for `n` terms (heuristic from the usual
+/// `ln`-based rule, clamped to sane bounds).
+fn window_size(n: usize) -> usize {
+    match n {
+        0..=1 => 1,
+        2..=31 => 3,
+        32..=255 => 5,
+        256..=2047 => 7,
+        2048..=16383 => 9,
+        16384..=131071 => 11,
+        _ => 13,
+    }
+}
+
+/// Computes `sum_i scalars[i] * bases[i]`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
+    assert_eq!(
+        bases.len(),
+        scalars.len(),
+        "msm requires equal-length inputs"
+    );
+    if bases.is_empty() {
+        return Projective::identity();
+    }
+    if bases.len() == 1 {
+        return bases[0].mul(scalars[0]);
+    }
+    let c = window_size(bases.len());
+    let num_windows = 254usize.div_ceil(c);
+    let digits: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
+
+    let mut window_sums = Vec::with_capacity(num_windows);
+    for w in 0..num_windows {
+        let bit_offset = w * c;
+        let mut buckets = vec![Projective::<C>::identity(); (1 << c) - 1];
+        for (base, limbs) in bases.iter().zip(&digits) {
+            let digit = extract_bits(limbs, bit_offset, c);
+            if digit != 0 {
+                let b = &mut buckets[digit - 1];
+                *b = b.add_affine(base);
+            }
+        }
+        // running-sum trick: sum_j j * bucket[j]
+        let mut running = Projective::<C>::identity();
+        let mut acc = Projective::<C>::identity();
+        for b in buckets.iter().rev() {
+            running = running.add(b);
+            acc = acc.add(&running);
+        }
+        window_sums.push(acc);
+    }
+    // combine windows from the top down
+    let mut total = Projective::<C>::identity();
+    for ws in window_sums.iter().rev() {
+        for _ in 0..c {
+            total = total.double();
+        }
+        total = total.add(ws);
+    }
+    total
+}
+
+/// Extracts `count` bits starting at `offset` from little-endian limbs.
+fn extract_bits(limbs: &[u64; 4], offset: usize, count: usize) -> usize {
+    let limb = offset / 64;
+    let shift = offset % 64;
+    if limb >= 4 {
+        return 0;
+    }
+    let mut v = limbs[limb] >> shift;
+    if shift + count > 64 && limb + 1 < 4 {
+        v |= limbs[limb + 1] << (64 - shift);
+    }
+    (v & ((1u64 << count) - 1)) as usize
+}
+
+/// Precomputed table for many scalar multiplications of one fixed base
+/// (used by the Groth16 trusted setup, which needs hundreds of
+/// thousands of multiples of the generators).
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable<C: CurveParams> {
+    /// table[w][d] = (d+1) * 2^(8w) * base
+    windows: Vec<Vec<Affine<C>>>,
+}
+
+impl<C: CurveParams> FixedBaseTable<C> {
+    /// Builds the 8-bit windowed table (32 windows x 255 entries).
+    pub fn new(base: &Projective<C>) -> Self {
+        let mut windows = Vec::with_capacity(32);
+        let mut window_base = *base;
+        for _ in 0..32 {
+            let mut row = Vec::with_capacity(255);
+            let mut acc = window_base;
+            for _ in 0..255 {
+                row.push(acc);
+                acc = acc.add(&window_base);
+            }
+            windows.push(Projective::batch_to_affine(&row));
+            window_base = acc; // 256 * window_base
+        }
+        Self { windows }
+    }
+
+    /// `k * base` using the table (32 mixed additions).
+    pub fn mul(&self, k: Fr) -> Projective<C> {
+        let limbs = k.to_canonical();
+        let mut acc = Projective::identity();
+        for (w, row) in self.windows.iter().enumerate() {
+            let byte = (limbs[w / 8] >> ((w % 8) * 8)) & 0xff;
+            if byte != 0 {
+                acc = acc.add_affine(&row[(byte - 1) as usize]);
+            }
+        }
+        acc
+    }
+
+    /// Applies the table to many scalars.
+    pub fn mul_many(&self, scalars: &[Fr]) -> Vec<Projective<C>> {
+        scalars.iter().map(|s| self.mul(*s)).collect()
+    }
+}
+
+/// Naive MSM used as a correctness oracle and for ablation benches.
+pub fn msm_naive<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
+    assert_eq!(bases.len(), scalars.len());
+    let mut acc = Projective::identity();
+    for (b, s) in bases.iter().zip(scalars) {
+        acc = acc.add(&b.mul(*s));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+    use crate::g1::{G1Params, G1Projective};
+    use crate::g2::G2Projective;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x35)
+    }
+
+    #[test]
+    fn msm_matches_naive_small() {
+        let mut rng = rng();
+        for n in [0usize, 1, 2, 3, 17, 64, 301] {
+            let bases: Vec<_> = (0..n)
+                .map(|_| G1Projective::random(&mut rng).to_affine())
+                .collect();
+            let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            assert_eq!(
+                msm(&bases, &scalars),
+                msm_naive(&bases, &scalars),
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn msm_handles_zero_scalars() {
+        let mut rng = rng();
+        let bases: Vec<_> = (0..10)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars = vec![Fr::zero(); 10];
+        assert!(msm(&bases, &scalars).is_identity());
+    }
+
+    #[test]
+    fn msm_works_on_g2() {
+        let mut rng = rng();
+        let bases: Vec<_> = (0..33)
+            .map(|_| G2Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<_> = (0..33).map(|_| Fr::random(&mut rng)).collect();
+        assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn extract_bits_spans_limbs() {
+        let limbs = [u64::MAX, 0b1011, 0, 0];
+        // 5 bits starting at offset 62: bits 62,63 of limb0 (1,1) and bits
+        // 0,1,2 of limb1 (1,1,0) -> 0b01111
+        assert_eq!(extract_bits(&limbs, 62, 5), 0b01111);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn msm_length_mismatch_panics() {
+        let bases = vec![Affine::<G1Params>::generator()];
+        let scalars: Vec<Fr> = vec![];
+        let _ = msm(&bases, &scalars);
+    }
+
+    #[test]
+    fn fixed_base_table_matches_mul() {
+        let mut rng = rng();
+        let g = G1Projective::generator();
+        let table = super::FixedBaseTable::new(&g);
+        for _ in 0..10 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(table.mul(k), g.mul(k));
+        }
+        assert!(table.mul(Fr::zero()).is_identity());
+        assert_eq!(table.mul(Fr::one()), g);
+    }
+}

@@ -1,0 +1,238 @@
+//! Dense univariate polynomials over `Fr`.
+//!
+//! Provides exactly what the audit protocol and the SNARK need: evaluation,
+//! arithmetic, synthetic division by `(x - r)` (the KZG witness
+//! polynomial), and Lagrange interpolation (both for the §V-C attack and
+//! for tests).
+
+use crate::field::{batch_inverse, Field};
+use crate::fields::Fr;
+
+/// A dense polynomial `c0 + c1 x + ... + cd x^d`, coefficients low-to-high.
+/// The zero polynomial is the empty coefficient vector.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DensePoly {
+    coeffs: Vec<Fr>,
+}
+
+impl DensePoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: Vec::new() }
+    }
+
+    /// Builds from coefficients (low to high); trailing zeros are trimmed.
+    pub fn from_coeffs(coeffs: Vec<Fr>) -> Self {
+        let mut p = Self { coeffs };
+        p.trim();
+        p
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().map(Field::is_zero).unwrap_or(false) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Coefficient view (low to high, no trailing zeros).
+    pub fn coeffs(&self) -> &[Fr] {
+        &self.coeffs
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn evaluate(&self, x: Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc * x + *c;
+        }
+        acc
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).copied().unwrap_or_else(Fr::zero);
+            let b = other.coeffs.get(i).copied().unwrap_or_else(Fr::zero);
+            out.push(a + b);
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Scales all coefficients by `k`.
+    pub fn scale(&self, k: Fr) -> Self {
+        Self::from_coeffs(self.coeffs.iter().map(|c| *c * k).collect())
+    }
+
+    /// School-book multiplication (fine for the sizes the protocol uses).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![Fr::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += *a * *b;
+            }
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Synthetic division by the linear factor `(x - r)`.
+    ///
+    /// Returns the quotient `q(x)` and remainder `rem` with
+    /// `self = q(x)(x - r) + rem`. For the KZG opening, `rem == self(r)`.
+    pub fn divide_by_linear(&self, r: Fr) -> (Self, Fr) {
+        if self.is_zero() {
+            return (Self::zero(), Fr::zero());
+        }
+        let n = self.coeffs.len();
+        let mut quot = vec![Fr::zero(); n - 1];
+        let mut carry = Fr::zero();
+        for i in (0..n).rev() {
+            let c = self.coeffs[i] + carry * r;
+            if i == 0 {
+                return (Self::from_coeffs(quot), c);
+            }
+            quot[i - 1] = c;
+            carry = c;
+        }
+        unreachable!("loop returns at i == 0")
+    }
+
+    /// Lagrange interpolation through distinct points `(x_i, y_i)`,
+    /// `O(n^2)`. Used by the on-chain-privacy attack of §V-C.
+    ///
+    /// # Panics
+    /// Panics if two x-coordinates coincide.
+    pub fn interpolate(points: &[(Fr, Fr)]) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return Self::zero();
+        }
+        // denominators d_i = prod_{j != i} (x_i - x_j), inverted in batch
+        let mut denoms = vec![Fr::one(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let diff = points[i].0 - points[j].0;
+                    assert!(!diff.is_zero(), "interpolation points must be distinct");
+                    denoms[i] *= diff;
+                }
+            }
+        }
+        batch_inverse(&mut denoms);
+        // full product N(x) = prod (x - x_j)
+        let mut full = Self::from_coeffs(vec![Fr::one()]);
+        for p in points {
+            full = full.mul(&Self::from_coeffs(vec![-p.0, Fr::one()]));
+        }
+        let mut acc = Self::zero();
+        for i in 0..n {
+            // basis_i = N(x) / (x - x_i), exact division
+            let (basis, rem) = full.divide_by_linear(points[i].0);
+            debug_assert!(rem.is_zero());
+            acc = acc.add(&basis.scale(points[i].1 * denoms[i]));
+        }
+        acc
+    }
+
+    /// Random polynomial of exactly the given number of coefficients.
+    pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R, num_coeffs: usize) -> Self {
+        Self::from_coeffs((0..num_coeffs).map(|_| Fr::random(rng)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x901)
+    }
+
+    #[test]
+    fn evaluate_known() {
+        // p(x) = 3 + 2x + x^2 ; p(2) = 3 + 4 + 4 = 11
+        let p = DensePoly::from_coeffs(vec![
+            Fr::from_u64(3),
+            Fr::from_u64(2),
+            Fr::from_u64(1),
+        ]);
+        assert_eq!(p.evaluate(Fr::from_u64(2)), Fr::from_u64(11));
+    }
+
+    #[test]
+    fn divide_by_linear_is_kzg_identity() {
+        let mut rng = rng();
+        let p = DensePoly::random(&mut rng, 20);
+        let r = Fr::random(&mut rng);
+        let (q, rem) = p.divide_by_linear(r);
+        assert_eq!(rem, p.evaluate(r));
+        // check p(x) == q(x)(x - r) + rem at a random point
+        let x = Fr::random(&mut rng);
+        assert_eq!(p.evaluate(x), q.evaluate(x) * (x - r) + rem);
+    }
+
+    #[test]
+    fn interpolate_recovers_poly() {
+        let mut rng = rng();
+        let p = DensePoly::random(&mut rng, 8);
+        let points: Vec<(Fr, Fr)> = (0..8)
+            .map(|i| {
+                let x = Fr::from_u64(i + 1);
+                (x, p.evaluate(x))
+            })
+            .collect();
+        assert_eq!(DensePoly::interpolate(&points), p);
+    }
+
+    #[test]
+    fn mul_add_consistency() {
+        let mut rng = rng();
+        let a = DensePoly::random(&mut rng, 5);
+        let b = DensePoly::random(&mut rng, 7);
+        let x = Fr::random(&mut rng);
+        assert_eq!(a.mul(&b).evaluate(x), a.evaluate(x) * b.evaluate(x));
+        assert_eq!(a.add(&b).evaluate(x), a.evaluate(x) + b.evaluate(x));
+    }
+
+    #[test]
+    fn zero_poly_behaviour() {
+        let z = DensePoly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.evaluate(Fr::from_u64(5)), Fr::zero());
+        let (q, rem) = z.divide_by_linear(Fr::from_u64(3));
+        assert!(q.is_zero());
+        assert!(rem.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = DensePoly::from_coeffs(vec![Fr::from_u64(1), Fr::zero(), Fr::zero()]);
+        assert_eq!(p.degree(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn interpolate_duplicate_x_panics() {
+        let pts = vec![
+            (Fr::from_u64(1), Fr::from_u64(2)),
+            (Fr::from_u64(1), Fr::from_u64(3)),
+        ];
+        let _ = DensePoly::interpolate(&pts);
+    }
+}

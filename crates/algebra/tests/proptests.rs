@@ -1,0 +1,92 @@
+//! Property-based tests for the algebra crate: field axioms, curve group
+//! laws and serialization roundtrips under randomized inputs.
+
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::fp2::Fq2;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::poly::DensePoly;
+use dsaudit_algebra::{Fq, Fr};
+use proptest::prelude::*;
+
+fn arb_fq() -> impl Strategy<Value = Fq> {
+    any::<[u8; 64]>().prop_map(|b| Fq::from_bytes_wide(&b))
+}
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    any::<[u8; 64]>().prop_map(|b| Fr::from_bytes_wide(&b))
+}
+
+fn arb_fq2() -> impl Strategy<Value = Fq2> {
+    (arb_fq(), arb_fq()).prop_map(|(c0, c1)| Fq2::new(c0, c1))
+}
+
+fn arb_g1() -> impl Strategy<Value = G1Projective> {
+    arb_fr().prop_map(|k| G1Projective::generator().mul(k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fq_field_axioms(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + (-a), Fq::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fq::one());
+        }
+    }
+
+    #[test]
+    fn fr_field_axioms(a in arb_fr(), b in arb_fr()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a - a, Fr::zero());
+        prop_assert_eq!(a.square(), a * a);
+        prop_assert_eq!(a.double(), a + a);
+    }
+
+    #[test]
+    fn fq_bytes_roundtrip(a in arb_fq()) {
+        prop_assert_eq!(Fq::from_bytes_be(&a.to_bytes_be()).unwrap(), a);
+    }
+
+    #[test]
+    fn fq2_axioms(a in arb_fq2(), b in arb_fq2()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a.square(), a * a);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fq2::one());
+        }
+        // conjugation is multiplicative
+        prop_assert_eq!((a * b).conjugate(), a.conjugate() * b.conjugate());
+    }
+
+    #[test]
+    fn g1_group_laws(p in arb_g1(), q in arb_g1()) {
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert_eq!(p.add(&p), p.double());
+        prop_assert!(p.add(&p.neg()).is_identity());
+        prop_assert!(p.to_affine().is_on_curve());
+    }
+
+    #[test]
+    fn g1_scalar_mul_linear(k1 in arb_fr(), k2 in arb_fr()) {
+        let g = G1Projective::generator();
+        prop_assert_eq!(g.mul(k1 + k2), g.mul(k1).add(&g.mul(k2)));
+    }
+
+    #[test]
+    fn g1_compression_roundtrip(p in arb_g1()) {
+        let aff = p.to_affine();
+        prop_assert_eq!(G1Affine::from_compressed(&aff.to_compressed()).unwrap(), aff);
+    }
+
+    #[test]
+    fn kzg_division_identity(coeffs in prop::collection::vec(arb_fr(), 1..24), r in arb_fr(), x in arb_fr()) {
+        let p = DensePoly::from_coeffs(coeffs);
+        let (q, rem) = p.divide_by_linear(r);
+        prop_assert_eq!(rem, p.evaluate(r));
+        prop_assert_eq!(p.evaluate(x), q.evaluate(x) * (x - r) + rem);
+    }
+}

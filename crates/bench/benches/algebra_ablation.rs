@@ -1,0 +1,51 @@
+//! Ablations on the algebra layer called out in DESIGN.md §5:
+//! Pippenger vs. naive MSM, pairing cost, and batch-vs-single final
+//! exponentiation (the multi-pairing trick the verifier relies on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::G1Projective;
+use dsaudit_algebra::g2::G2Affine;
+use dsaudit_algebra::msm::{msm, msm_naive};
+use dsaudit_algebra::pairing::{multi_pairing, pairing};
+use dsaudit_algebra::Fr;
+use rand::SeedableRng;
+
+fn bench_msm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("ablation_msm");
+    group.sample_size(10);
+    for n in [64usize, 300] {
+        let bases: Vec<_> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("pippenger", n), &n, |b, _| {
+            b.iter(|| msm(&bases, &scalars));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| msm_naive(&bases, &scalars));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("ablation_pairing");
+    group.sample_size(10);
+    let p = G1Projective::random(&mut rng).to_affine();
+    let q = G2Affine::generator();
+    group.bench_function("single_pairing", |b| {
+        b.iter(|| pairing(&p, &q));
+    });
+    // the verifier's trick: 3 pairings sharing one final exponentiation
+    let pairs = [(p, q), (p, q), (p, q)];
+    group.bench_function("multi_pairing_3", |b| {
+        b.iter(|| multi_pairing(&pairs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_msm, bench_pairing);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches of the main protocol: tag generation (Fig. 7),
+//! proof generation w/ and w/o privacy across `s` and `k`
+//! (Figs. 8, 9), and on-chain verification (Fig. 5 / Table II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_bench::{rng, Env};
+use dsaudit_core::params::AuditParams;
+use dsaudit_core::tag::generate_tags;
+use dsaudit_core::verify::{verify_plain, verify_private};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_preprocess");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for s in [10usize, 50, 100] {
+        let params = AuditParams::new(s, 300).expect("valid");
+        let env = Env::new(512 * 1024, params);
+        group.throughput(criterion::Throughput::Bytes(512 * 1024));
+        group.bench_with_input(BenchmarkId::new("tag_gen_512KiB", s), &s, |b, _| {
+            b.iter(|| generate_tags(&env.sk, &env.file));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fig9_prove");
+    group.sample_size(10);
+    for s in [10usize, 50, 100] {
+        let params = AuditParams::new(s, 300).expect("valid");
+        let env = Env::new(300 * s * 31 + 4096, params);
+        let prover = env.prover();
+        let ch = env.challenge();
+        let mut r = rng();
+        group.bench_with_input(BenchmarkId::new("private_k300", s), &s, |b, _| {
+            b.iter(|| prover.prove_private(&mut r, &ch));
+        });
+        group.bench_with_input(BenchmarkId::new("plain_k300", s), &s, |b, _| {
+            b.iter(|| prover.prove_plain(&ch));
+        });
+    }
+    // Fig. 9's k sweep at s = 50
+    for k in [240usize, 298, 458] {
+        let params = AuditParams::new(50, k).expect("valid");
+        let env = Env::new(k * 50 * 31 + 4096, params);
+        let prover = env.prover();
+        let ch = env.challenge();
+        let mut r = rng();
+        group.bench_with_input(BenchmarkId::new("private_s50", k), &k, |b, _| {
+            b.iter(|| prover.prove_private(&mut r, &ch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_verify");
+    group.sample_size(10);
+    let env = Env::new(1024 * 1024, AuditParams::default());
+    let prover = env.prover();
+    let ch = env.challenge();
+    let mut r = rng();
+    let plain = prover.prove_plain(&ch);
+    let private = prover.prove_private(&mut r, &ch);
+    group.bench_function("plain_96B", |b| {
+        b.iter(|| assert!(verify_plain(&env.pk, &env.meta, &ch, &plain)));
+    });
+    group.bench_function("private_288B", |b| {
+        b.iter(|| assert!(verify_private(&env.pk, &env.meta, &ch, &private)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_prove, bench_verify);
+criterion_main!(benches);

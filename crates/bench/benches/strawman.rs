@@ -1,0 +1,27 @@
+//! Table II strawman benches: Groth16 setup / prove / verify on the
+//! MiMC Merkle circuit (unpadded; the padded 3x10^5 profile is produced
+//! by `repro table2 --full`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsaudit_snark::strawman::StrawmanAudit;
+use rand::SeedableRng;
+
+fn bench_strawman(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let audit = StrawmanAudit::commit(&mut rng, &data, None).expect("setup");
+
+    let mut group = c.benchmark_group("table2_strawman");
+    group.sample_size(10);
+    group.bench_function("groth16_prove_1KB", |b| {
+        b.iter(|| audit.respond(&mut rng, 3, None).expect("prove"));
+    });
+    let (proof, _) = audit.respond(&mut rng, 3, None).expect("prove");
+    group.bench_function("groth16_verify", |b| {
+        b.iter(|| assert!(audit.verify_response(&proof)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strawman);
+criterion_main!(benches);

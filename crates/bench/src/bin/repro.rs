@@ -1,0 +1,67 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dsaudit-bench --bin repro -- all
+//! cargo run --release -p dsaudit-bench --bin repro -- table2 --full
+//! cargo run --release -p dsaudit-bench --bin repro -- fig7 --mb 32
+//! ```
+
+use dsaudit_bench::{figures, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+    let measure_mb = args
+        .iter()
+        .position(|a| a == "--mb")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize);
+
+    let divider = || println!("\n{}\n", "=".repeat(72));
+    match cmd {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(full),
+        "fig4" => figures::fig4(),
+        "fig5" => figures::fig5(),
+        "fig6" => figures::fig6(),
+        "fig7" => figures::fig7(measure_mb),
+        "fig8" => figures::fig8(),
+        "fig9" => figures::fig9(),
+        "fig10" => figures::fig10(),
+        "costs" => figures::costs(),
+        "attack" => figures::attack_demo(),
+        "baseline" => figures::baseline(),
+        "all" => {
+            tables::table1();
+            divider();
+            tables::table2(full);
+            divider();
+            figures::fig4();
+            divider();
+            figures::fig5();
+            divider();
+            figures::fig6();
+            divider();
+            figures::fig7(measure_mb);
+            divider();
+            figures::fig8();
+            divider();
+            figures::fig9();
+            divider();
+            figures::fig10();
+            divider();
+            figures::costs();
+            divider();
+            figures::baseline();
+            divider();
+            figures::attack_demo();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|costs|baseline|attack|all] [--full] [--mb N]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The deterministic blockchain simulator: accounts, mining, contract
+//! dispatch, scheduling and size/gas bookkeeping.
+//!
+//! This is the substrate the paper runs on as "our own private testnet
+//! with our preliminary proof-of-concept implementation" — a three-node
+//! Ethereum fork with a custom pre-compiled contract. The simulator
+//! reproduces the observable behavior (state machine, gas, events,
+//! payments, chain growth) with a deterministic clock.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::beacon::Beacon;
+use crate::gas::GasSchedule;
+use crate::runtime::{CallEnv, ContractBehavior, VmError};
+use crate::types::{Account, Address, Block, Event, Receipt, Transaction, TxKind, TxStatus, Wei};
+
+/// The simulated chain.
+pub struct Blockchain {
+    /// All accounts (EOAs and contracts).
+    accounts: HashMap<Address, Account>,
+    /// Mined blocks.
+    pub blocks: Vec<Block>,
+    contracts: HashMap<Address, Box<dyn ContractBehavior>>,
+    pending: Vec<Transaction>,
+    schedule: BTreeMap<(u64, u64), (Address, String)>,
+    beacon: Box<dyn Beacon>,
+    /// Gas schedule in force.
+    pub gas: GasSchedule,
+    /// Current simulation time (seconds).
+    pub now: u64,
+    seq: u64,
+    beacon_round: u64,
+    /// Byte overhead per transaction envelope (signature etc.).
+    pub tx_envelope_bytes: usize,
+}
+
+impl Blockchain {
+    /// A fresh chain with the given randomness beacon.
+    pub fn new(beacon: Box<dyn Beacon>) -> Self {
+        Self {
+            accounts: HashMap::new(),
+            blocks: Vec::new(),
+            contracts: HashMap::new(),
+            pending: Vec::new(),
+            schedule: BTreeMap::new(),
+            beacon,
+            gas: GasSchedule::default(),
+            now: 1_600_000_000,
+            seq: 0,
+            beacon_round: 0,
+            tx_envelope_bytes: 110,
+        }
+    }
+
+    /// Creates (or tops up) an externally-owned account.
+    pub fn fund_account(&mut self, addr: Address, amount: Wei) {
+        self.accounts.entry(addr).or_default().balance += amount;
+    }
+
+    /// Current balance of an account (zero if unknown).
+    pub fn balance(&self, addr: Address) -> Wei {
+        self.accounts.get(&addr).map(|a| a.balance).unwrap_or(0)
+    }
+
+    /// Deploys a contract under a deterministic address.
+    pub fn deploy(&mut self, label: &str, contract: Box<dyn ContractBehavior>) -> Address {
+        let addr = Address::from_label(&format!("contract/{label}"));
+        assert!(
+            !self.contracts.contains_key(&addr),
+            "contract label already deployed"
+        );
+        self.contracts.insert(addr, contract);
+        self.accounts.entry(addr).or_default();
+        addr
+    }
+
+    /// Queues a transaction for the next block.
+    pub fn submit(&mut self, tx: Transaction) {
+        self.pending.push(tx);
+    }
+
+    /// Advances the simulation clock.
+    pub fn advance_time(&mut self, secs: u64) {
+        self.now += secs;
+    }
+
+    /// Fresh beacon randomness (one beacon round per call).
+    fn draw_beacon(&mut self) -> [u8; 48] {
+        let r = self.beacon.randomness(self.beacon_round);
+        self.beacon_round += 1;
+        r
+    }
+
+    /// Mines a block: executes all pending transactions plus any
+    /// scheduler triggers that are due, then appends the block.
+    pub fn mine_block(&mut self) -> &Block {
+        let mut txs: Vec<(Transaction, Receipt)> = Vec::new();
+        let mut size = 0usize;
+
+        // 1. due scheduler triggers (Ethereum-Alarm-Clock style)
+        let due: Vec<((u64, u64), (Address, String))> = self
+            .schedule
+            .range(..=(self.now, u64::MAX))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for (key, (contract, tag)) in due {
+            self.schedule.remove(&key);
+            let tx = Transaction {
+                from: contract,
+                to: contract,
+                value: 0,
+                kind: TxKind::Call {
+                    method: format!("trigger:{tag}"),
+                    data: Vec::new(),
+                },
+            };
+            let receipt = self.execute_trigger(contract, &tag);
+            size += tx.payload_bytes() + self.tx_envelope_bytes;
+            txs.push((tx, receipt));
+        }
+
+        // 2. user transactions
+        let pending = std::mem::take(&mut self.pending);
+        for tx in pending {
+            let receipt = self.execute_tx(&tx);
+            size += tx.payload_bytes() + self.tx_envelope_bytes;
+            txs.push((tx, receipt));
+        }
+
+        let block = Block {
+            number: self.blocks.len() as u64,
+            timestamp: self.now,
+            txs,
+            size_bytes: size,
+        };
+        self.blocks.push(block);
+        // block interval
+        self.now += 14;
+        self.blocks.last().expect("just pushed")
+    }
+
+    fn execute_tx(&mut self, tx: &Transaction) -> Receipt {
+        // debit value upfront
+        let sender = self.accounts.entry(tx.from).or_default();
+        if sender.balance < tx.value {
+            return Receipt {
+                status: TxStatus::Reverted,
+                gas_used: self.gas.tx_base,
+                logs: Vec::new(),
+                revert_reason: Some("insufficient balance".into()),
+            };
+        }
+        sender.balance -= tx.value;
+        sender.nonce += 1;
+
+        match &tx.kind {
+            TxKind::Transfer => {
+                self.accounts.entry(tx.to).or_default().balance += tx.value;
+                Receipt {
+                    status: TxStatus::Success,
+                    gas_used: self.gas.tx_base,
+                    logs: Vec::new(),
+                    revert_reason: None,
+                }
+            }
+            TxKind::Call { method, data } => {
+                let base_gas = self.gas.tx_base + self.gas.calldata_gas(tx.payload_bytes());
+                // credit value to the contract before the call
+                self.accounts.entry(tx.to).or_default().balance += tx.value;
+                match self.call_contract(tx.to, tx.from, tx.value, method, data) {
+                    Ok((env_gas, logs)) => Receipt {
+                        status: TxStatus::Success,
+                        gas_used: base_gas + env_gas,
+                        logs,
+                        revert_reason: None,
+                    },
+                    Err(e) => {
+                        // revert: return value to sender
+                        if tx.value > 0 {
+                            let c = self.accounts.entry(tx.to).or_default();
+                            c.balance -= tx.value;
+                            self.accounts.entry(tx.from).or_default().balance += tx.value;
+                        }
+                        Receipt {
+                            status: TxStatus::Reverted,
+                            gas_used: base_gas,
+                            logs: Vec::new(),
+                            revert_reason: Some(e.to_string()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn execute_trigger(&mut self, contract: Address, tag: &str) -> Receipt {
+        let beacon = self.draw_beacon();
+        let mut behavior = match self.contracts.remove(&contract) {
+            Some(b) => b,
+            None => {
+                return Receipt {
+                    status: TxStatus::Reverted,
+                    gas_used: 0,
+                    logs: Vec::new(),
+                    revert_reason: Some("no such contract".into()),
+                }
+            }
+        };
+        let mut env = CallEnv::new(contract, 0, self.now, contract, beacon);
+        let result = behavior.on_trigger(&mut env, tag);
+        self.contracts.insert(contract, behavior);
+        match result {
+            Ok(()) => {
+                let (gas, logs) = self.apply_env(contract, env);
+                Receipt {
+                    status: TxStatus::Success,
+                    gas_used: gas,
+                    logs,
+                    revert_reason: None,
+                }
+            }
+            Err(e) => Receipt {
+                status: TxStatus::Reverted,
+                gas_used: 0,
+                logs: Vec::new(),
+                revert_reason: Some(e.to_string()),
+            },
+        }
+    }
+
+    fn call_contract(
+        &mut self,
+        contract: Address,
+        caller: Address,
+        value: Wei,
+        method: &str,
+        data: &[u8],
+    ) -> Result<(u64, Vec<Event>), VmError> {
+        let beacon = self.draw_beacon();
+        let mut behavior = self
+            .contracts
+            .remove(&contract)
+            .ok_or_else(|| VmError::BadState("no such contract".into()))?;
+        let mut env = CallEnv::new(caller, value, self.now, contract, beacon);
+        let result = behavior.execute(&mut env, method, data);
+        self.contracts.insert(contract, behavior);
+        match result {
+            Ok(()) => Ok(self.apply_env_checked(contract, env)?),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn apply_env_checked(
+        &mut self,
+        contract: Address,
+        env: CallEnv,
+    ) -> Result<(u64, Vec<Event>), VmError> {
+        // validate payouts against contract balance first
+        let total: Wei = env.payouts.iter().map(|(_, amt)| amt).sum();
+        if self.balance(contract) < total {
+            return Err(VmError::InsufficientContractBalance);
+        }
+        Ok(self.apply_env(contract, env))
+    }
+
+    fn apply_env(&mut self, contract: Address, env: CallEnv) -> (u64, Vec<Event>) {
+        for (to, amount) in &env.payouts {
+            let c = self.accounts.entry(contract).or_default();
+            c.balance = c.balance.saturating_sub(*amount);
+            self.accounts.entry(*to).or_default().balance += amount;
+        }
+        for (ts, tag) in env.schedule_requests {
+            self.seq += 1;
+            self.schedule.insert((ts, self.seq), (contract, tag));
+        }
+        (env.gas, env.logs)
+    }
+
+    /// Total bytes of all mined blocks (Fig. 10 left's measured
+    /// counterpart).
+    pub fn total_size_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.size_bytes).sum()
+    }
+
+    /// Total gas consumed across all receipts.
+    pub fn total_gas_used(&self) -> u64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|(_, r)| r.gas_used)
+            .sum()
+    }
+
+    /// All events ever emitted, newest last.
+    pub fn all_events(&self) -> Vec<&Event> {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.txs)
+            .flat_map(|(_, r)| &r.logs)
+            .collect()
+    }
+
+    /// Number of pending scheduler entries (for tests).
+    pub fn pending_triggers(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon::TrustedBeacon;
+    use crate::types::eth;
+
+    struct Counter {
+        count: u64,
+    }
+
+    impl ContractBehavior for Counter {
+        fn execute(&mut self, env: &mut CallEnv, method: &str, _data: &[u8]) -> Result<(), VmError> {
+            match method {
+                "inc" => {
+                    self.count += 1;
+                    env.emit("incremented", self.count.to_le_bytes().to_vec());
+                    env.charge_gas(100);
+                    Ok(())
+                }
+                "pay_caller" => {
+                    env.pay(env.caller, eth(1));
+                    Ok(())
+                }
+                "fail" => Err(VmError::BadState("nope".into())),
+                "schedule_me" => {
+                    env.schedule(env.now + 100, "tick");
+                    Ok(())
+                }
+                other => Err(VmError::UnknownMethod(other.into())),
+            }
+        }
+
+        fn on_trigger(&mut self, env: &mut CallEnv, tag: &str) -> Result<(), VmError> {
+            env.emit("triggered", tag.as_bytes().to_vec());
+            Ok(())
+        }
+    }
+
+    fn chain() -> Blockchain {
+        Blockchain::new(Box::new(TrustedBeacon::new(b"test")))
+    }
+
+    fn call(from: Address, to: Address, method: &str) -> Transaction {
+        Transaction {
+            from,
+            to,
+            value: 0,
+            kind: TxKind::Call {
+                method: method.into(),
+                data: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn transfer_moves_value() {
+        let mut c = chain();
+        let a = Address::from_label("a");
+        let b = Address::from_label("b");
+        c.fund_account(a, eth(10));
+        c.submit(Transaction {
+            from: a,
+            to: b,
+            value: eth(3),
+            kind: TxKind::Transfer,
+        });
+        c.mine_block();
+        assert_eq!(c.balance(a), eth(7));
+        assert_eq!(c.balance(b), eth(3));
+    }
+
+    #[test]
+    fn insufficient_balance_reverts() {
+        let mut c = chain();
+        let a = Address::from_label("a");
+        let b = Address::from_label("b");
+        c.submit(Transaction {
+            from: a,
+            to: b,
+            value: eth(1),
+            kind: TxKind::Transfer,
+        });
+        let block = c.mine_block();
+        assert_eq!(block.txs[0].1.status, TxStatus::Reverted);
+        assert_eq!(c.balance(b), 0);
+    }
+
+    #[test]
+    fn contract_call_emits_and_meters() {
+        let mut c = chain();
+        let user = Address::from_label("user");
+        c.fund_account(user, eth(1));
+        let addr = c.deploy("counter", Box::new(Counter { count: 0 }));
+        c.submit(call(user, addr, "inc"));
+        let block = c.mine_block();
+        let (_, receipt) = &block.txs[0];
+        assert_eq!(receipt.status, TxStatus::Success);
+        assert_eq!(receipt.logs[0].name, "incremented");
+        assert!(receipt.gas_used > c.gas.tx_base);
+    }
+
+    #[test]
+    fn failed_call_reverts_value() {
+        let mut c = chain();
+        let user = Address::from_label("user");
+        c.fund_account(user, eth(5));
+        let addr = c.deploy("counter", Box::new(Counter { count: 0 }));
+        c.submit(Transaction {
+            from: user,
+            to: addr,
+            value: eth(2),
+            kind: TxKind::Call {
+                method: "fail".into(),
+                data: Vec::new(),
+            },
+        });
+        c.mine_block();
+        assert_eq!(c.balance(user), eth(5), "value must come back on revert");
+        assert_eq!(c.balance(addr), 0);
+    }
+
+    #[test]
+    fn contract_payout_needs_balance() {
+        let mut c = chain();
+        let user = Address::from_label("user");
+        c.fund_account(user, eth(1));
+        let addr = c.deploy("counter", Box::new(Counter { count: 0 }));
+        // no contract balance: payout must revert
+        c.submit(call(user, addr, "pay_caller"));
+        let b = c.mine_block();
+        assert_eq!(b.txs[0].1.status, TxStatus::Reverted);
+        // fund the contract, then it works
+        c.fund_account(addr, eth(2));
+        c.submit(call(user, addr, "pay_caller"));
+        let b = c.mine_block();
+        assert_eq!(b.txs[0].1.status, TxStatus::Success);
+        assert_eq!(c.balance(user), eth(2));
+    }
+
+    #[test]
+    fn scheduler_fires_when_due() {
+        let mut c = chain();
+        let user = Address::from_label("user");
+        c.fund_account(user, eth(1));
+        let addr = c.deploy("counter", Box::new(Counter { count: 0 }));
+        c.submit(call(user, addr, "schedule_me"));
+        c.mine_block();
+        assert_eq!(c.pending_triggers(), 1);
+        // not yet due
+        let b = c.mine_block();
+        assert!(b.txs.is_empty());
+        // advance past the deadline
+        c.advance_time(200);
+        let b = c.mine_block();
+        assert_eq!(b.txs.len(), 1);
+        assert_eq!(b.txs[0].1.logs[0].name, "triggered");
+        assert_eq!(c.pending_triggers(), 0);
+    }
+
+    #[test]
+    fn block_sizes_accumulate() {
+        let mut c = chain();
+        let user = Address::from_label("user");
+        c.fund_account(user, eth(1));
+        let addr = c.deploy("counter", Box::new(Counter { count: 0 }));
+        c.submit(call(user, addr, "inc"));
+        c.mine_block();
+        assert!(c.total_size_bytes() >= c.tx_envelope_bytes);
+        assert!(c.total_gas_used() > 0);
+    }
+}

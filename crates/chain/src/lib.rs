@@ -1,0 +1,21 @@
+//! # dsaudit-chain
+//!
+//! The blockchain substrate: a deterministic Ethereum-like simulator
+//! with accounts and wei balances, a mining loop, contract dispatch with
+//! revert semantics, an Ethereum-Alarm-Clock-style scheduler, randomness
+//! beacons (trusted / commit-reveal / VDF-hardened), and the paper's gas
+//! and fiat cost models (Fig. 5, Fig. 6, Fig. 10, §VII-B).
+
+pub mod beacon;
+pub mod chain;
+pub mod cost;
+pub mod gas;
+pub mod runtime;
+pub mod types;
+
+pub use beacon::{Beacon, CommitRevealBeacon, TrustedBeacon, VdfBeacon};
+pub use chain::Blockchain;
+pub use cost::{ChainCapacity, CostModel};
+pub use gas::GasSchedule;
+pub use runtime::{CallEnv, ContractBehavior, VmError};
+pub use types::{eth, gwei, Account, Address, Block, Event, Receipt, Transaction, TxKind, TxStatus, Wei};

@@ -1,0 +1,126 @@
+//! Contract execution environment: the simulator's equivalent of the
+//! EVM call context plus the paper's pre-compiled-contract extension
+//! points (gas metering by measured time, beacon access, scheduling).
+
+use crate::types::{Address, Event, Wei};
+
+/// Errors a contract can raise; any error reverts the call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// The call was not valid in the current contract state.
+    BadState(String),
+    /// The caller is not authorized for this method.
+    Unauthorized,
+    /// Attached value did not match expectations.
+    BadValue(String),
+    /// Malformed calldata.
+    BadCalldata(String),
+    /// Unknown method discriminator.
+    UnknownMethod(String),
+    /// Contract balance insufficient for a requested payout.
+    InsufficientContractBalance,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::BadState(s) => write!(f, "invalid state: {s}"),
+            VmError::Unauthorized => write!(f, "unauthorized caller"),
+            VmError::BadValue(s) => write!(f, "bad value: {s}"),
+            VmError::BadCalldata(s) => write!(f, "bad calldata: {s}"),
+            VmError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            VmError::InsufficientContractBalance => {
+                write!(f, "contract balance insufficient for payout")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The mutable call context handed to a contract method.
+#[derive(Debug)]
+pub struct CallEnv {
+    /// Transaction sender.
+    pub caller: Address,
+    /// Attached value (already credited to the contract on entry;
+    /// debited back on revert).
+    pub value: Wei,
+    /// Simulation clock (seconds).
+    pub now: u64,
+    /// The executing contract's address.
+    pub contract: Address,
+    /// 48 bytes of beacon randomness available to this call.
+    pub beacon: [u8; 48],
+    pub(crate) payouts: Vec<(Address, Wei)>,
+    pub(crate) logs: Vec<Event>,
+    pub(crate) gas: u64,
+    pub(crate) schedule_requests: Vec<(u64, String)>,
+}
+
+impl CallEnv {
+    pub(crate) fn new(
+        caller: Address,
+        value: Wei,
+        now: u64,
+        contract: Address,
+        beacon: [u8; 48],
+    ) -> Self {
+        Self {
+            caller,
+            value,
+            now,
+            contract,
+            beacon,
+            payouts: Vec::new(),
+            logs: Vec::new(),
+            gas: 0,
+            schedule_requests: Vec::new(),
+        }
+    }
+
+    /// Emits a contract event (the `broadcast` of Fig. 2).
+    pub fn emit(&mut self, name: &str, data: Vec<u8>) {
+        self.logs.push(Event {
+            contract: self.contract,
+            name: name.to_string(),
+            data,
+        });
+    }
+
+    /// Queues a payout from the contract's balance (applied after the
+    /// call returns successfully — the "unlock and transact $" of Fig. 2).
+    pub fn pay(&mut self, to: Address, amount: Wei) {
+        self.payouts.push((to, amount));
+    }
+
+    /// Meters additional gas onto this call (the simulator's analogue of
+    /// the pre-compiled contract's opcode cost).
+    pub fn charge_gas(&mut self, gas: u64) {
+        self.gas += gas;
+    }
+
+    /// Asks the chain's scheduler (Ethereum-Alarm-Clock analogue) to
+    /// trigger this contract at `timestamp` with the given tag.
+    pub fn schedule(&mut self, timestamp: u64, tag: &str) {
+        self.schedule_requests.push((timestamp, tag.to_string()));
+    }
+}
+
+/// A deployed contract: an opaque state machine reacting to calls and
+/// scheduler triggers.
+pub trait ContractBehavior: Send {
+    /// Executes a method call.
+    ///
+    /// # Errors
+    /// Returning any [`VmError`] reverts the transaction (value returned
+    /// to sender, payouts and schedule requests dropped). Contracts must
+    /// validate before mutating their own state.
+    fn execute(&mut self, env: &mut CallEnv, method: &str, data: &[u8]) -> Result<(), VmError>;
+
+    /// Handles a scheduler trigger ("Chal"/"Verify" in Fig. 2).
+    ///
+    /// # Errors
+    /// Same revert semantics as [`ContractBehavior::execute`].
+    fn on_trigger(&mut self, env: &mut CallEnv, tag: &str) -> Result<(), VmError>;
+}

@@ -1,0 +1,345 @@
+//! The storage-auditing smart contract of Fig. 2, as a state machine on
+//! the chain simulator.
+//!
+//! Lifecycle (states match the figure):
+//!
+//! ```text
+//! Pending --negotiate(D)--> Ack --acked(S)--> Freeze
+//!   Freeze --deposit(D) + deposit(S)--> Audit       (broadcast "inited")
+//!   Audit  --trigger "Chal"--> Prove                (broadcast "challenged")
+//!   Prove  --prove(S)--> Prove                      (broadcast "proofposted")
+//!   Prove  --trigger "Verify"--> Audit | Completed  ("pass"/"fail" + payment)
+//! ```
+//!
+//! On `pass` the provider earns `reward_per_audit` from the owner's
+//! locked deposit; on `fail` (bad proof **or** timeout) the owner is
+//! compensated with `penalty_per_fail` from the provider's deposit.
+//! When `cnt` reaches `num` the remaining deposits are released.
+
+use dsaudit_chain::runtime::{CallEnv, ContractBehavior, VmError};
+use dsaudit_chain::types::{Address, Wei};
+use dsaudit_core::challenge::Challenge;
+use dsaudit_core::keys::PublicKey;
+use dsaudit_core::proof::{PrivateProof, PRIVATE_PROOF_BYTES};
+use dsaudit_core::verify::{verify_private, FileMeta};
+
+/// Contract phase (the `st` variable of Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Deployed, waiting for the owner's `negotiate`.
+    Pending,
+    /// Waiting for the provider's acknowledgment.
+    Ack,
+    /// Waiting for both deposits.
+    Freeze,
+    /// Between rounds; next `Chal` trigger is scheduled.
+    Audit,
+    /// Challenge issued; waiting for the proof and the `Verify` trigger.
+    Prove,
+    /// All rounds done; deposits released.
+    Completed,
+    /// Terminated during initialization (provider rejected).
+    Aborted,
+}
+
+/// Immutable contract terms (the `agrmts` of Fig. 2).
+#[derive(Clone, Copy, Debug)]
+pub struct Agreement {
+    /// The data owner `D`.
+    pub owner: Address,
+    /// The storage provider `S`.
+    pub provider: Address,
+    /// Number of audit rounds (`num`).
+    pub num_audits: u64,
+    /// Seconds between rounds (paper: order of a day).
+    pub audit_interval_secs: u64,
+    /// Seconds the provider has to post a proof after a challenge.
+    pub prove_deadline_secs: u64,
+    /// Micro-payment to `S` per passed round.
+    pub reward_per_audit: Wei,
+    /// Compensation to `D` per failed round.
+    pub penalty_per_fail: Wei,
+    /// Deposit `$D` (must cover all rewards).
+    pub owner_deposit: Wei,
+    /// Deposit `$S` (must cover all penalties).
+    pub provider_deposit: Wei,
+}
+
+impl Agreement {
+    /// Validates economic consistency of the terms.
+    ///
+    /// # Errors
+    /// Rejects terms whose deposits cannot cover the promised flows.
+    pub fn validate(&self) -> Result<(), VmError> {
+        if self.owner_deposit < self.reward_per_audit * self.num_audits as Wei {
+            return Err(VmError::BadValue(
+                "owner deposit cannot cover all rewards".into(),
+            ));
+        }
+        if self.provider_deposit < self.penalty_per_fail * self.num_audits as Wei {
+            return Err(VmError::BadValue(
+                "provider deposit cannot cover all penalties".into(),
+            ));
+        }
+        if self.num_audits == 0 {
+            return Err(VmError::BadValue("need at least one audit".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one audit round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Round counter value.
+    pub round: u64,
+    /// Whether the proof verified.
+    pub passed: bool,
+    /// Whether the provider missed the deadline entirely.
+    pub timed_out: bool,
+    /// Simulation time of the verdict.
+    pub verdict_at: u64,
+}
+
+/// The deployed auditing contract.
+pub struct AuditContract {
+    agreement: Agreement,
+    pk: PublicKey,
+    meta: FileMeta,
+    phase: Phase,
+    cnt: u64,
+    owner_deposited: bool,
+    provider_deposited: bool,
+    owner_pool: Wei,
+    provider_pool: Wei,
+    current_challenge: Option<Challenge>,
+    pending_proof: Option<PrivateProof>,
+    /// Completed round log (public audit trail).
+    pub history: Vec<RoundOutcome>,
+}
+
+impl AuditContract {
+    /// Creates the contract in `Pending` phase. `params`/`metadata`
+    /// (public key + file info) are fixed at deployment, as the paper's
+    /// `Initialize` prescribes.
+    pub fn new(agreement: Agreement, pk: PublicKey, meta: FileMeta) -> Self {
+        Self {
+            agreement,
+            pk,
+            meta,
+            phase: Phase::Pending,
+            cnt: 0,
+            owner_deposited: false,
+            provider_deposited: false,
+            owner_pool: 0,
+            provider_pool: 0,
+            current_challenge: None,
+            pending_proof: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_done(&self) -> u64 {
+        self.cnt
+    }
+
+    /// The challenge of the in-flight round, if any.
+    pub fn current_challenge(&self) -> Option<Challenge> {
+        self.current_challenge
+    }
+
+    fn finalize(&mut self, env: &mut CallEnv) {
+        // release remaining pools
+        if self.owner_pool > 0 {
+            env.pay(self.agreement.owner, self.owner_pool);
+            self.owner_pool = 0;
+        }
+        if self.provider_pool > 0 {
+            env.pay(self.agreement.provider, self.provider_pool);
+            self.provider_pool = 0;
+        }
+        self.phase = Phase::Completed;
+        env.emit("completed", Vec::new());
+    }
+
+    fn settle_round(&mut self, env: &mut CallEnv, passed: bool, timed_out: bool) {
+        if passed {
+            let reward = self.agreement.reward_per_audit.min(self.owner_pool);
+            self.owner_pool -= reward;
+            env.pay(self.agreement.provider, reward);
+            env.emit("pass", self.cnt.to_le_bytes().to_vec());
+        } else {
+            let penalty = self.agreement.penalty_per_fail.min(self.provider_pool);
+            self.provider_pool -= penalty;
+            env.pay(self.agreement.owner, penalty);
+            env.emit("fail", self.cnt.to_le_bytes().to_vec());
+        }
+        self.history.push(RoundOutcome {
+            round: self.cnt,
+            passed,
+            timed_out,
+            verdict_at: env.now,
+        });
+        self.cnt += 1;
+        self.current_challenge = None;
+        self.pending_proof = None;
+        if self.cnt >= self.agreement.num_audits {
+            self.finalize(env);
+        } else {
+            self.phase = Phase::Audit;
+            env.schedule(env.now + self.agreement.audit_interval_secs, "Chal");
+        }
+    }
+}
+
+impl ContractBehavior for AuditContract {
+    fn execute(&mut self, env: &mut CallEnv, method: &str, data: &[u8]) -> Result<(), VmError> {
+        match method {
+            // D publishes agrmts/params/metadata; st := ACK
+            "negotiate" => {
+                if self.phase != Phase::Pending {
+                    return Err(VmError::BadState("already negotiated".into()));
+                }
+                if env.caller != self.agreement.owner {
+                    return Err(VmError::Unauthorized);
+                }
+                self.agreement.validate()?;
+                // one-time on-chain storage of pk + metadata (Fig. 4 cost)
+                let pk_bytes = self.pk.serialized_len(true) + 48;
+                env.charge_gas(
+                    dsaudit_chain::gas::GasSchedule::default().pk_registration_gas(pk_bytes),
+                );
+                self.phase = Phase::Ack;
+                env.emit("negotiated", Vec::new());
+                Ok(())
+            }
+            // S acknowledges params/metadata; st := FREEZE
+            "acked" => {
+                if self.phase != Phase::Ack {
+                    return Err(VmError::BadState("not awaiting ack".into()));
+                }
+                if env.caller != self.agreement.provider {
+                    return Err(VmError::Unauthorized);
+                }
+                self.phase = Phase::Freeze;
+                env.emit("acked", Vec::new());
+                Ok(())
+            }
+            // S may reject instead (dispute: D already paid storage fees)
+            "reject" => {
+                if self.phase != Phase::Ack {
+                    return Err(VmError::BadState("not awaiting ack".into()));
+                }
+                if env.caller != self.agreement.provider {
+                    return Err(VmError::Unauthorized);
+                }
+                self.phase = Phase::Aborted;
+                env.emit("rejected", Vec::new());
+                Ok(())
+            }
+            // deposits from both parties; when complete, auditing starts
+            "freeze" => {
+                if self.phase != Phase::Freeze {
+                    return Err(VmError::BadState("not in freeze phase".into()));
+                }
+                if env.caller == self.agreement.owner {
+                    if env.value != self.agreement.owner_deposit {
+                        return Err(VmError::BadValue("wrong owner deposit".into()));
+                    }
+                    if self.owner_deposited {
+                        return Err(VmError::BadState("owner already deposited".into()));
+                    }
+                    self.owner_deposited = true;
+                    self.owner_pool = env.value;
+                } else if env.caller == self.agreement.provider {
+                    if env.value != self.agreement.provider_deposit {
+                        return Err(VmError::BadValue("wrong provider deposit".into()));
+                    }
+                    if self.provider_deposited {
+                        return Err(VmError::BadState("provider already deposited".into()));
+                    }
+                    self.provider_deposited = true;
+                    self.provider_pool = env.value;
+                } else {
+                    return Err(VmError::Unauthorized);
+                }
+                if self.owner_deposited && self.provider_deposited {
+                    self.phase = Phase::Audit;
+                    env.emit("inited", Vec::new());
+                    env.schedule(env.now + self.agreement.audit_interval_secs, "Chal");
+                }
+                Ok(())
+            }
+            // S posts the 288-byte proof during the Prove window
+            "prove" => {
+                if self.phase != Phase::Prove {
+                    return Err(VmError::BadState("no open challenge".into()));
+                }
+                if env.caller != self.agreement.provider {
+                    return Err(VmError::Unauthorized);
+                }
+                let proof = PrivateProof::from_bytes(data)
+                    .map_err(|e| VmError::BadCalldata(e.to_string()))?;
+                self.pending_proof = Some(proof);
+                // proof persisted on chain: storage gas now, verification
+                // gas at the Verify trigger
+                env.charge_gas(
+                    dsaudit_chain::gas::GasSchedule::default()
+                        .storage_gas(PRIVATE_PROOF_BYTES + 48),
+                );
+                env.emit("proofposted", self.cnt.to_le_bytes().to_vec());
+                Ok(())
+            }
+            other => Err(VmError::UnknownMethod(other.into())),
+        }
+    }
+
+    fn on_trigger(&mut self, env: &mut CallEnv, tag: &str) -> Result<(), VmError> {
+        match tag {
+            "Chal" => {
+                if self.phase != Phase::Audit || self.cnt >= self.agreement.num_audits {
+                    return Err(VmError::BadState("not ready to challenge".into()));
+                }
+                let challenge = Challenge::from_beacon(&env.beacon);
+                self.current_challenge = Some(challenge);
+                self.phase = Phase::Prove;
+                env.emit("challenged", env.beacon.to_vec());
+                env.schedule(env.now + self.agreement.prove_deadline_secs, "Verify");
+                Ok(())
+            }
+            "Verify" => {
+                if self.phase != Phase::Prove {
+                    return Err(VmError::BadState("no round to verify".into()));
+                }
+                let challenge = self
+                    .current_challenge
+                    .expect("Prove phase implies a challenge");
+                match self.pending_proof.take() {
+                    Some(proof) => {
+                        let t0 = std::time::Instant::now();
+                        let ok = verify_private(&self.pk, &self.meta, &challenge, &proof);
+                        let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        // the paper's extrapolated compute gas
+                        env.charge_gas(
+                            dsaudit_chain::gas::GasSchedule::default().compute_gas(verify_ms),
+                        );
+                        self.settle_round(env, ok, false);
+                    }
+                    None => {
+                        // timeout: provider never responded
+                        env.emit("timeout", self.cnt.to_le_bytes().to_vec());
+                        self.settle_round(env, false, true);
+                    }
+                }
+                Ok(())
+            }
+            other => Err(VmError::UnknownMethod(other.into())),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Driver glue between off-chain actors (data owner, storage provider)
+//! and the on-chain contract: deployment, deposits, and the
+//! challenge/prove/verify round-trip of one audit round.
+
+use dsaudit_chain::chain::Blockchain;
+use dsaudit_chain::types::{Address, Transaction, TxKind, TxStatus, Wei};
+use dsaudit_core::challenge::Challenge;
+use dsaudit_core::file::EncodedFile;
+use dsaudit_core::keys::{PublicKey, SecretKey};
+use dsaudit_core::prove::Prover;
+use dsaudit_core::tag::generate_tags;
+use dsaudit_core::verify::FileMeta;
+use dsaudit_algebra::g1::G1Affine;
+
+use crate::audit_contract::{Agreement, AuditContract};
+
+/// Everything a storage provider holds for one contract.
+pub struct ProviderState {
+    /// The stored file (encoded).
+    pub file: EncodedFile,
+    /// Authenticators from the owner.
+    pub tags: Vec<G1Affine>,
+    /// The owner's public key.
+    pub pk: PublicKey,
+}
+
+impl ProviderState {
+    /// Responds to a challenge with the privacy-assured proof.
+    pub fn respond<R: rand::RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        challenge: &Challenge,
+    ) -> Vec<u8> {
+        let prover = Prover::new(&self.pk, &self.file, &self.tags);
+        prover.prove_private(rng, challenge).to_bytes().to_vec()
+    }
+}
+
+/// A fully initialized audit session: deployed contract, both deposits
+/// locked, first challenge scheduled.
+pub struct AuditSession {
+    /// Deployed contract address.
+    pub contract: Address,
+    /// Data owner account.
+    pub owner: Address,
+    /// Storage provider account.
+    pub provider: Address,
+    /// Provider-side state for responding to challenges.
+    pub provider_state: ProviderState,
+    /// Terms in force.
+    pub agreement: Agreement,
+}
+
+/// Sets up a complete audit session on the chain: keygen, encode, tag,
+/// deploy, negotiate, ack, deposit (both sides).
+///
+/// # Panics
+/// Panics if any setup transaction reverts (programming error in the
+/// harness, not a runtime condition).
+#[allow(clippy::too_many_arguments)]
+pub fn setup_session<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    chain: &mut Blockchain,
+    label: &str,
+    data: &[u8],
+    params: dsaudit_core::params::AuditParams,
+    sk_pk: Option<(SecretKey, PublicKey)>,
+    agreement_template: AgreementTerms,
+) -> AuditSession {
+    let owner = Address::from_label(&format!("{label}/owner"));
+    let provider = Address::from_label(&format!("{label}/provider"));
+    chain.fund_account(owner, agreement_template.owner_deposit + dsaudit_chain::types::eth(1));
+    chain.fund_account(
+        provider,
+        agreement_template.provider_deposit + dsaudit_chain::types::eth(1),
+    );
+
+    let (sk, pk) = sk_pk.unwrap_or_else(|| dsaudit_core::keys::keygen(rng, &params));
+    let file = EncodedFile::encode(rng, data, params);
+    let tags = generate_tags(&sk, &file);
+    let meta = FileMeta {
+        name: file.name,
+        num_chunks: file.num_chunks(),
+        k: params.k,
+    };
+    let agreement = Agreement {
+        owner,
+        provider,
+        num_audits: agreement_template.num_audits,
+        audit_interval_secs: agreement_template.audit_interval_secs,
+        prove_deadline_secs: agreement_template.prove_deadline_secs,
+        reward_per_audit: agreement_template.reward_per_audit,
+        penalty_per_fail: agreement_template.penalty_per_fail,
+        owner_deposit: agreement_template.owner_deposit,
+        provider_deposit: agreement_template.provider_deposit,
+    };
+    let contract_obj = AuditContract::new(agreement, pk.clone(), meta);
+    let contract = chain.deploy(label, Box::new(contract_obj));
+
+    // negotiate -> ack -> deposits
+    submit_ok(chain, owner, contract, "negotiate", Vec::new(), 0);
+    submit_ok(chain, provider, contract, "acked", Vec::new(), 0);
+    submit_ok(
+        chain,
+        owner,
+        contract,
+        "freeze",
+        Vec::new(),
+        agreement.owner_deposit,
+    );
+    submit_ok(
+        chain,
+        provider,
+        contract,
+        "freeze",
+        Vec::new(),
+        agreement.provider_deposit,
+    );
+
+    AuditSession {
+        contract,
+        owner,
+        provider,
+        provider_state: ProviderState { file, tags, pk },
+        agreement,
+    }
+}
+
+/// Economic terms for [`setup_session`], without the addresses.
+#[derive(Clone, Copy, Debug)]
+pub struct AgreementTerms {
+    /// Number of audit rounds.
+    pub num_audits: u64,
+    /// Seconds between rounds.
+    pub audit_interval_secs: u64,
+    /// Response window in seconds.
+    pub prove_deadline_secs: u64,
+    /// Per-round reward to the provider.
+    pub reward_per_audit: Wei,
+    /// Per-failure compensation to the owner.
+    pub penalty_per_fail: Wei,
+    /// Owner's locked deposit.
+    pub owner_deposit: Wei,
+    /// Provider's locked deposit.
+    pub provider_deposit: Wei,
+}
+
+impl Default for AgreementTerms {
+    fn default() -> Self {
+        use dsaudit_chain::types::gwei;
+        Self {
+            num_audits: 3,
+            audit_interval_secs: 86_400,
+            prove_deadline_secs: 3_600,
+            reward_per_audit: gwei(1_000_000), // 0.001 ETH
+            penalty_per_fail: gwei(5_000_000), // 0.005 ETH
+            owner_deposit: gwei(1_000_000) * 100,
+            provider_deposit: gwei(5_000_000) * 100,
+        }
+    }
+}
+
+/// Submits a contract call and asserts success.
+///
+/// # Panics
+/// Panics when the transaction reverts.
+pub fn submit_ok(
+    chain: &mut Blockchain,
+    from: Address,
+    to: Address,
+    method: &str,
+    data: Vec<u8>,
+    value: Wei,
+) {
+    chain.submit(Transaction {
+        from,
+        to,
+        value,
+        kind: TxKind::Call {
+            method: method.into(),
+            data,
+        },
+    });
+    let block = chain.mine_block();
+    let (_, receipt) = block.txs.last().expect("tx was submitted");
+    assert_eq!(
+        receipt.status,
+        TxStatus::Success,
+        "{method} reverted: {:?}",
+        receipt.revert_reason
+    );
+}
+
+/// Extracts the latest "challenged" event's beacon bytes from the chain.
+pub fn latest_challenge(chain: &Blockchain, contract: Address) -> Option<Challenge> {
+    chain
+        .all_events()
+        .into_iter()
+        .rev()
+        .find(|e| e.contract == contract && e.name == "challenged")
+        .map(|e| {
+            let mut beacon = [0u8; 48];
+            beacon.copy_from_slice(&e.data);
+            Challenge::from_beacon(&beacon)
+        })
+}
+
+/// Runs one complete audit round for a single session on its own chain.
+/// `honest` controls the provider: `true` posts a valid-format proof over
+/// whatever data it holds, `false` simulates a timeout. Returns whether
+/// the round passed.
+pub fn run_round<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    chain: &mut Blockchain,
+    session: &AuditSession,
+    honest: bool,
+) -> bool {
+    run_round_multi(rng, chain, &[(session, honest)])[0]
+}
+
+/// Runs one audit round for several sessions sharing one chain, in
+/// lockstep: a single time advance fires every session's "Chal" trigger,
+/// all providers respond in the same block window, and a single deadline
+/// pass fires every "Verify". Returns per-session pass flags in input
+/// order.
+///
+/// All sessions must share the same interval/deadline settings (they are
+/// driven by one clock).
+///
+/// # Panics
+/// Panics if a session is missing its challenge or verdict event —
+/// a harness programming error.
+pub fn run_round_multi<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    chain: &mut Blockchain,
+    sessions: &[(&AuditSession, bool)],
+) -> Vec<bool> {
+    assert!(!sessions.is_empty());
+    let interval = sessions[0].0.agreement.audit_interval_secs;
+    let deadline = sessions[0].0.agreement.prove_deadline_secs;
+    // fire all Chal triggers
+    chain.advance_time(interval + 1);
+    chain.mine_block();
+    // all honest providers respond within the same window
+    for (session, honest) in sessions {
+        if *honest {
+            let challenge =
+                latest_challenge(chain, session.contract).expect("challenge event");
+            let proof = session.provider_state.respond(rng, &challenge);
+            submit_ok(chain, session.provider, session.contract, "prove", proof, 0);
+        }
+    }
+    // fire all Verify triggers
+    chain.advance_time(deadline + 1);
+    chain.mine_block();
+    sessions
+        .iter()
+        .map(|(session, _)| {
+            chain
+                .all_events()
+                .into_iter()
+                .rev()
+                .find(|e| {
+                    e.contract == session.contract && (e.name == "pass" || e.name == "fail")
+                })
+                .expect("verdict event")
+                .name
+                == "pass"
+        })
+        .collect()
+}

@@ -1,0 +1,17 @@
+//! # dsaudit-contract
+//!
+//! The on-chain side of the paper: the storage-auditing smart contract
+//! of Fig. 2 (Initialize: negotiated → acked → freeze; Audit:
+//! challenge → prove → verify → pay), deposit management, micro-payment
+//! settlement and dispute handling, plus a multi-user network harness
+//! for the scalability experiments (§VII-D).
+
+pub mod audit_contract;
+pub mod harness;
+pub mod merkle_contract;
+pub mod registry;
+
+pub use audit_contract::{Agreement, AuditContract, Phase, RoundOutcome};
+pub use merkle_contract::{MerkleAuditContract, MerklePhase};
+pub use harness::{run_round, run_round_multi, setup_session, AgreementTerms, AuditSession, ProviderState};
+pub use registry::{AuditNetwork, NetworkStats};

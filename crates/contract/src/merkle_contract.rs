@@ -1,0 +1,376 @@
+//! The Siacoin-style Merkle audit as an on-chain contract (§II) — the
+//! deployed-DSN baseline the paper improves on.
+//!
+//! Same Fig. 2 lifecycle as [`crate::AuditContract`], but the response is
+//! a raw leaf plus its Merkle path. Two measurable drawbacks vs. the
+//! main protocol, both reproduced here:
+//!
+//! 1. **No on-chain privacy** — the challenged leaf is file data in the
+//!    clear, posted to a public chain forever.
+//! 2. **Unbounded proof size** — `leaf + 32 * log2(n)` bytes instead of a
+//!    constant 288 B (and the §II challenge-reuse weakness, demonstrated
+//!    in `dsaudit-merkle`'s `CachingCheater`).
+
+use dsaudit_chain::runtime::{CallEnv, ContractBehavior, VmError};
+use dsaudit_chain::types::{Address, Wei};
+use dsaudit_merkle::audit::{MerkleAudit, MerkleAuditProof};
+use dsaudit_merkle::tree::{MerklePath, Sha256Hasher};
+
+/// Phases (subset of Fig. 2 — negotiation collapsed for brevity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MerklePhase {
+    /// Awaiting both deposits.
+    Freeze,
+    /// Between rounds.
+    Audit,
+    /// Challenge open.
+    Prove,
+    /// Finished.
+    Completed,
+}
+
+/// The baseline contract state.
+pub struct MerkleAuditContract {
+    owner: Address,
+    provider: Address,
+    verifier: MerkleAudit,
+    num_audits: u64,
+    interval_secs: u64,
+    deadline_secs: u64,
+    reward: Wei,
+    penalty: Wei,
+    owner_deposit: Wei,
+    provider_deposit: Wei,
+    phase: MerklePhase,
+    cnt: u64,
+    owner_in: bool,
+    provider_in: bool,
+    owner_pool: Wei,
+    provider_pool: Wei,
+    challenge_rand: Option<[u8; 48]>,
+    pending: Option<MerkleAuditProof>,
+    /// Bytes of proof material persisted on chain so far (for the
+    /// size comparison against the 288-byte main protocol).
+    pub onchain_proof_bytes: usize,
+}
+
+impl MerkleAuditContract {
+    /// Creates the baseline contract over a committed Merkle root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        owner: Address,
+        provider: Address,
+        verifier: MerkleAudit,
+        num_audits: u64,
+        interval_secs: u64,
+        deadline_secs: u64,
+        reward: Wei,
+        penalty: Wei,
+        owner_deposit: Wei,
+        provider_deposit: Wei,
+    ) -> Self {
+        Self {
+            owner,
+            provider,
+            verifier,
+            num_audits,
+            interval_secs,
+            deadline_secs,
+            reward,
+            penalty,
+            owner_deposit,
+            provider_deposit,
+            phase: MerklePhase::Freeze,
+            cnt: 0,
+            owner_in: false,
+            provider_in: false,
+            owner_pool: 0,
+            provider_pool: 0,
+            challenge_rand: None,
+            pending: None,
+            onchain_proof_bytes: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MerklePhase {
+        self.phase
+    }
+
+    fn settle(&mut self, env: &mut CallEnv, passed: bool) {
+        if passed {
+            let reward = self.reward.min(self.owner_pool);
+            self.owner_pool -= reward;
+            env.pay(self.provider, reward);
+            env.emit("pass", self.cnt.to_le_bytes().to_vec());
+        } else {
+            let penalty = self.penalty.min(self.provider_pool);
+            self.provider_pool -= penalty;
+            env.pay(self.owner, penalty);
+            env.emit("fail", self.cnt.to_le_bytes().to_vec());
+        }
+        self.cnt += 1;
+        self.challenge_rand = None;
+        self.pending = None;
+        if self.cnt >= self.num_audits {
+            if self.owner_pool > 0 {
+                env.pay(self.owner, self.owner_pool);
+                self.owner_pool = 0;
+            }
+            if self.provider_pool > 0 {
+                env.pay(self.provider, self.provider_pool);
+                self.provider_pool = 0;
+            }
+            self.phase = MerklePhase::Completed;
+            env.emit("completed", Vec::new());
+        } else {
+            self.phase = MerklePhase::Audit;
+            env.schedule(env.now + self.interval_secs, "Chal");
+        }
+    }
+
+    /// Decodes the wire form `leaf_len (4 B) || leaf || index (8 B) ||
+    /// sibling count (4 B) || 32 B siblings`.
+    fn decode_proof(data: &[u8]) -> Result<MerkleAuditProof, VmError> {
+        let err = |m: &str| VmError::BadCalldata(m.to_string());
+        if data.len() < 16 {
+            return Err(err("short proof"));
+        }
+        let leaf_len = u32::from_le_bytes(data[..4].try_into().expect("sliced")) as usize;
+        let mut off = 4;
+        if data.len() < off + leaf_len + 12 {
+            return Err(err("truncated leaf"));
+        }
+        let leaf_data = data[off..off + leaf_len].to_vec();
+        off += leaf_len;
+        let index = u64::from_le_bytes(data[off..off + 8].try_into().expect("sliced")) as usize;
+        off += 8;
+        let n_sib = u32::from_le_bytes(data[off..off + 4].try_into().expect("sliced")) as usize;
+        off += 4;
+        if data.len() != off + 32 * n_sib || n_sib > 64 {
+            return Err(err("bad sibling section"));
+        }
+        let mut siblings = Vec::with_capacity(n_sib);
+        for i in 0..n_sib {
+            let mut node = [0u8; 32];
+            node.copy_from_slice(&data[off + i * 32..off + (i + 1) * 32]);
+            siblings.push(node);
+        }
+        Ok(MerkleAuditProof {
+            leaf_data,
+            path: MerklePath::<Sha256Hasher> { index, siblings },
+        })
+    }
+
+    /// Encodes a proof to the wire form accepted by `prove`.
+    pub fn encode_proof(proof: &MerkleAuditProof) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + proof.serialized_len());
+        out.extend_from_slice(&(proof.leaf_data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&proof.leaf_data);
+        out.extend_from_slice(&(proof.path.index as u64).to_le_bytes());
+        out.extend_from_slice(&(proof.path.siblings.len() as u32).to_le_bytes());
+        for s in &proof.path.siblings {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+}
+
+impl ContractBehavior for MerkleAuditContract {
+    fn execute(&mut self, env: &mut CallEnv, method: &str, data: &[u8]) -> Result<(), VmError> {
+        match method {
+            "freeze" => {
+                if self.phase != MerklePhase::Freeze {
+                    return Err(VmError::BadState("not in freeze".into()));
+                }
+                if env.caller == self.owner && !self.owner_in {
+                    if env.value != self.owner_deposit {
+                        return Err(VmError::BadValue("owner deposit".into()));
+                    }
+                    self.owner_in = true;
+                    self.owner_pool = env.value;
+                } else if env.caller == self.provider && !self.provider_in {
+                    if env.value != self.provider_deposit {
+                        return Err(VmError::BadValue("provider deposit".into()));
+                    }
+                    self.provider_in = true;
+                    self.provider_pool = env.value;
+                } else {
+                    return Err(VmError::Unauthorized);
+                }
+                if self.owner_in && self.provider_in {
+                    self.phase = MerklePhase::Audit;
+                    env.emit("inited", Vec::new());
+                    env.schedule(env.now + self.interval_secs, "Chal");
+                }
+                Ok(())
+            }
+            "prove" => {
+                if self.phase != MerklePhase::Prove {
+                    return Err(VmError::BadState("no open challenge".into()));
+                }
+                if env.caller != self.provider {
+                    return Err(VmError::Unauthorized);
+                }
+                let proof = Self::decode_proof(data)?;
+                // NOTE: raw leaf bytes are now permanently on chain — the
+                // §II privacy problem in one line.
+                self.onchain_proof_bytes += proof.serialized_len();
+                env.charge_gas(
+                    dsaudit_chain::gas::GasSchedule::default()
+                        .storage_gas(proof.serialized_len() + 48),
+                );
+                self.pending = Some(proof);
+                env.emit("proofposted", self.cnt.to_le_bytes().to_vec());
+                Ok(())
+            }
+            other => Err(VmError::UnknownMethod(other.into())),
+        }
+    }
+
+    fn on_trigger(&mut self, env: &mut CallEnv, tag: &str) -> Result<(), VmError> {
+        match tag {
+            "Chal" => {
+                if self.phase != MerklePhase::Audit {
+                    return Err(VmError::BadState("not auditing".into()));
+                }
+                self.challenge_rand = Some(env.beacon);
+                self.phase = MerklePhase::Prove;
+                env.emit("challenged", env.beacon.to_vec());
+                env.schedule(env.now + self.deadline_secs, "Verify");
+                Ok(())
+            }
+            "Verify" => {
+                if self.phase != MerklePhase::Prove {
+                    return Err(VmError::BadState("no round".into()));
+                }
+                let rand = self.challenge_rand.expect("prove phase has challenge");
+                let passed = match self.pending.take() {
+                    Some(proof) => {
+                        let t0 = std::time::Instant::now();
+                        let ok = self.verifier.verify(&rand, &proof);
+                        env.charge_gas(
+                            dsaudit_chain::gas::GasSchedule::default()
+                                .compute_gas(t0.elapsed().as_secs_f64() * 1e3),
+                        );
+                        ok
+                    }
+                    None => {
+                        env.emit("timeout", self.cnt.to_le_bytes().to_vec());
+                        false
+                    }
+                };
+                self.settle(env, passed);
+                Ok(())
+            }
+            other => Err(VmError::UnknownMethod(other.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsaudit_chain::beacon::TrustedBeacon;
+    use dsaudit_chain::chain::Blockchain;
+    use dsaudit_chain::types::{eth, gwei, Transaction, TxKind, TxStatus};
+    use dsaudit_merkle::audit::honest_response;
+
+    fn call_tx(from: Address, to: Address, method: &str, data: Vec<u8>, value: Wei) -> Transaction {
+        Transaction {
+            from,
+            to,
+            value,
+            kind: TxKind::Call {
+                method: method.into(),
+                data,
+            },
+        }
+    }
+
+    #[test]
+    fn merkle_baseline_full_round_on_chain() {
+        let mut chain = Blockchain::new(Box::new(TrustedBeacon::new(b"merkle-ct")));
+        let owner = Address::from_label("m/owner");
+        let provider = Address::from_label("m/provider");
+        chain.fund_account(owner, eth(2));
+        chain.fund_account(provider, eth(2));
+
+        let file: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        let (verifier, tree, leaves) = MerkleAudit::commit(&file, 64);
+        let contract = MerkleAuditContract::new(
+            owner,
+            provider,
+            verifier.clone(),
+            2,
+            3600,
+            600,
+            gwei(1_000_000),
+            gwei(1_000_000),
+            gwei(2_000_000),
+            gwei(2_000_000),
+        );
+        let addr = chain.deploy("merkle-audit", Box::new(contract));
+
+        // deposits
+        for (who, amt) in [(owner, gwei(2_000_000)), (provider, gwei(2_000_000))] {
+            chain.submit(call_tx(who, addr, "freeze", Vec::new(), amt));
+            let b = chain.mine_block();
+            assert_eq!(b.txs[0].1.status, TxStatus::Success);
+        }
+
+        for _ in 0..2 {
+            // fire challenge
+            chain.advance_time(3601);
+            chain.mine_block();
+            let rand: [u8; 48] = {
+                let ev = chain
+                    .all_events()
+                    .into_iter()
+                    .rev()
+                    .find(|e| e.name == "challenged")
+                    .expect("challenge");
+                ev.data.as_slice().try_into().expect("48 bytes")
+            };
+            // provider answers with leaf + path (raw data on chain!)
+            let idx = verifier.challenge_index(&rand);
+            let proof = honest_response(&tree, &leaves, idx);
+            let wire = MerkleAuditContract::encode_proof(&proof);
+            chain.submit(call_tx(provider, addr, "prove", wire, 0));
+            let b = chain.mine_block();
+            assert_eq!(b.txs[0].1.status, TxStatus::Success, "{:?}", b.txs[0].1.revert_reason);
+            // verdict
+            chain.advance_time(601);
+            chain.mine_block();
+        }
+        let events: Vec<String> = chain.all_events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(events.iter().filter(|n| *n == "pass").count(), 2);
+        assert!(events.contains(&"completed".to_string()));
+    }
+
+    #[test]
+    fn baseline_proof_bigger_than_main_and_leaks() {
+        let file: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        let (verifier, tree, leaves) = MerkleAudit::commit(&file, 64);
+        let idx = verifier.challenge_index(b"r");
+        let proof = honest_response(&tree, &leaves, idx);
+        let wire = MerkleAuditContract::encode_proof(&proof);
+        // 64 B leaf + 7 * 32 B path + framing > 288 B main-protocol proof
+        assert!(wire.len() > dsaudit_core::proof::PRIVATE_PROOF_BYTES);
+        // and the wire bytes contain the raw leaf (the privacy failure)
+        assert!(wire
+            .windows(proof.leaf_data.len())
+            .any(|w| w == proof.leaf_data.as_slice()));
+        // roundtrip through the contract decoder
+        let decoded = MerkleAuditContract::decode_proof(&wire).unwrap();
+        assert_eq!(decoded, proof);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(MerkleAuditContract::decode_proof(&[0u8; 3]).is_err());
+        let mut bad = vec![0u8; 20];
+        bad[0] = 200; // leaf_len larger than buffer
+        assert!(MerkleAuditContract::decode_proof(&bad).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Multi-user orchestration (§VII-D, Fig. 10): many owners auditing
+//! against one or more providers on a single chain.
+
+use dsaudit_chain::chain::Blockchain;
+use dsaudit_core::params::AuditParams;
+
+use crate::harness::{setup_session, AgreementTerms, AuditSession};
+
+/// A population of audit sessions sharing one chain.
+pub struct AuditNetwork {
+    /// The shared chain.
+    pub chain: Blockchain,
+    /// All live sessions.
+    pub sessions: Vec<AuditSession>,
+}
+
+/// Aggregate statistics after driving the network.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Rounds executed in total.
+    pub rounds: u64,
+    /// Rounds that passed.
+    pub passes: u64,
+    /// Rounds that failed.
+    pub failures: u64,
+    /// Total gas consumed by the chain so far.
+    pub total_gas: u64,
+    /// Total chain size in bytes.
+    pub chain_bytes: usize,
+}
+
+impl AuditNetwork {
+    /// Builds a network of `users` sessions with `file_bytes` of data
+    /// each on a fresh chain.
+    pub fn new<R: rand::RngCore + ?Sized>(
+        rng: &mut R,
+        users: usize,
+        file_bytes: usize,
+        params: AuditParams,
+        terms: AgreementTerms,
+    ) -> Self {
+        let mut chain = Blockchain::new(Box::new(dsaudit_chain::beacon::TrustedBeacon::new(
+            b"network",
+        )));
+        let mut sessions = Vec::with_capacity(users);
+        for u in 0..users {
+            let data: Vec<u8> = (0..file_bytes).map(|i| ((i * 31 + u * 7) % 251) as u8).collect();
+            let session = setup_session(
+                rng,
+                &mut chain,
+                &format!("user{u}"),
+                &data,
+                params,
+                None,
+                terms,
+            );
+            sessions.push(session);
+        }
+        Self { chain, sessions }
+    }
+
+    /// Runs one audit round for every session (all honest, in lockstep)
+    /// and returns aggregate stats.
+    pub fn run_round_all<R: rand::RngCore + ?Sized>(&mut self, rng: &mut R) -> NetworkStats {
+        let mut stats = NetworkStats::default();
+        let pairs: Vec<(&AuditSession, bool)> =
+            self.sessions.iter().map(|s| (s, true)).collect();
+        let results = crate::harness::run_round_multi(rng, &mut self.chain, &pairs);
+        for passed in results {
+            stats.rounds += 1;
+            if passed {
+                stats.passes += 1;
+            } else {
+                stats.failures += 1;
+            }
+        }
+        stats.total_gas = self.chain.total_gas_used();
+        stats.chain_bytes = self.chain.total_size_bytes();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_network_round_all_pass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x4e7f);
+        let params = AuditParams::new(4, 3).unwrap();
+        let terms = AgreementTerms {
+            num_audits: 2,
+            ..AgreementTerms::default()
+        };
+        let mut net = AuditNetwork::new(&mut rng, 3, 400, params, terms);
+        let stats = net.run_round_all(&mut rng);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.passes, 3);
+        assert_eq!(stats.failures, 0);
+        assert!(stats.total_gas > 0);
+        assert!(stats.chain_bytes > 0);
+    }
+}

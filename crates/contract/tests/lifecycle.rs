@@ -1,0 +1,243 @@
+//! Integration tests for the full Fig. 2 contract lifecycle: honest runs,
+//! data-loss disputes, timeouts, rejections and payment conservation.
+
+use dsaudit_chain::beacon::TrustedBeacon;
+use dsaudit_chain::chain::Blockchain;
+use dsaudit_chain::types::{eth, Transaction, TxKind, TxStatus};
+use dsaudit_contract::harness::{
+    latest_challenge, run_round, setup_session, submit_ok, AgreementTerms,
+};
+use dsaudit_core::params::AuditParams;
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xc0217ac7)
+}
+
+fn chain() -> Blockchain {
+    Blockchain::new(Box::new(TrustedBeacon::new(b"lifecycle")))
+}
+
+fn params() -> AuditParams {
+    AuditParams::new(4, 3).unwrap()
+}
+
+#[test]
+fn honest_provider_earns_all_rewards() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 3,
+        ..AgreementTerms::default()
+    };
+    let session = setup_session(&mut rng, &mut chain, "honest", &[7u8; 900], params(), None, terms);
+    let provider_before = chain.balance(session.provider);
+
+    for round in 0..3 {
+        let passed = run_round(&mut rng, &mut chain, &session, true);
+        assert!(passed, "round {round} should pass");
+    }
+    // contract completed: provider got deposits back + all rewards
+    let provider_after = chain.balance(session.provider);
+    let expected_gain = terms.provider_deposit + 3 * terms.reward_per_audit;
+    assert_eq!(provider_after - provider_before + terms.provider_deposit, expected_gain + terms.provider_deposit);
+    // completed event emitted
+    assert!(chain
+        .all_events()
+        .iter()
+        .any(|e| e.name == "completed" && e.contract == session.contract));
+}
+
+#[test]
+fn data_loss_pays_the_owner() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 1,
+        ..AgreementTerms::default()
+    };
+    let mut session = setup_session(&mut rng, &mut chain, "loss", &[3u8; 900], params(), None, terms);
+    // provider silently drops a chunk; k >= d so it is always challenged
+    session.provider_state.file.drop_chunk(0);
+    session.provider_state.file.drop_chunk(1);
+    session.provider_state.file.drop_chunk(2);
+
+    let owner_before = chain.balance(session.owner);
+    let passed = run_round(&mut rng, &mut chain, &session, true);
+    assert!(!passed, "corrupted storage must fail the audit");
+    let owner_after = chain.balance(session.owner);
+    // owner got the penalty plus the deposit back (contract completed)
+    assert_eq!(
+        owner_after - owner_before,
+        terms.penalty_per_fail + terms.owner_deposit
+    );
+}
+
+#[test]
+fn timeout_counts_as_failure() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 1,
+        ..AgreementTerms::default()
+    };
+    let session = setup_session(&mut rng, &mut chain, "timeout", &[5u8; 600], params(), None, terms);
+    let passed = run_round(&mut rng, &mut chain, &session, false);
+    assert!(!passed);
+    assert!(chain.all_events().iter().any(|e| e.name == "timeout"));
+}
+
+#[test]
+fn provider_can_reject_negotiation() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms::default();
+    // manual setup up to ack
+    let data = [1u8; 500];
+    let p = params();
+    let (sk, pk) = dsaudit_core::keys::keygen(&mut rng, &p);
+    let file = dsaudit_core::file::EncodedFile::encode(&mut rng, &data, p);
+    let _tags = dsaudit_core::tag::generate_tags(&sk, &file);
+    let owner = dsaudit_chain::types::Address::from_label("rej/owner");
+    let provider = dsaudit_chain::types::Address::from_label("rej/provider");
+    chain.fund_account(owner, eth(10));
+    chain.fund_account(provider, eth(10));
+    let meta = dsaudit_core::verify::FileMeta {
+        name: file.name,
+        num_chunks: file.num_chunks(),
+        k: p.k,
+    };
+    let agreement = dsaudit_contract::Agreement {
+        owner,
+        provider,
+        num_audits: terms.num_audits,
+        audit_interval_secs: terms.audit_interval_secs,
+        prove_deadline_secs: terms.prove_deadline_secs,
+        reward_per_audit: terms.reward_per_audit,
+        penalty_per_fail: terms.penalty_per_fail,
+        owner_deposit: terms.owner_deposit,
+        provider_deposit: terms.provider_deposit,
+    };
+    let addr = chain.deploy("rej", Box::new(dsaudit_contract::AuditContract::new(agreement, pk, meta)));
+    submit_ok(&mut chain, owner, addr, "negotiate", Vec::new(), 0);
+    submit_ok(&mut chain, provider, addr, "reject", Vec::new(), 0);
+    assert!(chain.all_events().iter().any(|e| e.name == "rejected"));
+    // deposits after rejection revert
+    chain.submit(Transaction {
+        from: owner,
+        to: addr,
+        value: terms.owner_deposit,
+        kind: TxKind::Call {
+            method: "freeze".into(),
+            data: Vec::new(),
+        },
+    });
+    let block = chain.mine_block();
+    assert_eq!(block.txs[0].1.status, TxStatus::Reverted);
+}
+
+#[test]
+fn wrong_deposit_amount_rejected() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms::default();
+    let data = [1u8; 500];
+    let p = params();
+    let (_, pk) = dsaudit_core::keys::keygen(&mut rng, &p);
+    let file = dsaudit_core::file::EncodedFile::encode(&mut rng, &data, p);
+    let owner = dsaudit_chain::types::Address::from_label("dep/owner");
+    let provider = dsaudit_chain::types::Address::from_label("dep/provider");
+    chain.fund_account(owner, eth(10));
+    chain.fund_account(provider, eth(10));
+    let meta = dsaudit_core::verify::FileMeta {
+        name: file.name,
+        num_chunks: file.num_chunks(),
+        k: p.k,
+    };
+    let agreement = dsaudit_contract::Agreement {
+        owner,
+        provider,
+        num_audits: terms.num_audits,
+        audit_interval_secs: terms.audit_interval_secs,
+        prove_deadline_secs: terms.prove_deadline_secs,
+        reward_per_audit: terms.reward_per_audit,
+        penalty_per_fail: terms.penalty_per_fail,
+        owner_deposit: terms.owner_deposit,
+        provider_deposit: terms.provider_deposit,
+    };
+    let addr = chain.deploy("dep", Box::new(dsaudit_contract::AuditContract::new(agreement, pk, meta)));
+    submit_ok(&mut chain, owner, addr, "negotiate", Vec::new(), 0);
+    submit_ok(&mut chain, provider, addr, "acked", Vec::new(), 0);
+    // wrong amount
+    chain.submit(Transaction {
+        from: owner,
+        to: addr,
+        value: terms.owner_deposit - 1,
+        kind: TxKind::Call {
+            method: "freeze".into(),
+            data: Vec::new(),
+        },
+    });
+    let block = chain.mine_block();
+    assert_eq!(block.txs[0].1.status, TxStatus::Reverted);
+    assert_eq!(chain.balance(owner), eth(10), "value returned on revert");
+}
+
+#[test]
+fn forged_proof_from_wrong_file_fails() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 1,
+        ..AgreementTerms::default()
+    };
+    let mut session = setup_session(&mut rng, &mut chain, "forge", &[9u8; 900], params(), None, terms);
+    // provider swaps in a different file of the same shape (e.g. serving
+    // someone else's data), keeping the original tags
+    let other = dsaudit_core::file::EncodedFile::encode_with_name(
+        session.provider_state.file.name,
+        &[10u8; 900],
+        params(),
+    );
+    session.provider_state.file = other;
+    let passed = run_round(&mut rng, &mut chain, &session, true);
+    assert!(!passed);
+}
+
+#[test]
+fn challenge_events_carry_valid_beacons() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 2,
+        ..AgreementTerms::default()
+    };
+    let session = setup_session(&mut rng, &mut chain, "beacon", &[2u8; 600], params(), None, terms);
+    chain.advance_time(terms.audit_interval_secs + 1);
+    chain.mine_block();
+    let ch = latest_challenge(&chain, session.contract).expect("challenge");
+    // challenge expansion works and is deterministic
+    let set = ch.expand(session.provider_state.file.num_chunks(), 3);
+    assert_eq!(set.len(), 3);
+}
+
+#[test]
+fn value_conservation_across_full_contract() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 2,
+        ..AgreementTerms::default()
+    };
+    let session = setup_session(&mut rng, &mut chain, "conserve", &[8u8; 700], params(), None, terms);
+    let total_before = chain.balance(session.owner)
+        + chain.balance(session.provider)
+        + chain.balance(session.contract);
+    run_round(&mut rng, &mut chain, &session, true);
+    run_round(&mut rng, &mut chain, &session, false); // timeout round
+    let total_after = chain.balance(session.owner)
+        + chain.balance(session.provider)
+        + chain.balance(session.contract);
+    assert_eq!(total_before, total_after, "wei must be conserved");
+    assert_eq!(chain.balance(session.contract), 0, "contract drained at completion");
+}

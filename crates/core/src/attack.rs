@@ -1,0 +1,336 @@
+//! The on-chain privacy attack of §V-C — and why the main protocol
+//! resists it.
+//!
+//! A passive adversary reads audit trails (challenges + proofs) off the
+//! public blockchain. With the *non-private* response, each trail reveals
+//! one evaluation `y_t = P_k(r_t)` of the degree-(s-1) challenge
+//! polynomial. After `s` trails sharing the same challenged set, Lagrange
+//! interpolation recovers `P_k(x)` entirely — i.e. the challenge-weighted
+//! combinations `sum_i c_i m_{i,j}` of the victim's blocks. With `u >= d`
+//! such recovered combinations under different coefficient vectors, a
+//! d x d linear solve recovers **every raw block** of the file.
+//!
+//! Against the private response `y' = zeta P_k(r) + z`, the same pipeline
+//! collapses: each trail carries a fresh uniform mask `z`, making `y'`
+//! marginally uniform and the "interpolated" polynomial garbage (witness
+//! indistinguishability, Theorem 2).
+
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::poly::DensePoly;
+use dsaudit_algebra::Fr;
+
+use crate::challenge::Challenge;
+use crate::proof::{PlainProof, PrivateProof};
+
+/// One observed audit trail: the public challenge and the posted proof.
+#[derive(Clone, Copy, Debug)]
+pub struct PlainTrail {
+    /// On-chain challenge.
+    pub challenge: Challenge,
+    /// On-chain response.
+    pub proof: PlainProof,
+}
+
+/// One observed private audit trail.
+#[derive(Clone, Copy, Debug)]
+pub struct PrivateTrail {
+    /// On-chain challenge.
+    pub challenge: Challenge,
+    /// On-chain response.
+    pub proof: PrivateProof,
+}
+
+/// Interpolates `P_k(x)` from `>= s` plain trails whose challenges share
+/// the index/coefficient seeds (same `C1`, `C2`) but differ in `r`.
+///
+/// Returns `None` if fewer than `s` distinct evaluation points are
+/// available or the seeds are inconsistent.
+pub fn interpolate_pk(trails: &[PlainTrail], s: usize) -> Option<DensePoly> {
+    if trails.is_empty() {
+        return None;
+    }
+    let (c1, c2) = (trails[0].challenge.c1, trails[0].challenge.c2);
+    let mut points: Vec<(Fr, Fr)> = Vec::new();
+    for t in trails {
+        if t.challenge.c1 != c1 || t.challenge.c2 != c2 {
+            return None;
+        }
+        if points.iter().any(|(x, _)| *x == t.challenge.r) {
+            continue;
+        }
+        points.push((t.challenge.r, t.proof.y));
+    }
+    if points.len() < s {
+        return None;
+    }
+    points.truncate(s);
+    Some(DensePoly::interpolate(&points))
+}
+
+/// Solves a dense linear system `A x = b` over `Fr` by Gaussian
+/// elimination with partial (nonzero) pivoting. Returns `None` for
+/// singular systems.
+///
+/// # Panics
+/// Panics if `a` is not square or does not match `b` in size.
+pub fn solve_linear_system(mut a: Vec<Vec<Fr>>, mut b: Vec<Fr>) -> Option<Vec<Fr>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        let pivot = (col..n).find(|&row| !a[row][col].is_zero())?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = a[col][col].inverse().expect("pivot nonzero");
+        for j in col..n {
+            a[col][j] *= inv;
+        }
+        b[col] *= inv;
+        for row in 0..n {
+            if row != col && !a[row][col].is_zero() {
+                let factor = a[row][col];
+                for j in col..n {
+                    let v = a[col][j];
+                    a[row][j] -= factor * v;
+                }
+                let v = b[col];
+                b[row] -= factor * v;
+            }
+        }
+    }
+    Some(b)
+}
+
+/// Full block-recovery attack: given `u >= d` groups of plain trails
+/// (each group sharing `(C1, C2)` and containing `>= s` distinct `r`),
+/// recovers the complete block matrix `m_{i,j}` of a `d`-chunk file.
+///
+/// `d` is the number of chunks, `s` the chunk size, `k` the per-audit
+/// challenge count; recovery needs the challenge sets to jointly
+/// determine all chunks (guaranteed when `k >= d`, the small-file regime
+/// the paper highlights as the worst case).
+pub fn recover_blocks(
+    groups: &[Vec<PlainTrail>],
+    d: usize,
+    s: usize,
+    k: usize,
+) -> Option<Vec<Vec<Fr>>> {
+    if groups.len() < d {
+        return None;
+    }
+    // Interpolate each group's P_k and record its coefficient vector of
+    // challenge weights per chunk.
+    let mut weight_rows: Vec<Vec<Fr>> = Vec::with_capacity(groups.len());
+    let mut polys: Vec<DensePoly> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let poly = interpolate_pk(g, s)?;
+        let set = g[0].challenge.expand(d, k);
+        let mut row = vec![Fr::zero(); d];
+        for (i, c) in set {
+            row[i as usize] = c;
+        }
+        weight_rows.push(row);
+        polys.push(poly);
+    }
+    // For each block position j, solve: sum_i w_{g,i} m_{i,j} = q_{g,j}
+    let a: Vec<Vec<Fr>> = weight_rows[..d].to_vec();
+    let mut blocks = vec![vec![Fr::zero(); s]; d];
+    for j in 0..s {
+        let b: Vec<Fr> = polys[..d]
+            .iter()
+            .map(|p| p.coeffs().get(j).copied().unwrap_or_else(Fr::zero))
+            .collect();
+        let col = solve_linear_system(a.clone(), b)?;
+        for (i, v) in col.into_iter().enumerate() {
+            blocks[i][j] = v;
+        }
+    }
+    Some(blocks)
+}
+
+/// The same interpolation pipeline applied to *private* trails (treating
+/// `y'` as if it were an evaluation). Returns the garbage polynomial the
+/// adversary would obtain — tests assert it bears no relation to the
+/// data, demonstrating the privacy layer's effect.
+pub fn interpolate_pk_from_private(trails: &[PrivateTrail], s: usize) -> Option<DensePoly> {
+    if trails.len() < s {
+        return None;
+    }
+    let mut points: Vec<(Fr, Fr)> = Vec::new();
+    for t in trails {
+        if points.iter().any(|(x, _)| *x == t.challenge.r) {
+            continue;
+        }
+        points.push((t.challenge.r, t.proof.y_prime));
+    }
+    if points.len() < s {
+        return None;
+    }
+    points.truncate(s);
+    Some(DensePoly::interpolate(&points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::EncodedFile;
+    use crate::keys::keygen;
+    use crate::params::AuditParams;
+    use crate::prove::Prover;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xa77ac4)
+    }
+
+    #[test]
+    fn linear_solver_roundtrip() {
+        let mut rng = rng();
+        let n = 6;
+        let a: Vec<Vec<Fr>> = (0..n)
+            .map(|_| (0..n).map(|_| Fr::random(&mut rng)).collect())
+            .collect();
+        let x: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let b: Vec<Fr> = (0..n)
+            .map(|row| (0..n).fold(Fr::zero(), |acc, col| acc + a[row][col] * x[col]))
+            .collect();
+        assert_eq!(solve_linear_system(a, b).unwrap(), x);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let zero_row = vec![vec![Fr::zero(); 2]; 2];
+        assert!(solve_linear_system(zero_row, vec![Fr::one(), Fr::one()]).is_none());
+    }
+
+    /// End-to-end §V-C attack: full file recovery from public trails.
+    #[test]
+    fn full_attack_recovers_blocks_from_plain_trails() {
+        let mut rng = rng();
+        let s = 4;
+        let params = AuditParams::new(s, 16).unwrap(); // k >= d: worst case
+        let (sk, pk) = keygen(&mut rng, &params);
+        let data: Vec<u8> = (0..500).map(|i| (i * 11 % 256) as u8).collect();
+        let file = EncodedFile::encode(&mut rng, &data, params);
+        let d = file.num_chunks();
+        let tags = crate::tag::generate_tags(&sk, &file);
+        let prover = Prover::new(&pk, &file, &tags);
+
+        // Adversary observes u = d challenge groups; in each, s audits
+        // share (C1, C2) and differ only in r — the paper's observation
+        // model (eclipse-accelerated in the worst case).
+        let mut groups = Vec::new();
+        for g in 0..d {
+            let mut beacon = [0u8; 48];
+            beacon[0] = g as u8;
+            let mut trails = Vec::new();
+            for t in 0..s {
+                let mut b = beacon;
+                b[32] = t as u8 + 1; // varies only the r seed
+                let ch = Challenge::from_beacon(&b);
+                trails.push(PlainTrail {
+                    challenge: ch,
+                    proof: prover.prove_plain(&ch),
+                });
+            }
+            groups.push(trails);
+        }
+
+        let recovered = recover_blocks(&groups, d, s, params.k).expect("attack must succeed");
+        for i in 0..d {
+            assert_eq!(recovered[i], file.chunk(i), "chunk {i} not recovered");
+        }
+    }
+
+    #[test]
+    fn private_trails_resist_the_attack() {
+        let mut rng = rng();
+        let s = 4;
+        let params = AuditParams::new(s, 16).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        let data: Vec<u8> = (0..500).map(|i| (i * 13 % 256) as u8).collect();
+        let file = EncodedFile::encode(&mut rng, &data, params);
+        let tags = crate::tag::generate_tags(&sk, &file);
+        let prover = Prover::new(&pk, &file, &tags);
+
+        // Same observation model, but against the main (private) protocol.
+        let mut trails = Vec::new();
+        for t in 0..s {
+            let mut b = [0u8; 48];
+            b[32] = t as u8 + 1;
+            let ch = Challenge::from_beacon(&b);
+            trails.push(PrivateTrail {
+                challenge: ch,
+                proof: prover.prove_private(&mut rng, &ch),
+            });
+        }
+        let garbage = interpolate_pk_from_private(&trails, s).unwrap();
+
+        // the true P_k for this challenge group
+        let ch0 = trails[0].challenge;
+        let set = ch0.expand(file.num_chunks(), params.k);
+        let mut true_coeffs = vec![Fr::zero(); s];
+        for (i, c) in &set {
+            for (j, m) in file.chunk(*i as usize).iter().enumerate() {
+                true_coeffs[j] += *c * *m;
+            }
+        }
+        let true_pk = DensePoly::from_coeffs(true_coeffs);
+        assert_ne!(
+            garbage, true_pk,
+            "private trails must not interpolate to the true polynomial"
+        );
+        // and not even a single coefficient should match
+        let matching = garbage
+            .coeffs()
+            .iter()
+            .zip(true_pk.coeffs())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert_eq!(matching, 0, "masked trails leaked a coefficient");
+    }
+
+    #[test]
+    fn interpolation_needs_enough_points() {
+        let mut rng = rng();
+        let s = 4;
+        let params = AuditParams::new(s, 8).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        let file = EncodedFile::encode(&mut rng, &[1u8; 300], params);
+        let tags = crate::tag::generate_tags(&sk, &file);
+        let prover = Prover::new(&pk, &file, &tags);
+        let mut trails = Vec::new();
+        for t in 0..s - 1 {
+            let mut b = [0u8; 48];
+            b[32] = t as u8;
+            let ch = Challenge::from_beacon(&b);
+            trails.push(PlainTrail {
+                challenge: ch,
+                proof: prover.prove_plain(&ch),
+            });
+        }
+        assert!(interpolate_pk(&trails, s).is_none());
+    }
+
+    #[test]
+    fn mixed_seed_groups_rejected() {
+        let mut rng = rng();
+        let s = 3;
+        let params = AuditParams::new(s, 8).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        let file = EncodedFile::encode(&mut rng, &[2u8; 300], params);
+        let tags = crate::tag::generate_tags(&sk, &file);
+        let prover = Prover::new(&pk, &file, &tags);
+        let mut trails = Vec::new();
+        for t in 0..s {
+            let mut b = [0u8; 48];
+            b[0] = t as u8; // different C1 per trail: inconsistent group
+            b[32] = t as u8;
+            let ch = Challenge::from_beacon(&b);
+            trails.push(PlainTrail {
+                challenge: ch,
+                proof: prover.prove_plain(&ch),
+            });
+        }
+        assert!(interpolate_pk(&trails, s).is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! File encoding: bytes -> field-element blocks -> chunks/polynomials
+//! (§V-B). A file `F` becomes `n` blocks `m in Z_p`, grouped into
+//! `d = ceil(n/s)` chunks; chunk `i` defines the polynomial
+//! `M_i(x) = m_{i,0} + m_{i,1} x + ... + m_{i,s-1} x^{s-1}`.
+
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::poly::DensePoly;
+use dsaudit_algebra::Fr;
+
+use crate::params::{AuditParams, BLOCK_BYTES};
+
+/// A file encoded for auditing: `d` chunks of `s` blocks each.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedFile {
+    /// Unique on-chain file identifier `name` (sampled from `Z_p`).
+    pub name: Fr,
+    /// Chunking parameters the file was encoded under.
+    pub params: AuditParams,
+    /// Original byte length (for exact decode).
+    pub byte_len: usize,
+    /// Block matrix, chunk-major: `blocks[i][j] = m_{i,j}`; every chunk is
+    /// padded to exactly `s` blocks.
+    blocks: Vec<Vec<Fr>>,
+}
+
+impl EncodedFile {
+    /// Encodes raw bytes (already encrypted by the storage layer — the
+    /// paper mandates owner-side encryption) into auditable blocks.
+    pub fn encode<R: rand::RngCore + ?Sized>(
+        rng: &mut R,
+        data: &[u8],
+        params: AuditParams,
+    ) -> Self {
+        let name = Fr::random(rng);
+        Self::encode_with_name(name, data, params)
+    }
+
+    /// Encodes with a caller-chosen `name` (deterministic; used by tests
+    /// and by re-encoding during disputes).
+    pub fn encode_with_name(name: Fr, data: &[u8], params: AuditParams) -> Self {
+        let s = params.s;
+        let n_blocks = data.len().div_ceil(BLOCK_BYTES).max(1);
+        let d = n_blocks.div_ceil(s);
+        let mut blocks = Vec::with_capacity(d);
+        let mut cursor = 0usize;
+        for _ in 0..d {
+            let mut chunk = Vec::with_capacity(s);
+            for _ in 0..s {
+                let mut buf = [0u8; 32];
+                if cursor < data.len() {
+                    let take = BLOCK_BYTES.min(data.len() - cursor);
+                    buf[32 - BLOCK_BYTES..32 - BLOCK_BYTES + take]
+                        .copy_from_slice(&data[cursor..cursor + take]);
+                    cursor += take;
+                }
+                // 31 data bytes occupy the low 248 bits: always < r
+                chunk.push(Fr::from_bytes_be(&buf).expect("31-byte block fits in Fr"));
+            }
+            blocks.push(chunk);
+        }
+        Self {
+            name,
+            params,
+            byte_len: data.len(),
+            blocks,
+        }
+    }
+
+    /// Number of chunks `d`.
+    pub fn num_chunks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks `n` (including padding of the last chunk).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len() * self.params.s
+    }
+
+    /// The blocks of chunk `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_chunks()`.
+    pub fn chunk(&self, i: usize) -> &[Fr] {
+        &self.blocks[i]
+    }
+
+    /// The chunk polynomial `M_i(x)`.
+    pub fn chunk_poly(&self, i: usize) -> DensePoly {
+        DensePoly::from_coeffs(self.blocks[i].clone())
+    }
+
+    /// Decodes back to the original bytes (inverse of `encode`).
+    pub fn decode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len);
+        'outer: for chunk in &self.blocks {
+            for block in chunk {
+                let bytes = block.to_bytes_be();
+                let start = 32 - BLOCK_BYTES;
+                let remaining = self.byte_len - out.len();
+                let take = BLOCK_BYTES.min(remaining);
+                out.extend_from_slice(&bytes[start..start + take]);
+                if out.len() == self.byte_len {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// Corrupts block `j` of chunk `i` (testing/dispute simulation).
+    pub fn corrupt_block(&mut self, i: usize, j: usize) {
+        self.blocks[i][j] += Fr::one();
+    }
+
+    /// Replaces a whole chunk with zeros (models dropped data).
+    pub fn drop_chunk(&mut self, i: usize) {
+        for b in self.blocks[i].iter_mut() {
+            *b = Fr::zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xf11e)
+    }
+
+    fn params() -> AuditParams {
+        AuditParams::new(4, 2).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = rng();
+        for len in [0usize, 1, 30, 31, 32, 123, 31 * 4, 31 * 4 + 1, 5000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+            let f = EncodedFile::encode(&mut rng, &data, params());
+            assert_eq!(f.decode(), data, "roundtrip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_matches_formula() {
+        let mut rng = rng();
+        let p = params(); // s = 4, 124 bytes per chunk
+        let f = EncodedFile::encode(&mut rng, &[0u8; 500], p);
+        // 500 bytes -> ceil(500/31) = 17 blocks -> ceil(17/4) = 5 chunks
+        assert_eq!(f.num_chunks(), 5);
+        assert_eq!(f.num_blocks(), 20);
+        assert_eq!(f.chunk(0).len(), 4);
+    }
+
+    #[test]
+    fn chunk_poly_evaluates_blocks() {
+        let mut rng = rng();
+        let f = EncodedFile::encode(&mut rng, b"some file content here!", params());
+        let poly = f.chunk_poly(0);
+        // M_0(0) = m_{0,0}
+        assert_eq!(poly.evaluate(Fr::zero()), f.chunk(0)[0]);
+        // M_0(1) = sum of blocks
+        let sum = f
+            .chunk(0)
+            .iter()
+            .fold(Fr::zero(), |acc, b| acc + *b);
+        assert_eq!(poly.evaluate(Fr::one()), sum);
+    }
+
+    #[test]
+    fn corruption_changes_blocks() {
+        let mut rng = rng();
+        let mut f = EncodedFile::encode(&mut rng, &[9u8; 200], params());
+        let before = f.chunk(1)[2];
+        f.corrupt_block(1, 2);
+        assert_ne!(f.chunk(1)[2], before);
+        f.drop_chunk(0);
+        assert!(f.chunk(0).iter().all(Field::is_zero));
+    }
+
+    #[test]
+    fn empty_file_still_has_one_chunk() {
+        let mut rng = rng();
+        let f = EncodedFile::encode(&mut rng, &[], params());
+        assert_eq!(f.num_chunks(), 1);
+        assert_eq!(f.decode(), Vec::<u8>::new());
+    }
+}

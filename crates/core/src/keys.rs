@@ -1,0 +1,246 @@
+//! Key material for the audit protocol (§V-B "Initialize").
+//!
+//! The data owner samples `sk = (x, alpha)` and publishes
+//! `pk = (eps = g2^x, delta = g2^{alpha x}, {g1^{alpha^j}}, g2, e(g1, eps))`.
+//! The `alpha`-powers are the KZG-style commitment key; `x` is the
+//! HLA signing exponent.
+
+use dsaudit_algebra::curve::Projective;
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::G2Affine;
+use dsaudit_algebra::pairing::{pairing, Gt};
+use dsaudit_algebra::Fr;
+
+use crate::params::AuditParams;
+
+/// The data owner's secret key `(x, alpha)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SecretKey {
+    /// HLA signing exponent.
+    pub x: Fr,
+    /// KZG trapdoor.
+    pub alpha: Fr,
+}
+
+impl SecretKey {
+    /// Samples a fresh secret key.
+    pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let x = Fr::random(rng);
+            let alpha = Fr::random(rng);
+            if !x.is_zero() && !alpha.is_zero() {
+                return Self { x, alpha };
+            }
+        }
+    }
+}
+
+/// The public key recorded on chain during contract initialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    /// `eps = g2^x`.
+    pub eps: G2Affine,
+    /// `delta = g2^{alpha x}`.
+    pub delta: G2Affine,
+    /// `{g1^{alpha^j}}` for `j = 0..=s-1` (index 0 is `g1` itself).
+    ///
+    /// The paper lists powers up to `s-2` (all the prover strictly needs
+    /// for the quotient witness); we include the `s-1` power as well so
+    /// the storage provider can validate authenticators with public data
+    /// alone. One extra 32-byte point; accounted in Fig. 4's repro.
+    pub alpha_powers_g1: Vec<G1Affine>,
+    /// Cached `e(g1, eps)` — the base for the Sigma-protocol commitment
+    /// `R = e(g1, eps)^z`. Only needed with on-chain privacy enabled.
+    pub e_g1_eps: Gt,
+}
+
+impl PublicKey {
+    /// Chunking factor `s` this key was generated for.
+    pub fn s(&self) -> usize {
+        self.alpha_powers_g1.len()
+    }
+
+    /// Serializes to the on-chain registration format:
+    /// `s (4 B LE) || eps (64 B) || delta (64 B) || s x 32 B alpha powers
+    /// || 192 B e(g1, eps)`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.serialized_len(true));
+        out.extend_from_slice(&(self.s() as u32).to_le_bytes());
+        out.extend_from_slice(&self.eps.to_compressed());
+        out.extend_from_slice(&self.delta.to_compressed());
+        for p in &self.alpha_powers_g1 {
+            out.extend_from_slice(&p.to_compressed());
+        }
+        out.extend_from_slice(&self.e_g1_eps.to_compressed());
+        out
+    }
+
+    /// Parses the on-chain registration format, validating every group
+    /// element and the consistency `e(g1, eps) == cached GT element`.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let s = u32::from_le_bytes(bytes[..4].try_into().expect("sliced")) as usize;
+        let expect = 4 + 64 + 64 + 32 * s + 192;
+        if bytes.len() != expect || s == 0 || s > 4096 {
+            return None;
+        }
+        let mut off = 4;
+        let eps = G2Affine::from_compressed(bytes[off..off + 64].try_into().expect("sliced"))?;
+        off += 64;
+        let delta = G2Affine::from_compressed(bytes[off..off + 64].try_into().expect("sliced"))?;
+        off += 64;
+        let mut alpha_powers_g1 = Vec::with_capacity(s);
+        for _ in 0..s {
+            alpha_powers_g1
+                .push(G1Affine::from_compressed(bytes[off..off + 32].try_into().expect("sliced"))?);
+            off += 32;
+        }
+        let e_g1_eps = Gt::from_compressed(bytes[off..off + 192].try_into().expect("sliced"))?;
+        // consistency checks a contract would perform once at registration
+        if alpha_powers_g1[0] != G1Affine::generator() {
+            return None;
+        }
+        if pairing(&G1Affine::generator(), &eps) != e_g1_eps {
+            return None;
+        }
+        Some(Self {
+            eps,
+            delta,
+            alpha_powers_g1,
+            e_g1_eps,
+        })
+    }
+
+    /// Serialized size in bytes as recorded on chain (Fig. 4).
+    ///
+    /// Compressed G1 points are 32 bytes, compressed G2 points 64 bytes,
+    /// the cached GT element 192 bytes (torus-compressed). Without
+    /// on-chain privacy the GT element is omitted.
+    pub fn serialized_len(&self, with_privacy: bool) -> usize {
+        let base = 64 + 64 + 32 * self.alpha_powers_g1.len();
+        if with_privacy {
+            base + 192
+        } else {
+            base
+        }
+    }
+}
+
+/// Generates the key pair for chunking factor `params.s`.
+pub fn keygen<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    params: &AuditParams,
+) -> (SecretKey, PublicKey) {
+    let sk = SecretKey::random(rng);
+    let pk = public_key_for(&sk, params.s);
+    (sk, pk)
+}
+
+/// Derives the public key from a secret key (deterministic).
+pub fn public_key_for(sk: &SecretKey, s: usize) -> PublicKey {
+    let g2 = dsaudit_algebra::g2::G2Projective::generator();
+    let eps = g2.mul(sk.x).to_affine();
+    let delta = g2.mul(sk.alpha * sk.x).to_affine();
+    // powers g1^{alpha^j}
+    let mut projs: Vec<G1Projective> = Vec::with_capacity(s);
+    let mut acc = Fr::one();
+    let g1 = G1Projective::generator();
+    for _ in 0..s {
+        projs.push(g1.mul(acc));
+        acc *= sk.alpha;
+    }
+    let alpha_powers_g1 = Projective::batch_to_affine(&projs);
+    let e_g1_eps = pairing(&G1Affine::generator(), &eps);
+    PublicKey {
+        eps,
+        delta,
+        alpha_powers_g1,
+        e_g1_eps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x4e7)
+    }
+
+    #[test]
+    fn keygen_structure() {
+        let mut rng = rng();
+        let params = AuditParams::new(10, 30).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        assert_eq!(pk.s(), 10);
+        assert_eq!(pk.alpha_powers_g1[0], G1Affine::generator());
+        // g1^{alpha} equals generator * alpha
+        assert_eq!(
+            pk.alpha_powers_g1[1],
+            G1Projective::generator().mul(sk.alpha).to_affine()
+        );
+        // eps = g2^x consistency through a pairing identity:
+        // e(g1^alpha, eps) == e(g1, eps)^alpha
+        let lhs = pairing(&pk.alpha_powers_g1[1], &pk.eps);
+        let rhs = pk.e_g1_eps.pow(sk.alpha);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn delta_is_alpha_times_x() {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 2).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        // e(g1, delta) == e(g1, g2)^{alpha x}
+        let lhs = pairing(&G1Affine::generator(), &pk.delta);
+        let rhs = Gt::generator().pow(sk.alpha * sk.x);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn serialized_len_formula() {
+        let mut rng = rng();
+        let params = AuditParams::new(50, 300).unwrap();
+        let (_, pk) = keygen(&mut rng, &params);
+        assert_eq!(pk.serialized_len(false), 64 + 64 + 32 * 50);
+        assert_eq!(pk.serialized_len(true), 64 + 64 + 32 * 50 + 192);
+    }
+
+    #[test]
+    fn public_key_deterministic_from_sk() {
+        let mut rng = rng();
+        let sk = SecretKey::random(&mut rng);
+        assert_eq!(public_key_for(&sk, 8), public_key_for(&sk, 8));
+    }
+
+    #[test]
+    fn public_key_wire_roundtrip() {
+        let mut rng = rng();
+        let params = AuditParams::new(6, 4).unwrap();
+        let (_, pk) = keygen(&mut rng, &params);
+        let bytes = pk.to_bytes();
+        assert_eq!(bytes.len(), 4 + pk.serialized_len(true));
+        let back = PublicKey::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, pk);
+    }
+
+    #[test]
+    fn public_key_rejects_tampering() {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 2).unwrap();
+        let (_, pk) = keygen(&mut rng, &params);
+        let mut bytes = pk.to_bytes();
+        // truncation
+        assert!(PublicKey::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        // swap eps for delta: breaks the pairing consistency check
+        let (a, b) = (4usize, 4 + 64);
+        for i in 0..64 {
+            bytes.swap(a + i, b + i);
+        }
+        assert!(PublicKey::from_bytes(&bytes).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # dsaudit-core
+//!
+//! The primary contribution of the reproduced paper: a privacy-assured,
+//! lightweight on-chain auditing protocol for decentralized storage,
+//! combining homomorphic linear authenticators (HLA), KZG-style
+//! polynomial commitments for succinct constant-cost verification, and a
+//! Sigma-protocol masking layer that keeps audit trails on the public
+//! blockchain private.
+//!
+//! Pipeline: [`keys::keygen`] → [`file::EncodedFile::encode`] →
+//! [`tag::generate_tags`] → per round: [`challenge::Challenge`] →
+//! [`prove::Prover::prove_private`] → [`verify::verify_private`].
+
+pub mod attack;
+pub mod batch;
+pub mod challenge;
+pub mod file;
+pub mod keys;
+pub mod par;
+pub mod params;
+pub mod proof;
+pub mod prove;
+pub mod tag;
+pub mod verify;
+
+pub use challenge::Challenge;
+pub use file::EncodedFile;
+pub use keys::{keygen, PublicKey, SecretKey};
+pub use params::{chunks_for_confidence, confidence_for_chunks, AuditParams};
+pub use proof::{PlainProof, PrivateProof, PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
+pub use prove::{Prover, ProveTimings};
+pub use tag::{generate_tags, verify_tag, verify_tags_batch};
+pub use verify::{verify_plain, verify_private, FileMeta};

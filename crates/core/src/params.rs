@@ -1,0 +1,132 @@
+//! Protocol parameters: the chunking factor `s`, challenge size `k` and
+//! their relationship to storage-confidence levels (§VI-A).
+
+/// Bytes packed into one data block. 31 bytes always fit into a BN254
+/// scalar (`r > 2^248`), so encoding is injective with no reduction.
+pub const BLOCK_BYTES: usize = 31;
+
+/// System-wide audit parameters agreed during contract negotiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditParams {
+    /// Blocks per chunk (`s`). One authenticator covers `s` blocks, so
+    /// provider-side extra storage is `1/s` of the data size; the paper
+    /// finds `s = 50` a sweet spot (Fig. 7).
+    pub s: usize,
+    /// Number of challenged chunks per audit (`k`). `k = 300` gives 95%
+    /// detection confidence at 1% corruption (§VI-A).
+    pub k: usize,
+}
+
+impl Default for AuditParams {
+    fn default() -> Self {
+        Self { s: 50, k: 300 }
+    }
+}
+
+impl AuditParams {
+    /// Creates parameters after validating them.
+    ///
+    /// # Errors
+    /// Returns [`ParamError`] when `s` or `k` is zero, or when `s` exceeds
+    /// the supported maximum (we cap at 4096 to bound public-key size).
+    pub fn new(s: usize, k: usize) -> Result<Self, ParamError> {
+        if s == 0 || k == 0 {
+            return Err(ParamError::Zero);
+        }
+        if s > 4096 {
+            return Err(ParamError::ChunkTooLarge(s));
+        }
+        Ok(Self { s, k })
+    }
+
+    /// Bytes covered by one chunk.
+    pub fn chunk_bytes(&self) -> usize {
+        self.s * BLOCK_BYTES
+    }
+}
+
+/// Errors from parameter validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// `s` and `k` must be positive.
+    Zero,
+    /// Requested `s` exceeds the supported maximum.
+    ChunkTooLarge(usize),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::Zero => write!(f, "audit parameters must be positive"),
+            ParamError::ChunkTooLarge(s) => {
+                write!(f, "chunk factor s = {s} exceeds the supported maximum of 4096")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Number of challenged chunks needed for a given detection confidence
+/// when a `corruption` fraction of chunks is damaged:
+/// `1 - (1 - corruption)^k >= confidence` (the analysis of \[40\] cited in
+/// §VI-A; e.g. 95% confidence at 1% corruption needs k = 299).
+pub fn chunks_for_confidence(confidence: f64, corruption: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&confidence) && corruption > 0.0 && corruption < 1.0,
+        "confidence in [0,1), corruption in (0,1)"
+    );
+    ((1.0 - confidence).ln() / (1.0 - corruption).ln()).ceil() as usize
+}
+
+/// Detection confidence achieved by challenging `k` chunks at a given
+/// corruption fraction.
+pub fn confidence_for_chunks(k: usize, corruption: f64) -> f64 {
+    1.0 - (1.0 - corruption).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_confidence_points() {
+        // "setting k to 300 can give D storage assurance of 95% if only 1%
+        // of entire data is tampered" (§VI-A)
+        let k95 = chunks_for_confidence(0.95, 0.01);
+        assert!((295..=305).contains(&k95), "k95 = {k95}");
+        // Fig. 9 endpoints: 91% -> ~240, 99% -> ~460
+        let k91 = chunks_for_confidence(0.91, 0.01);
+        assert!((235..=245).contains(&k91), "k91 = {k91}");
+        let k99 = chunks_for_confidence(0.99, 0.01);
+        assert!((455..=465).contains(&k99), "k99 = {k99}");
+    }
+
+    #[test]
+    fn confidence_roundtrip() {
+        for conf in [0.91, 0.93, 0.95, 0.97, 0.99] {
+            let k = chunks_for_confidence(conf, 0.01);
+            assert!(confidence_for_chunks(k, 0.01) >= conf);
+            assert!(confidence_for_chunks(k - 1, 0.01) < conf);
+        }
+    }
+
+    #[test]
+    fn param_validation() {
+        assert!(AuditParams::new(50, 300).is_ok());
+        assert_eq!(AuditParams::new(0, 300), Err(ParamError::Zero));
+        assert_eq!(AuditParams::new(50, 0), Err(ParamError::Zero));
+        assert!(matches!(
+            AuditParams::new(5000, 300),
+            Err(ParamError::ChunkTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn default_matches_paper_sweet_spot() {
+        let p = AuditParams::default();
+        assert_eq!(p.s, 50);
+        assert_eq!(p.k, 300);
+        assert_eq!(p.chunk_bytes(), 50 * 31);
+    }
+}

@@ -1,0 +1,193 @@
+//! Proof wire formats and their exact on-chain sizes.
+//!
+//! * [`PlainProof`] — the non-private HLA+KZG response `(sigma, y, psi)`:
+//!   **96 bytes** (the "w/o on-chain privacy" series of Figs. 5, 8, 9).
+//! * [`PrivateProof`] — the paper's main proof `(sigma, y', psi, R)`:
+//!   **288 bytes** = 3 x 32 B (two compressed G1 points and one scalar)
+//!   + 192 B (torus-compressed GT element), exactly the size the paper
+//!   reports per audit.
+
+use dsaudit_algebra::g1::G1Affine;
+use dsaudit_algebra::pairing::Gt;
+use dsaudit_algebra::Fr;
+
+/// Byte length of a serialized [`PlainProof`].
+pub const PLAIN_PROOF_BYTES: usize = 96;
+/// Byte length of a serialized [`PrivateProof`].
+pub const PRIVATE_PROOF_BYTES: usize = 288;
+
+/// Non-private audit response (internal baseline; leaks `P_k(r)`, see
+/// §V-C and [`crate::attack`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlainProof {
+    /// Aggregated authenticator `sigma = prod sigma_i^{c_i}`.
+    pub sigma: G1Affine,
+    /// The polynomial evaluation `y = P_k(r)` — the leaky part.
+    pub y: Fr,
+    /// KZG quotient witness `psi = g1^{(P_k(alpha) - P_k(r))/(alpha - r)}`.
+    pub psi: G1Affine,
+}
+
+/// Privacy-assured audit response (§V-D): the evaluation is masked as
+/// `y' = zeta * P_k(r) + z` with commitment `R = e(g1, eps)^z` and
+/// Fiat–Shamir challenge `zeta = H'(R)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrivateProof {
+    /// Aggregated authenticator.
+    pub sigma: G1Affine,
+    /// Masked evaluation `y' = zeta * P_k(r) + z`.
+    pub y_prime: Fr,
+    /// KZG quotient witness.
+    pub psi: G1Affine,
+    /// Sigma-protocol commitment `R = e(g1, eps)^z`.
+    pub r_commit: Gt,
+}
+
+/// Errors from proof (de)serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProofDecodeError {
+    /// Input had the wrong length.
+    Length { expected: usize, got: usize },
+    /// A group element failed its curve/format check.
+    Malformed,
+}
+
+impl std::fmt::Display for ProofDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofDecodeError::Length { expected, got } => {
+                write!(f, "proof has {got} bytes, expected {expected}")
+            }
+            ProofDecodeError::Malformed => write!(f, "malformed group element in proof"),
+        }
+    }
+}
+
+impl std::error::Error for ProofDecodeError {}
+
+impl PlainProof {
+    /// Serializes to the 96-byte wire format.
+    pub fn to_bytes(&self) -> [u8; PLAIN_PROOF_BYTES] {
+        let mut out = [0u8; PLAIN_PROOF_BYTES];
+        out[..32].copy_from_slice(&self.sigma.to_compressed());
+        out[32..64].copy_from_slice(&self.y.to_bytes_be());
+        out[64..].copy_from_slice(&self.psi.to_compressed());
+        out
+    }
+
+    /// Parses the 96-byte wire format.
+    ///
+    /// # Errors
+    /// Returns [`ProofDecodeError`] on bad length or malformed elements.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProofDecodeError> {
+        if bytes.len() != PLAIN_PROOF_BYTES {
+            return Err(ProofDecodeError::Length {
+                expected: PLAIN_PROOF_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let sigma = G1Affine::from_compressed(bytes[..32].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        let y = Fr::from_bytes_be(bytes[32..64].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        let psi = G1Affine::from_compressed(bytes[64..].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        Ok(Self { sigma, y, psi })
+    }
+}
+
+impl PrivateProof {
+    /// Serializes to the 288-byte wire format.
+    pub fn to_bytes(&self) -> [u8; PRIVATE_PROOF_BYTES] {
+        let mut out = [0u8; PRIVATE_PROOF_BYTES];
+        out[..32].copy_from_slice(&self.sigma.to_compressed());
+        out[32..64].copy_from_slice(&self.y_prime.to_bytes_be());
+        out[64..96].copy_from_slice(&self.psi.to_compressed());
+        out[96..].copy_from_slice(&self.r_commit.to_compressed());
+        out
+    }
+
+    /// Parses the 288-byte wire format.
+    ///
+    /// # Errors
+    /// Returns [`ProofDecodeError`] on bad length or malformed elements.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProofDecodeError> {
+        if bytes.len() != PRIVATE_PROOF_BYTES {
+            return Err(ProofDecodeError::Length {
+                expected: PRIVATE_PROOF_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let sigma = G1Affine::from_compressed(bytes[..32].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        let y_prime = Fr::from_bytes_be(bytes[32..64].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        let psi = G1Affine::from_compressed(bytes[64..96].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        let r_commit = Gt::from_compressed(bytes[96..].try_into().expect("sliced"))
+            .ok_or(ProofDecodeError::Malformed)?;
+        Ok(Self {
+            sigma,
+            y_prime,
+            psi,
+            r_commit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsaudit_algebra::field::Field;
+    use dsaudit_algebra::g1::G1Projective;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x9f)
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let mut rng = rng();
+        let p = PlainProof {
+            sigma: G1Projective::random(&mut rng).to_affine(),
+            y: Fr::random(&mut rng),
+            psi: G1Projective::random(&mut rng).to_affine(),
+        };
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), 96);
+        assert_eq!(PlainProof::from_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn private_roundtrip_is_288_bytes() {
+        let mut rng = rng();
+        let p = PrivateProof {
+            sigma: G1Projective::random(&mut rng).to_affine(),
+            y_prime: Fr::random(&mut rng),
+            psi: G1Projective::random(&mut rng).to_affine(),
+            r_commit: Gt::generator().pow(Fr::random(&mut rng)),
+        };
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), 288, "the paper's headline proof size");
+        assert_eq!(PrivateProof::from_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(matches!(
+            PlainProof::from_bytes(&[0u8; 95]),
+            Err(ProofDecodeError::Length { .. })
+        ));
+        assert!(matches!(
+            PrivateProof::from_bytes(&[0u8; 289]),
+            Err(ProofDecodeError::Length { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let bytes = [0x3fu8; 96];
+        assert!(PlainProof::from_bytes(&bytes).is_err());
+    }
+}

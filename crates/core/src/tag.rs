@@ -1,0 +1,166 @@
+//! Homomorphic authenticator generation and validation (§V-B).
+//!
+//! For chunk `i` with polynomial `M_i(x)`, the data owner computes
+//! `sigma_i = (g1^{M_i(alpha)} * H(name || i))^x`. The storage provider
+//! re-validates received authenticators against the public key before
+//! acknowledging the contract (the paper notes the chance of a forged
+//! authenticator passing this check is negligible).
+
+use dsaudit_algebra::curve::Projective;
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::G2Affine;
+use dsaudit_algebra::msm::msm;
+use dsaudit_algebra::pairing::multi_pairing;
+use dsaudit_algebra::Fr;
+use dsaudit_crypto::prf::index_oracle;
+
+use crate::file::EncodedFile;
+use crate::keys::{PublicKey, SecretKey};
+use crate::par::par_map;
+
+/// Generates all chunk authenticators for a file, in parallel.
+///
+/// Cost per chunk: one `M_i(alpha)` evaluation (`s` field mul-adds), one
+/// hash-to-curve and two scalar multiplications — this is the dominant
+/// cost of the data owner's pre-processing phase (Fig. 7).
+pub fn generate_tags(sk: &SecretKey, file: &EncodedFile) -> Vec<G1Affine> {
+    let d = file.num_chunks();
+    let g1 = G1Projective::generator();
+    let projs = par_map(d, |i| {
+        // M_i(alpha) via Horner
+        let mut eval = Fr::zero();
+        for m in file.chunk(i).iter().rev() {
+            eval = eval * sk.alpha + *m;
+        }
+        let t_i = index_oracle(file.name, i as u64);
+        // (g1^{M_i(alpha)} * t_i)^x = g1^{M_i(alpha) x} * t_i^x
+        g1.mul(eval * sk.x).add(&t_i.mul(sk.x))
+    });
+    Projective::batch_to_affine(&projs)
+}
+
+/// Validates a single authenticator against the public key:
+/// `e(sigma_i, g2) == e(g1^{M_i(alpha)} * t_i, eps)`.
+pub fn verify_tag(pk: &PublicKey, name: Fr, chunk_index: u64, blocks: &[Fr], tag: &G1Affine) -> bool {
+    let s = pk.s();
+    assert!(blocks.len() <= s, "chunk larger than key supports");
+    let commit = msm(&pk.alpha_powers_g1[..blocks.len()], blocks);
+    let base = commit.add_affine(&index_oracle(name, chunk_index)).to_affine();
+    let g2 = G2Affine::generator();
+    // e(sigma, g2) * e(-base, eps) == 1
+    let check = multi_pairing(&[(tag.neg(), g2), (base, pk.eps)]);
+    check.is_identity()
+}
+
+/// Batch-validates all authenticators of a file with a random linear
+/// combination (one pairing product instead of `d`): for random weights
+/// `w_i`, checks `e(prod sigma_i^{w_i}, g2) == e(prod base_i^{w_i}, eps)`.
+///
+/// A forged tag passes only with probability `1/r`.
+pub fn verify_tags_batch<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    pk: &PublicKey,
+    file: &EncodedFile,
+    tags: &[G1Affine],
+) -> bool {
+    let d = file.num_chunks();
+    if tags.len() != d {
+        return false;
+    }
+    let weights: Vec<Fr> = (0..d).map(|_| Fr::random(rng)).collect();
+    // left: prod sigma_i^{w_i}
+    let sigma_agg = msm(tags, &weights);
+    // right: prod (g1^{M_i(alpha)} t_i)^{w_i}
+    //      = g1^{sum_i w_i M_i(alpha)} * prod t_i^{w_i}
+    // sum_i w_i M_i(alpha) has coefficient vector sum_i w_i m_{i,*}
+    let s = pk.s();
+    let mut combined = vec![Fr::zero(); s];
+    for (i, w) in weights.iter().enumerate() {
+        for (j, m) in file.chunk(i).iter().enumerate() {
+            combined[j] += *w * *m;
+        }
+    }
+    let commit = msm(&pk.alpha_powers_g1, &combined);
+    let hashes: Vec<G1Affine> = par_map(d, |i| index_oracle(file.name, i as u64));
+    let hash_agg = msm(&hashes, &weights);
+    let base = commit.add(&hash_agg).to_affine();
+    let g2 = G2Affine::generator();
+    multi_pairing(&[(sigma_agg.to_affine().neg(), g2), (base, pk.eps)]).is_identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::keygen;
+    use crate::params::AuditParams;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x7a6)
+    }
+
+    fn setup() -> (crate::keys::SecretKey, PublicKey, EncodedFile, Vec<G1Affine>) {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 3).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        let data: Vec<u8> = (0..700).map(|i| (i % 251) as u8).collect();
+        let file = EncodedFile::encode(&mut rng, &data, params);
+        let tags = generate_tags(&sk, &file);
+        (sk, pk, file, tags)
+    }
+
+    #[test]
+    fn tags_verify_individually() {
+        let (_, pk, file, tags) = setup();
+        assert_eq!(tags.len(), file.num_chunks());
+        for i in 0..file.num_chunks() {
+            assert!(
+                verify_tag(&pk, file.name, i as u64, file.chunk(i), &tags[i]),
+                "tag {i} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_block_fails_validation() {
+        let (_, pk, mut file, tags) = setup();
+        file.corrupt_block(0, 1);
+        assert!(!verify_tag(&pk, file.name, 0, file.chunk(0), &tags[0]));
+    }
+
+    #[test]
+    fn wrong_index_fails_validation() {
+        let (_, pk, file, tags) = setup();
+        assert!(!verify_tag(&pk, file.name, 1, file.chunk(0), &tags[0]));
+    }
+
+    #[test]
+    fn batch_validation_accepts_honest() {
+        let (_, pk, file, tags) = setup();
+        let mut rng = rng();
+        assert!(verify_tags_batch(&mut rng, &pk, &file, &tags));
+    }
+
+    #[test]
+    fn batch_validation_rejects_forgery() {
+        let (_, pk, file, mut tags) = setup();
+        let mut rng = rng();
+        tags[2] = G1Projective::random(&mut rng).to_affine();
+        assert!(!verify_tags_batch(&mut rng, &pk, &file, &tags));
+    }
+
+    #[test]
+    fn batch_validation_rejects_wrong_count() {
+        let (_, pk, file, mut tags) = setup();
+        let mut rng = rng();
+        tags.pop();
+        assert!(!verify_tags_batch(&mut rng, &pk, &file, &tags));
+    }
+
+    #[test]
+    fn tags_deterministic() {
+        let (sk, _, file, tags) = setup();
+        assert_eq!(generate_tags(&sk, &file), tags);
+    }
+}

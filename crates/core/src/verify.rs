@@ -1,0 +1,263 @@
+//! On-chain proof verification (§V-B Audit / §V-D step 2).
+//!
+//! Both verification equations are evaluated as a single product of three
+//! pairings (sharing one final exponentiation), after folding the two
+//! `eps`-paired terms together:
+//!
+//! * Eq. (1): `e(sigma, g2) * e(g1^{-y} / chi, eps) * e(psi^{-1}, delta * eps^{-r}) == 1`
+//! * Eq. (2): `e(sigma^zeta, g2) * e(g1^{-y'} / chi^zeta, eps) * e(psi^{-zeta}, delta * eps^{-r}) == R^{-1}`
+//!
+//! with `chi = prod H(name || i)^{c_i}` recomputed from public data.
+
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::G2Affine;
+use dsaudit_algebra::msm::msm;
+use dsaudit_algebra::pairing::multi_pairing;
+use dsaudit_algebra::Fr;
+use dsaudit_crypto::prf::{h_prime, index_oracle};
+
+use crate::challenge::Challenge;
+use crate::keys::PublicKey;
+use crate::par::par_map;
+use crate::proof::{PlainProof, PrivateProof};
+
+/// Public metadata the verifier (smart contract) holds about a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// On-chain file identifier.
+    pub name: Fr,
+    /// Number of chunks `d`.
+    pub num_chunks: usize,
+    /// Challenged chunks per audit `k`.
+    pub k: usize,
+}
+
+/// Computes `chi = prod_{(i, c_i)} H(name || i)^{c_i}` from public data.
+pub fn compute_chi(name: Fr, set: &[(u64, Fr)]) -> G1Projective {
+    let hashes: Vec<G1Affine> = par_map(set.len(), |j| index_oracle(name, set[j].0));
+    let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
+    msm(&hashes, &coeffs)
+}
+
+/// `delta * eps^{-r}` — the right-hand G2 point of the KZG check.
+fn delta_eps_neg_r(pk: &PublicKey, r: Fr) -> G2Affine {
+    pk.delta
+        .to_projective()
+        .add(&pk.eps.mul(-r))
+        .to_affine()
+}
+
+/// Verifies the non-private response against Eq. (1).
+pub fn verify_plain(
+    pk: &PublicKey,
+    meta: &FileMeta,
+    challenge: &Challenge,
+    proof: &PlainProof,
+) -> bool {
+    let set = challenge.expand(meta.num_chunks, meta.k);
+    let chi = compute_chi(meta.name, &set);
+    let g2 = G2Affine::generator();
+    // g1^{-y} * chi^{-1}
+    let left_eps = G1Projective::generator()
+        .mul(-proof.y)
+        .add(&chi.neg())
+        .to_affine();
+    let rhs_g2 = delta_eps_neg_r(pk, challenge.r);
+    multi_pairing(&[
+        (proof.sigma, g2),
+        (left_eps, pk.eps),
+        (proof.psi.neg(), rhs_g2),
+    ])
+    .is_identity()
+}
+
+/// Verifies the privacy-assured response against Eq. (2) — the on-chain
+/// check of the paper's main protocol.
+pub fn verify_private(
+    pk: &PublicKey,
+    meta: &FileMeta,
+    challenge: &Challenge,
+    proof: &PrivateProof,
+) -> bool {
+    let set = challenge.expand(meta.num_chunks, meta.k);
+    let chi = compute_chi(meta.name, &set);
+    let zeta = h_prime(&proof.r_commit);
+    let g2 = G2Affine::generator();
+    let sigma_zeta = proof.sigma.mul(zeta).to_affine();
+    // g1^{-y'} * chi^{-zeta}
+    let left_eps = G1Projective::generator()
+        .mul(-proof.y_prime)
+        .add(&chi.mul(zeta).neg())
+        .to_affine();
+    let psi_neg_zeta = proof.psi.mul(-zeta).to_affine();
+    let rhs_g2 = delta_eps_neg_r(pk, challenge.r);
+    let product = multi_pairing(&[
+        (sigma_zeta, g2),
+        (left_eps, pk.eps),
+        (psi_neg_zeta, rhs_g2),
+    ]);
+    product == proof.r_commit.invert()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::EncodedFile;
+    use dsaudit_algebra::field::Field;
+    use crate::keys::keygen;
+    use crate::params::AuditParams;
+    use crate::prove::Prover;
+    use crate::tag::generate_tags;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xe51f)
+    }
+
+    struct Env {
+        pk: PublicKey,
+        file: EncodedFile,
+        tags: Vec<dsaudit_algebra::g1::G1Affine>,
+        meta: FileMeta,
+    }
+
+    fn setup(s: usize, k: usize, len: usize) -> Env {
+        let mut rng = rng();
+        let params = AuditParams::new(s, k).unwrap();
+        let (sk, pk) = keygen(&mut rng, &params);
+        let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        let file = EncodedFile::encode(&mut rng, &data, params);
+        let tags = generate_tags(&sk, &file);
+        let meta = FileMeta {
+            name: file.name,
+            num_chunks: file.num_chunks(),
+            k,
+        };
+        Env {
+            pk,
+            file,
+            tags,
+            meta,
+        }
+    }
+
+    #[test]
+    fn honest_plain_proof_verifies() {
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        for _ in 0..3 {
+            let ch = Challenge::random(&mut rng);
+            let proof = prover.prove_plain(&ch);
+            assert!(verify_plain(&env.pk, &env.meta, &ch, &proof));
+        }
+    }
+
+    #[test]
+    fn honest_private_proof_verifies() {
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        for _ in 0..3 {
+            let ch = Challenge::random(&mut rng);
+            let proof = prover.prove_private(&mut rng, &ch);
+            assert!(verify_private(&env.pk, &env.meta, &ch, &proof));
+        }
+    }
+
+    #[test]
+    fn corrupted_data_fails_both_equations() {
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let mut bad_file = env.file.clone();
+        bad_file.corrupt_block(0, 0);
+        let prover = Prover::new(&env.pk, &bad_file, &env.tags);
+        // challenge until chunk 0 is covered (k=4 of d; loop to be sure)
+        let mut hit = false;
+        for _ in 0..20 {
+            let ch = Challenge::random(&mut rng);
+            let covers = ch
+                .expand(env.meta.num_chunks, env.meta.k)
+                .iter()
+                .any(|(i, _)| *i == 0);
+            let plain_ok = verify_plain(&env.pk, &env.meta, &ch, &prover.prove_plain(&ch));
+            let priv_ok = verify_private(
+                &env.pk,
+                &env.meta,
+                &ch,
+                &prover.prove_private(&mut rng, &ch),
+            );
+            if covers {
+                hit = true;
+                assert!(!plain_ok, "corrupted chunk must fail Eq.(1)");
+                assert!(!priv_ok, "corrupted chunk must fail Eq.(2)");
+            } else {
+                assert!(plain_ok && priv_ok, "untouched chunks must still verify");
+            }
+        }
+        assert!(hit, "no challenge covered the corrupted chunk");
+    }
+
+    #[test]
+    fn dropped_chunk_detected() {
+        let env = setup(4, 8, 1500);
+        let mut rng = rng();
+        let mut bad_file = env.file.clone();
+        bad_file.drop_chunk(1);
+        let prover = Prover::new(&env.pk, &bad_file, &env.tags);
+        // k = 8 >= d, every chunk is always challenged
+        let ch = Challenge::random(&mut rng);
+        assert!(!verify_private(
+            &env.pk,
+            &env.meta,
+            &ch,
+            &prover.prove_private(&mut rng, &ch)
+        ));
+    }
+
+    #[test]
+    fn wrong_challenge_rejected() {
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let ch1 = Challenge::random(&mut rng);
+        let ch2 = Challenge::random(&mut rng);
+        let proof = prover.prove_private(&mut rng, &ch1);
+        assert!(!verify_private(&env.pk, &env.meta, &ch2, &proof));
+    }
+
+    #[test]
+    fn tampered_proof_fields_rejected() {
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let ch = Challenge::random(&mut rng);
+        let good = prover.prove_private(&mut rng, &ch);
+
+        let mut bad = good;
+        bad.y_prime += Fr::one();
+        assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+
+        let mut bad = good;
+        bad.sigma = bad.psi;
+        assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+
+        let mut bad = good;
+        bad.r_commit = bad.r_commit.mul(&dsaudit_algebra::Gt::generator());
+        assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+    }
+
+    #[test]
+    fn replayed_proof_fails_fresh_round() {
+        // A proof for round t must not satisfy round t+1 (fresh r).
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let ch1 = Challenge::random(&mut rng);
+        let proof = prover.prove_plain(&ch1);
+        let mut beacon = [9u8; 48];
+        beacon[47] ^= 0xff;
+        let ch2 = Challenge::from_beacon(&beacon);
+        assert!(!verify_plain(&env.pk, &env.meta, &ch2, &proof));
+    }
+}

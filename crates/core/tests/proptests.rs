@@ -1,0 +1,103 @@
+//! Property-based tests on the audit protocol's invariants.
+
+use dsaudit_core::challenge::Challenge;
+use dsaudit_core::file::EncodedFile;
+use dsaudit_core::keys::keygen;
+use dsaudit_core::params::AuditParams;
+use dsaudit_core::proof::{PlainProof, PrivateProof};
+use dsaudit_core::prove::Prover;
+use dsaudit_core::tag::generate_tags;
+use dsaudit_core::verify::{verify_plain, verify_private, FileMeta};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    // pairing-based cases are expensive; keep the counts modest
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Completeness: any file content, any challenge, honest proofs of
+    /// both kinds verify; serialized forms verify identically.
+    #[test]
+    fn completeness_over_random_files(
+        data in prop::collection::vec(any::<u8>(), 1..1500),
+        seed in any::<u64>(),
+        beacon in any::<[u8; 48]>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = AuditParams::new(4, 3).expect("valid");
+        let (sk, pk) = keygen(&mut rng, &params);
+        let file = EncodedFile::encode(&mut rng, &data, params);
+        prop_assert_eq!(file.decode(), data, "encode/decode roundtrip");
+        let tags = generate_tags(&sk, &file);
+        let meta = FileMeta { name: file.name, num_chunks: file.num_chunks(), k: params.k };
+        let prover = Prover::new(&pk, &file, &tags);
+        let ch = Challenge::from_beacon(&beacon);
+
+        let plain = prover.prove_plain(&ch);
+        prop_assert!(verify_plain(&pk, &meta, &ch, &plain));
+        let private = prover.prove_private(&mut rng, &ch);
+        prop_assert!(verify_private(&pk, &meta, &ch, &private));
+
+        // wire roundtrips
+        let p2 = PlainProof::from_bytes(&plain.to_bytes()).expect("decode");
+        prop_assert_eq!(p2, plain);
+        let q2 = PrivateProof::from_bytes(&private.to_bytes()).expect("decode");
+        prop_assert!(verify_private(&pk, &meta, &ch, &q2));
+    }
+
+    /// Soundness probe: randomly corrupting any single block makes the
+    /// audit fail whenever the containing chunk is challenged.
+    #[test]
+    fn corruption_detected_when_challenged(
+        seed in any::<u64>(),
+        chunk_sel in any::<u16>(),
+        block_sel in 0usize..4,
+        beacon in any::<[u8; 48]>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = AuditParams::new(4, 3).expect("valid");
+        let (sk, pk) = keygen(&mut rng, &params);
+        let file = EncodedFile::encode(&mut rng, &[7u8; 1200], params);
+        let tags = generate_tags(&sk, &file);
+        let meta = FileMeta { name: file.name, num_chunks: file.num_chunks(), k: params.k };
+        let mut bad = file.clone();
+        let target = chunk_sel as usize % file.num_chunks();
+        bad.corrupt_block(target, block_sel);
+        let prover = Prover::new(&pk, &bad, &tags);
+        let ch = Challenge::from_beacon(&beacon);
+        let challenged = ch
+            .expand(meta.num_chunks, meta.k)
+            .iter()
+            .any(|(i, _)| *i as usize == target);
+        let ok = verify_private(&pk, &meta, &ch, &prover.prove_private(&mut rng, &ch));
+        prop_assert_eq!(ok, !challenged);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Challenge expansion: k distinct in-range indices for any beacon.
+    #[test]
+    fn challenge_expansion_invariants(beacon in any::<[u8; 48]>(), d in 1usize..2000, k in 1usize..400) {
+        let ch = Challenge::from_beacon(&beacon);
+        let set = ch.expand(d, k);
+        prop_assert_eq!(set.len(), k.min(d));
+        let mut idx: Vec<u64> = set.iter().map(|(i, _)| *i).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assert_eq!(idx.len(), k.min(d), "indices must be distinct");
+        prop_assert!(idx.iter().all(|&i| (i as usize) < d));
+    }
+
+    /// File encoding is injective and size-formula exact.
+    #[test]
+    fn encoding_shape(data in prop::collection::vec(any::<u8>(), 0..4000), s in 1usize..32) {
+        let params = AuditParams::new(s, 1).expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = EncodedFile::encode(&mut rng, &data, params);
+        let n_blocks = data.len().div_ceil(31).max(1);
+        prop_assert_eq!(f.num_chunks(), n_blocks.div_ceil(s));
+        prop_assert_eq!(f.decode(), data);
+    }
+}

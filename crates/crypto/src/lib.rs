@@ -1,0 +1,22 @@
+//! # dsaudit-crypto
+//!
+//! Symmetric and hash-based primitives for the dsaudit project, all
+//! implemented from scratch: SHA-256 (with NIST vectors), HMAC-SHA-256,
+//! ChaCha20 (RFC 8439 vectors), the audit protocol's random oracles
+//! (`H`, `H'`, PRF `f`, PRP `pi`), the circuit-friendly MiMC hash used by
+//! the SNARK strawman, and a sloth-style VDF for beacon hardening.
+
+pub mod chacha20;
+pub mod hmac;
+pub mod mimc;
+pub mod prf;
+pub mod prp;
+pub mod sha256;
+pub mod vdf;
+
+pub use chacha20::ChaCha20;
+pub use hmac::hmac_sha256;
+pub use mimc::{mimc_hash, mimc_hash2, mimc_permute};
+pub use prf::{h_prime, hash_to_g1, index_oracle, prf_fr};
+pub use prp::SmallDomainPrp;
+pub use sha256::{sha256, sha256_wide, Sha256};

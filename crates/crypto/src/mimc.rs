@@ -1,0 +1,113 @@
+//! MiMC permutation and 2-to-1 hash over `Fr`, for the SNARK-strawman
+//! Merkle circuit (§IV of the paper, implemented with Bellman there).
+//!
+//! Parameters: exponent 5 (a permutation since `gcd(5, r - 1) = 1` for
+//! BN254's scalar field), 110 rounds, round constants derived from
+//! SHA-256. These match common research practice for circuit-friendly
+//! hashing; they are a *simulation-grade* choice, not a production
+//! security claim — see DESIGN.md §7.
+
+use std::sync::OnceLock;
+
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::Fr;
+
+use crate::sha256::sha256_wide;
+
+/// Number of MiMC rounds.
+pub const MIMC_ROUNDS: usize = 110;
+
+/// Round constants `c_i` (with `c_0 = 0`, as is conventional).
+pub fn round_constants() -> &'static [Fr; MIMC_ROUNDS] {
+    static CACHE: OnceLock<[Fr; MIMC_ROUNDS]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut out = [Fr::zero(); MIMC_ROUNDS];
+        for (i, c) in out.iter_mut().enumerate().skip(1) {
+            let mut msg = Vec::with_capacity(24);
+            msg.extend_from_slice(b"dsaudit/mimc/");
+            msg.extend_from_slice(&(i as u64).to_le_bytes());
+            *c = Fr::from_bytes_wide(&sha256_wide(&msg));
+        }
+        out
+    })
+}
+
+/// `x^5` in `Fr`.
+#[inline]
+pub fn pow5(x: Fr) -> Fr {
+    let x2 = x.square();
+    x2.square() * x
+}
+
+/// The keyed MiMC permutation: 110 rounds of `x <- (x + k + c_i)^5`,
+/// followed by a final key addition.
+pub fn mimc_permute(x: Fr, k: Fr) -> Fr {
+    let mut acc = x;
+    for c in round_constants() {
+        acc = pow5(acc + k + *c);
+    }
+    acc + k
+}
+
+/// 2-to-1 compression `hash2(l, r)` in Miyaguchi–Preneel style:
+/// `h = permute(r, permute(l, 0)) + permute(l, 0) + r`.
+pub fn mimc_hash2(l: Fr, r: Fr) -> Fr {
+    let t = mimc_permute(l, Fr::zero());
+    mimc_permute(r, t) + t + r
+}
+
+/// Hashes an arbitrary-length field-element message by chaining
+/// [`mimc_hash2`].
+pub fn mimc_hash(elems: &[Fr]) -> Fr {
+    let mut acc = Fr::from_u64(elems.len() as u64); // length prefix
+    for e in elems {
+        acc = mimc_hash2(acc, *e);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow5_is_a_permutation_probe() {
+        // x^5 injective on a small sample implies no accidental collision
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            let v = pow5(Fr::from_u64(i));
+            assert!(seen.insert(v.to_bytes_be()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn permute_key_and_input_sensitive() {
+        let a = mimc_permute(Fr::from_u64(1), Fr::from_u64(0));
+        let b = mimc_permute(Fr::from_u64(2), Fr::from_u64(0));
+        let c = mimc_permute(Fr::from_u64(1), Fr::from_u64(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash2_not_symmetric() {
+        let l = Fr::from_u64(7);
+        let r = Fr::from_u64(8);
+        assert_ne!(mimc_hash2(l, r), mimc_hash2(r, l));
+    }
+
+    #[test]
+    fn hash_length_prefixed() {
+        // [0] and [0, 0] must differ thanks to the length prefix
+        let one = mimc_hash(&[Fr::zero()]);
+        let two = mimc_hash(&[Fr::zero(), Fr::zero()]);
+        assert_ne!(one, two);
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = mimc_hash(&[Fr::from_u64(1), Fr::from_u64(2)]);
+        let y = mimc_hash(&[Fr::from_u64(1), Fr::from_u64(2)]);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,156 @@
+//! Small-domain pseudorandom permutation `pi` (Definition 2).
+//!
+//! The challenge seed `C1` must be expanded into `k` *distinct* chunk
+//! indices in `[0, d)`. A keyed balanced Feistel network over
+//! `2 * ceil(bits/2)` bits, cycle-walked back into the domain, gives a
+//! permutation of `[0, d)` — so the first `k` outputs are automatically
+//! distinct, exactly the property the paper's `pi` provides.
+
+use crate::hmac::hmac_sha256;
+
+/// Number of Feistel rounds (4 suffice for a PRP in the Luby–Rackoff
+/// sense; we use 7 for comfortable margin).
+const ROUNDS: u32 = 7;
+
+/// A keyed pseudorandom permutation over `[0, domain_size)`.
+#[derive(Clone, Debug)]
+pub struct SmallDomainPrp {
+    key: [u8; 32],
+    domain_size: u64,
+    half_bits: u32,
+}
+
+impl SmallDomainPrp {
+    /// Creates a PRP over `[0, domain_size)` keyed by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `domain_size` is zero.
+    pub fn new(seed: &[u8], domain_size: u64) -> Self {
+        assert!(domain_size > 0, "domain must be non-empty");
+        let bits = 64 - domain_size.saturating_sub(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        Self {
+            key: hmac_sha256(seed, b"dsaudit/prp/key"),
+            domain_size,
+            half_bits,
+        }
+    }
+
+    /// The domain size this PRP permutes.
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    fn round_fn(&self, round: u32, half: u64) -> u64 {
+        let mut msg = [0u8; 12];
+        msg[..4].copy_from_slice(&round.to_le_bytes());
+        msg[4..].copy_from_slice(&half.to_le_bytes());
+        let mac = hmac_sha256(&self.key, &msg);
+        u64::from_le_bytes(mac[..8].try_into().expect("mac is 32 bytes"))
+            & ((1u64 << self.half_bits) - 1)
+    }
+
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (x >> self.half_bits) & mask;
+        let mut right = x & mask;
+        for round in 0..ROUNDS {
+            let (l, r) = (right, left ^ self.round_fn(round, right));
+            left = l;
+            right = r;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Applies the permutation to `x in [0, domain_size)` by cycle
+    /// walking: iterate the wide Feistel until the value lands back in
+    /// the domain (expected < 4 iterations).
+    ///
+    /// # Panics
+    /// Panics if `x >= domain_size`.
+    pub fn permute(&self, x: u64) -> u64 {
+        assert!(x < self.domain_size, "input outside PRP domain");
+        let mut v = self.feistel(x);
+        while v >= self.domain_size {
+            v = self.feistel(v);
+        }
+        v
+    }
+
+    /// The first `k` outputs of the permutation — `k` distinct
+    /// pseudorandom indices, as the audit challenge requires.
+    ///
+    /// # Panics
+    /// Panics if `k > domain_size`.
+    pub fn sample_distinct(&self, k: usize) -> Vec<u64> {
+        assert!(
+            (k as u64) <= self.domain_size,
+            "cannot sample more points than the domain holds"
+        );
+        (0..k as u64).map(|j| self.permute(j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn is_a_permutation_small_domains() {
+        for d in [1u64, 2, 7, 16, 100, 257] {
+            let prp = SmallDomainPrp::new(b"seed", d);
+            let image: HashSet<u64> = (0..d).map(|x| prp.permute(x)).collect();
+            assert_eq!(image.len() as u64, d, "not a bijection for d={d}");
+            assert!(image.iter().all(|&v| v < d));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = SmallDomainPrp::new(b"s1", 1000);
+        let b = SmallDomainPrp::new(b"s1", 1000);
+        let c = SmallDomainPrp::new(b"s2", 1000);
+        assert_eq!(a.permute(17), b.permute(17));
+        let same: usize = (0..100).filter(|&x| a.permute(x) == c.permute(x)).count();
+        assert!(same < 10, "different seeds should disagree almost always");
+    }
+
+    #[test]
+    fn sample_distinct_gives_distinct() {
+        let prp = SmallDomainPrp::new(b"challenge", 5000);
+        let sample = prp.sample_distinct(300);
+        let set: HashSet<u64> = sample.iter().copied().collect();
+        assert_eq!(set.len(), 300);
+        assert!(sample.iter().all(|&v| v < 5000));
+    }
+
+    #[test]
+    fn sample_all_of_tiny_domain() {
+        let prp = SmallDomainPrp::new(b"x", 5);
+        let mut sample = prp.sample_distinct(5);
+        sample.sort_unstable();
+        assert_eq!(sample, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        SmallDomainPrp::new(b"x", 3).sample_distinct(4);
+    }
+
+    #[test]
+    fn spread_looks_uniform() {
+        // crude uniformity check: mean of permuted values near d/2
+        let d = 1u64 << 16;
+        let prp = SmallDomainPrp::new(b"uniform", d);
+        let n = 2000u64;
+        let sum: u64 = (0..n).map(|x| prp.permute(x)).sum();
+        let mean = sum as f64 / n as f64;
+        let expected = d as f64 / 2.0;
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean {mean} too far from {expected}"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! R1CS gadgets: MiMC permutation/hash and Merkle-path membership —
+//! the circuit of the paper's strawman ("the challenged leaf node `m_i`
+//! and the corresponding Merkle path always lead to `rt`").
+//!
+//! The constraint semantics mirror `dsaudit_crypto::mimc` exactly; a
+//! test asserts circuit/native agreement on random inputs.
+
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::Fr;
+use dsaudit_crypto::mimc::{round_constants, MIMC_ROUNDS};
+
+use crate::r1cs::{ConstraintSystem, LinearCombination, Variable};
+
+/// A circuit value: a linear combination plus its concrete assignment.
+#[derive(Clone, Debug)]
+pub struct FrVar {
+    /// Symbolic form.
+    pub lc: LinearCombination,
+    /// Concrete value under the current assignment.
+    pub value: Fr,
+}
+
+impl FrVar {
+    /// Wraps an allocated variable.
+    pub fn from_variable(cs: &ConstraintSystem, v: Variable) -> Self {
+        Self {
+            lc: LinearCombination::from_var(v),
+            value: cs.value(v),
+        }
+    }
+
+    /// A constant.
+    pub fn constant(c: Fr) -> Self {
+        Self {
+            lc: LinearCombination::constant(c),
+            value: c,
+        }
+    }
+
+    /// Symbolic + concrete addition.
+    #[must_use]
+    pub fn add(&self, other: &FrVar) -> FrVar {
+        FrVar {
+            lc: self.lc.clone().add_lc(&other.lc),
+            value: self.value + other.value,
+        }
+    }
+
+    /// Symbolic + concrete subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &FrVar) -> FrVar {
+        FrVar {
+            lc: self.lc.clone().sub_lc(&other.lc),
+            value: self.value - other.value,
+        }
+    }
+}
+
+/// Multiplies two circuit values (one constraint, one fresh witness).
+pub fn mul_vars(cs: &mut ConstraintSystem, a: &FrVar, b: &FrVar) -> FrVar {
+    let out = cs.alloc_witness(a.value * b.value);
+    cs.enforce(
+        a.lc.clone(),
+        b.lc.clone(),
+        LinearCombination::from_var(out),
+    );
+    FrVar::from_variable(cs, out)
+}
+
+/// `x^5` (3 constraints).
+pub fn pow5_gadget(cs: &mut ConstraintSystem, x: &FrVar) -> FrVar {
+    let x2 = mul_vars(cs, x, x);
+    let x4 = mul_vars(cs, &x2, &x2);
+    mul_vars(cs, &x4, x)
+}
+
+/// The keyed MiMC permutation gadget (330 constraints), identical in
+/// semantics to [`dsaudit_crypto::mimc::mimc_permute`].
+pub fn mimc_permute_gadget(cs: &mut ConstraintSystem, x: &FrVar, k: &FrVar) -> FrVar {
+    let mut acc = x.clone();
+    for c in round_constants().iter().take(MIMC_ROUNDS) {
+        let u = acc.add(k).add(&FrVar::constant(*c));
+        acc = pow5_gadget(cs, &u);
+    }
+    acc.add(k)
+}
+
+/// The 2-to-1 MiMC hash gadget, matching
+/// [`dsaudit_crypto::mimc::mimc_hash2`]:
+/// `t = permute(l, 0); out = permute(r, t) + t + r`.
+pub fn mimc_hash2_gadget(cs: &mut ConstraintSystem, l: &FrVar, r: &FrVar) -> FrVar {
+    let zero = FrVar::constant(Fr::zero());
+    let t = mimc_permute_gadget(cs, l, &zero);
+    let inner = mimc_permute_gadget(cs, r, &t);
+    inner.add(&t).add(r)
+}
+
+/// Enforces that `b` is boolean (`b * (1 - b) = 0`).
+pub fn enforce_boolean(cs: &mut ConstraintSystem, b: Variable) {
+    cs.enforce(
+        LinearCombination::from_var(b),
+        LinearCombination::constant(Fr::one()).sub_lc(&LinearCombination::from_var(b)),
+        LinearCombination::zero(),
+    );
+}
+
+/// Synthesizes the strawman's Merkle membership circuit:
+///
+/// * public input: the Merkle root `rt`;
+/// * witnesses: the challenged leaf value, the sibling per level, and
+///   the path direction bits.
+///
+/// The proof convinces the chain that the (hidden) leaf hashes to the
+/// committed root — on-chain privacy for the Merkle audit.
+///
+/// Returns the constraint system ready for setup/prove.
+pub fn merkle_membership_circuit(
+    root: Fr,
+    leaf: Fr,
+    siblings: &[Fr],
+    index: usize,
+) -> ConstraintSystem {
+    let mut cs = ConstraintSystem::new();
+    let root_v = cs.alloc_public(root);
+    let leaf_v = cs.alloc_witness(leaf);
+    let mut cur = FrVar::from_variable(&cs, leaf_v);
+    for (level, sib) in siblings.iter().enumerate() {
+        let bit = (index >> level) & 1 == 1;
+        let b = cs.alloc_witness(if bit { Fr::one() } else { Fr::zero() });
+        enforce_boolean(&mut cs, b);
+        let b_var = FrVar::from_variable(&cs, b);
+        let sib_var = {
+            let v = cs.alloc_witness(*sib);
+            FrVar::from_variable(&cs, v)
+        };
+        // swap = b * (sib - cur); left = cur + swap; right = sib - swap
+        let diff = sib_var.sub(&cur);
+        let swap = mul_vars(&mut cs, &b_var, &diff);
+        let left = cur.add(&swap);
+        let right = sib_var.sub(&swap);
+        cur = mimc_hash2_gadget(&mut cs, &left, &right);
+    }
+    cs.enforce_equal(cur.lc, LinearCombination::from_var(root_v));
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsaudit_crypto::mimc::{mimc_hash2, mimc_permute};
+    use dsaudit_merkle::tree::{MerkleTree, MimcHasher};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x9ad9e7)
+    }
+
+    #[test]
+    fn permute_gadget_matches_native() {
+        let mut rng = rng();
+        let x = Fr::random(&mut rng);
+        let k = Fr::random(&mut rng);
+        let mut cs = ConstraintSystem::new();
+        let xv = cs.alloc_witness(x);
+        let kv = cs.alloc_witness(k);
+        let x_var = FrVar::from_variable(&cs, xv);
+        let k_var = FrVar::from_variable(&cs, kv);
+        let out = mimc_permute_gadget(&mut cs, &x_var, &k_var);
+        assert!(cs.is_satisfied());
+        assert_eq!(out.value, mimc_permute(x, k));
+        assert_eq!(cs.constraints.len(), 3 * MIMC_ROUNDS);
+    }
+
+    #[test]
+    fn hash2_gadget_matches_native() {
+        let mut rng = rng();
+        let l = Fr::random(&mut rng);
+        let r = Fr::random(&mut rng);
+        let mut cs = ConstraintSystem::new();
+        let lv = cs.alloc_witness(l);
+        let rv = cs.alloc_witness(r);
+        let l_var = FrVar::from_variable(&cs, lv);
+        let r_var = FrVar::from_variable(&cs, rv);
+        let out = mimc_hash2_gadget(&mut cs, &l_var, &r_var);
+        assert!(cs.is_satisfied());
+        assert_eq!(out.value, mimc_hash2(l, r));
+    }
+
+    #[test]
+    fn merkle_circuit_accepts_valid_path() {
+        let leaves: Vec<Fr> = (0..16u64).map(Fr::from_u64).collect();
+        let tree = MerkleTree::<MimcHasher>::from_leaves(leaves.clone());
+        for index in [0usize, 5, 15] {
+            let path = tree.open(index);
+            let cs = merkle_membership_circuit(tree.root(), leaves[index], &path.siblings, index);
+            assert!(cs.is_satisfied(), "index {index}");
+        }
+    }
+
+    #[test]
+    fn merkle_circuit_rejects_wrong_leaf() {
+        let leaves: Vec<Fr> = (0..16u64).map(Fr::from_u64).collect();
+        let tree = MerkleTree::<MimcHasher>::from_leaves(leaves.clone());
+        let path = tree.open(3);
+        let cs = merkle_membership_circuit(tree.root(), Fr::from_u64(99), &path.siblings, 3);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn merkle_circuit_rejects_wrong_index_bits() {
+        let leaves: Vec<Fr> = (0..16u64).map(Fr::from_u64).collect();
+        let tree = MerkleTree::<MimcHasher>::from_leaves(leaves.clone());
+        let path = tree.open(3);
+        let cs = merkle_membership_circuit(tree.root(), leaves[3], &path.siblings, 5);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn constraint_count_scales_with_depth() {
+        let leaves: Vec<Fr> = (0..32u64).map(Fr::from_u64).collect();
+        let tree = MerkleTree::<MimcHasher>::from_leaves(leaves.clone());
+        let path = tree.open(0);
+        let cs = merkle_membership_circuit(tree.root(), leaves[0], &path.siblings, 0);
+        // ~2 * 330 + 2 constraints per level, 5 levels, + equality
+        let per_level = 2 * 3 * MIMC_ROUNDS + 2;
+        assert!(cs.constraints.len() >= 5 * per_level);
+        assert!(cs.constraints.len() <= 5 * per_level + 10);
+    }
+}

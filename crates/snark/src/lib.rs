@@ -1,0 +1,18 @@
+//! # dsaudit-snark
+//!
+//! A complete, self-contained Groth16 zk-SNARK over BN254 — the
+//! Bellman-equivalent backend of the paper's §IV strawman: R1CS
+//! construction, QAP via radix-2 FFTs, trusted setup, prover, verifier,
+//! MiMC gadgets, and the full Merkle-membership audit pipeline with a
+//! constraint-padding knob to reproduce the paper's 3x10^5-constraint
+//! circuit profile (Table II).
+
+pub mod gadgets;
+pub mod groth16;
+pub mod r1cs;
+pub mod strawman;
+
+pub use gadgets::{merkle_membership_circuit, mimc_hash2_gadget, mimc_permute_gadget, FrVar};
+pub use groth16::{prove, setup, verify, PreparedVerifier, Proof, ProvingKey, SnarkError, VerifyingKey};
+pub use r1cs::{ConstraintSystem, LinearCombination, Variable};
+pub use strawman::{StrawmanAudit, StrawmanStats};

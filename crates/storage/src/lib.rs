@@ -1,0 +1,16 @@
+//! # dsaudit-storage
+//!
+//! The decentralized storage infrastructure of §III-A, built from
+//! scratch: GF(2^8) arithmetic, systematic Reed–Solomon erasure coding
+//! (any k of n shares reconstruct), a Kademlia-style DHT for provider
+//! lookup and a simulated provider network with upload / download /
+//! repair — the substrate the auditing protocol plugs into.
+
+pub mod dht;
+pub mod erasure;
+pub mod gf256;
+pub mod network;
+
+pub use dht::{DhtNetwork, NodeId, RoutingTable};
+pub use erasure::{ErasureCode, ErasureError, Share};
+pub use network::{FileManifest, ProviderNode, StorageError, StorageNetwork};

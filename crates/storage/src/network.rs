@@ -1,0 +1,299 @@
+//! The DSN storage pipeline (§III-A): owner-side encryption, erasure
+//! coding, DHT-routed placement on provider nodes, retrieval and repair.
+//!
+//! The stack mirrors Tahoe-LAFS (the paper's testbed): data is encrypted
+//! *before* leaving the owner (mandatory in the paper's private-storage
+//! setting), erasure-coded `k`-of-`n`, and each share is placed on the
+//! provider whose DHT id is closest to the share's content address.
+
+use std::collections::HashMap;
+
+use dsaudit_crypto::chacha20::ChaCha20;
+use dsaudit_crypto::sha256::sha256;
+
+use crate::dht::{DhtNetwork, NodeId};
+use crate::erasure::{ErasureCode, ErasureError, Share};
+
+/// A storage provider node: DHT member plus a share store.
+#[derive(Debug, Default)]
+pub struct ProviderNode {
+    shares: HashMap<[u8; 32], Vec<u8>>,
+}
+
+impl ProviderNode {
+    /// Stores a share blob under its key.
+    pub fn put(&mut self, key: [u8; 32], data: Vec<u8>) {
+        self.shares.insert(key, data);
+    }
+
+    /// Retrieves a share blob.
+    pub fn get(&self, key: &[u8; 32]) -> Option<&Vec<u8>> {
+        self.shares.get(key)
+    }
+
+    /// Deletes a share (models data loss / reclamation).
+    pub fn drop_share(&mut self, key: &[u8; 32]) -> bool {
+        self.shares.remove(key).is_some()
+    }
+
+    /// Bytes currently stored.
+    pub fn stored_bytes(&self) -> usize {
+        self.shares.values().map(Vec::len).sum()
+    }
+}
+
+/// Placement record for one uploaded file.
+#[derive(Clone, Debug)]
+pub struct FileManifest {
+    /// Content address of the (encrypted) file.
+    pub content_id: NodeId,
+    /// Original plaintext length.
+    pub plaintext_len: usize,
+    /// Ciphertext length (= plaintext; stream cipher).
+    pub ciphertext_len: usize,
+    /// Where each share went: `(share_index, provider, share_key)`.
+    pub placements: Vec<(usize, NodeId, [u8; 32])>,
+    /// Erasure parameters `(k, n)`.
+    pub code: (usize, usize),
+    /// ChaCha20 nonce used for this file.
+    pub nonce: [u8; 12],
+}
+
+/// Errors from the storage network.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Too few live shares to reconstruct.
+    Erasure(ErasureError),
+    /// A provider in the manifest no longer exists.
+    UnknownProvider(NodeId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Erasure(e) => write!(f, "erasure decode failed: {e}"),
+            StorageError::UnknownProvider(id) => write!(f, "unknown provider {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<ErasureError> for StorageError {
+    fn from(e: ErasureError) -> Self {
+        StorageError::Erasure(e)
+    }
+}
+
+/// The whole simulated DSN: DHT routing plus provider stores.
+pub struct StorageNetwork {
+    /// DHT routing layer.
+    pub dht: DhtNetwork,
+    providers: HashMap<NodeId, ProviderNode>,
+    code: ErasureCode,
+}
+
+impl StorageNetwork {
+    /// Builds a network of `n_providers` nodes with a `(k, n)` erasure
+    /// code (paper example: 3-of-10).
+    pub fn new(n_providers: usize, k: usize, n: usize) -> Self {
+        let mut dht = DhtNetwork::new();
+        let mut providers = HashMap::new();
+        for i in 0..n_providers {
+            let id = NodeId::from_label(&format!("provider-{i}"));
+            dht.join(id);
+            providers.insert(id, ProviderNode::default());
+        }
+        Self {
+            dht,
+            providers,
+            code: ErasureCode::new(k, n),
+        }
+    }
+
+    /// Access a provider node (e.g. to simulate data loss).
+    pub fn provider_mut(&mut self, id: &NodeId) -> Option<&mut ProviderNode> {
+        self.providers.get_mut(id)
+    }
+
+    /// Owner-side upload: encrypt, erasure-code, place shares on the
+    /// `n` providers closest to the content id.
+    pub fn upload(&mut self, key: [u8; 32], nonce: [u8; 12], plaintext: &[u8]) -> FileManifest {
+        let mut ciphertext = plaintext.to_vec();
+        ChaCha20::new(key, nonce).encrypt(&mut ciphertext);
+        let content_id = NodeId::from_content(&ciphertext);
+        let shares = self.code.encode(&ciphertext);
+        let candidates = self.dht.providers_for(&content_id, self.code.n());
+        let mut placements = Vec::with_capacity(shares.len());
+        for share in &shares {
+            let provider = candidates[share.index % candidates.len()];
+            let share_key = share_key(&content_id, share.index);
+            self.providers
+                .get_mut(&provider)
+                .expect("candidate providers exist")
+                .put(share_key, share.data.clone());
+            placements.push((share.index, provider, share_key));
+        }
+        FileManifest {
+            content_id,
+            plaintext_len: plaintext.len(),
+            ciphertext_len: ciphertext.len(),
+            placements,
+            code: (self.code.k(), self.code.n()),
+            nonce,
+        }
+    }
+
+    /// Owner-side download: gather any `k` live shares, decode, decrypt.
+    ///
+    /// # Errors
+    /// Fails when fewer than `k` shares survive.
+    pub fn download(&self, manifest: &FileManifest, key: [u8; 32]) -> Result<Vec<u8>, StorageError> {
+        let mut shares = Vec::new();
+        for (index, provider, share_key) in &manifest.placements {
+            let node = self
+                .providers
+                .get(provider)
+                .ok_or(StorageError::UnknownProvider(*provider))?;
+            if let Some(data) = node.get(share_key) {
+                shares.push(Share {
+                    index: *index,
+                    data: data.clone(),
+                });
+                if shares.len() == manifest.code.0 {
+                    break;
+                }
+            }
+        }
+        let mut ciphertext = self.code.decode(&shares, manifest.ciphertext_len)?;
+        ChaCha20::new(key, manifest.nonce).decrypt(&mut ciphertext);
+        Ok(ciphertext)
+    }
+
+    /// Repair: re-generate and re-place any missing shares from the
+    /// survivors (requires `k` live shares).
+    ///
+    /// # Errors
+    /// Fails when reconstruction is impossible.
+    pub fn repair(&mut self, manifest: &FileManifest, key: [u8; 32]) -> Result<usize, StorageError> {
+        let plaintext = self.download(manifest, key)?;
+        let mut ciphertext = plaintext;
+        ChaCha20::new(key, manifest.nonce).encrypt(&mut ciphertext);
+        let shares = self.code.encode(&ciphertext);
+        let mut repaired = 0;
+        for (index, provider, share_key) in &manifest.placements {
+            let node = self
+                .providers
+                .get_mut(provider)
+                .ok_or(StorageError::UnknownProvider(*provider))?;
+            if node.get(share_key).is_none() {
+                node.put(*share_key, shares[*index].data.clone());
+                repaired += 1;
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// How many of the manifest's shares are currently retrievable.
+    pub fn live_shares(&self, manifest: &FileManifest) -> usize {
+        manifest
+            .placements
+            .iter()
+            .filter(|(_, provider, share_key)| {
+                self.providers
+                    .get(provider)
+                    .map(|p| p.get(share_key).is_some())
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+}
+
+fn share_key(content: &NodeId, index: usize) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(40);
+    buf.extend_from_slice(&content.0);
+    buf.extend_from_slice(&(index as u64).to_le_bytes());
+    sha256(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> StorageNetwork {
+        StorageNetwork::new(20, 3, 10)
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut net = net();
+        let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let manifest = net.upload([1u8; 32], [2u8; 12], &data);
+        assert_eq!(net.live_shares(&manifest), 10);
+        let back = net.download(&manifest, [1u8; 32]).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn wrong_key_garbles_plaintext() {
+        let mut net = net();
+        let data = b"secret archive".to_vec();
+        let manifest = net.upload([1u8; 32], [0u8; 12], &data);
+        let wrong = net.download(&manifest, [9u8; 32]).unwrap();
+        assert_ne!(wrong, data);
+    }
+
+    #[test]
+    fn survives_n_minus_k_losses() {
+        let mut net = net();
+        let data = vec![0x5au8; 3000];
+        let manifest = net.upload([3u8; 32], [4u8; 12], &data);
+        // kill 7 of 10 shares (k = 3 survive)
+        for (_, provider, share_key) in manifest.placements.iter().take(7) {
+            assert!(net.provider_mut(provider).unwrap().drop_share(share_key));
+        }
+        assert_eq!(net.live_shares(&manifest), 3);
+        assert_eq!(net.download(&manifest, [3u8; 32]).unwrap(), data);
+    }
+
+    #[test]
+    fn too_many_losses_fail() {
+        let mut net = net();
+        let data = vec![1u8; 100];
+        let manifest = net.upload([3u8; 32], [4u8; 12], &data);
+        for (_, provider, share_key) in manifest.placements.iter().take(8) {
+            net.provider_mut(provider).unwrap().drop_share(share_key);
+        }
+        assert!(net.download(&manifest, [3u8; 32]).is_err());
+    }
+
+    #[test]
+    fn repair_restores_redundancy() {
+        let mut net = net();
+        let data = vec![7u8; 2222];
+        let manifest = net.upload([8u8; 32], [9u8; 12], &data);
+        for (_, provider, share_key) in manifest.placements.iter().take(6) {
+            net.provider_mut(provider).unwrap().drop_share(share_key);
+        }
+        assert_eq!(net.live_shares(&manifest), 4);
+        let repaired = net.repair(&manifest, [8u8; 32]).unwrap();
+        assert_eq!(repaired, 6);
+        assert_eq!(net.live_shares(&manifest), 10);
+        assert_eq!(net.download(&manifest, [8u8; 32]).unwrap(), data);
+    }
+
+    #[test]
+    fn ciphertext_on_providers_not_plaintext() {
+        // the mandatory owner-side encryption of §III-A: no provider
+        // ever sees plaintext bytes
+        let mut net = net();
+        let data = b"plaintext must never leave the owner".to_vec();
+        let manifest = net.upload([5u8; 32], [6u8; 12], &data);
+        // systematic share 0 holds the first ciphertext bytes
+        let (_, provider, share_key) = &manifest.placements[0];
+        let stored = net.providers[provider].get(share_key).unwrap();
+        assert!(!stored
+            .windows(8)
+            .any(|w| data.windows(8).any(|d| d == w)));
+    }
+}

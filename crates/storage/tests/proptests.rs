@@ -1,0 +1,75 @@
+//! Property-based tests for the storage substrate: GF(256) field axioms,
+//! Reed–Solomon any-k-of-n reconstruction, and end-to-end network
+//! roundtrips under random loss patterns.
+
+use dsaudit_storage::erasure::ErasureCode;
+use dsaudit_storage::gf256;
+use dsaudit_storage::StorageNetwork;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GF(256) field axioms on random triples.
+    #[test]
+    fn gf256_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(a, gf256::mul(b, c)),
+            gf256::mul(gf256::mul(a, b), c)
+        );
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        if a != 0 {
+            prop_assert_eq!(gf256::div(gf256::mul(a, b), a), b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any k-subset of shares reconstructs the data exactly.
+    #[test]
+    fn any_k_of_n_reconstructs(
+        data in prop::collection::vec(any::<u8>(), 1..800),
+        k in 2usize..5,
+        extra in 1usize..6,
+        pick_seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let code = ErasureCode::new(k, n);
+        let shares = code.encode(&data);
+        // pseudo-random k-subset
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = pick_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let picked: Vec<_> = order[..k].iter().map(|&i| shares[i].clone()).collect();
+        prop_assert_eq!(code.decode(&picked, data.len()).expect("decode"), data);
+    }
+
+    /// The network survives any loss pattern leaving >= k shares.
+    #[test]
+    fn network_survives_losses(
+        data in prop::collection::vec(any::<u8>(), 1..2000),
+        kill_mask in any::<u16>(),
+        key in any::<[u8; 32]>(),
+    ) {
+        let mut net = StorageNetwork::new(15, 3, 10);
+        let manifest = net.upload(key, [0u8; 12], &data);
+        let mut killed = 0;
+        for (bit, (_, provider, share_key)) in manifest.placements.iter().enumerate() {
+            if killed < 7 && (kill_mask >> bit) & 1 == 1 {
+                net.provider_mut(provider).unwrap().drop_share(share_key);
+                killed += 1;
+            }
+        }
+        prop_assert!(net.live_shares(&manifest) >= 3);
+        prop_assert_eq!(net.download(&manifest, key).expect("recoverable"), data);
+    }
+}

@@ -1,0 +1,118 @@
+//! The §V-C on-chain privacy attack, live.
+//!
+//! An off-chain adversary passively reads audit trails from the public
+//! blockchain. Against the *non-private* HLA response it interpolates
+//! the challenge polynomial from `s` trails and then solves a linear
+//! system to recover **every raw block** of the victim's file. Against
+//! the paper's private (Sigma-masked) response the identical pipeline
+//! produces garbage.
+//!
+//! ```text
+//! cargo run --release --example adversary
+//! ```
+
+use dsaudit::core::attack::{
+    interpolate_pk_from_private, recover_blocks, PlainTrail, PrivateTrail,
+};
+use dsaudit::core::challenge::Challenge;
+use dsaudit::core::file::EncodedFile;
+use dsaudit::core::keys::keygen;
+use dsaudit::core::params::AuditParams;
+use dsaudit::core::prove::Prover;
+use dsaudit::core::tag::generate_tags;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let s = 8;
+    let params = AuditParams::new(s, 64).expect("valid");
+    let (sk, pk) = keygen(&mut rng, &params);
+
+    let secret = b"TOP SECRET: merger documents, Q3 financials, passport scans.....";
+    let file = EncodedFile::encode(&mut rng, secret, params);
+    let d = file.num_chunks();
+    let tags = generate_tags(&sk, &file);
+    let prover = Prover::new(&pk, &file, &tags);
+    println!(
+        "victim stores {} bytes as {} chunks of s = {} blocks; contract audits daily\n",
+        secret.len(),
+        d,
+        s
+    );
+
+    // ---- phase 1: the adversary records non-private audit trails ----
+    println!("== attack on the NON-PRIVATE response (Eq. 1 trails) ==");
+    let mut groups = Vec::new();
+    for g in 0..d {
+        let mut trails = Vec::new();
+        for t in 0..s {
+            let mut beacon = [0u8; 48];
+            beacon[0] = g as u8; // same (C1, C2) within a group
+            beacon[32] = t as u8 + 1; // fresh r each round
+            let ch = Challenge::from_beacon(&beacon);
+            trails.push(PlainTrail {
+                challenge: ch,
+                proof: prover.prove_plain(&ch),
+            });
+        }
+        groups.push(trails);
+    }
+    println!(
+        "observed {} trails ({} groups x {} rounds) from the public chain",
+        d * s,
+        d,
+        s
+    );
+    let blocks = recover_blocks(&groups, d, s, params.k).expect("attack succeeds");
+    let mut recovered = Vec::new();
+    for (i, chunk) in blocks.iter().enumerate() {
+        let real = file.chunk(i);
+        assert_eq!(chunk, real, "chunk {i}");
+        for b in chunk {
+            let bytes = b.to_bytes_be();
+            recovered.extend_from_slice(&bytes[1..]); // 31 payload bytes
+        }
+    }
+    recovered.truncate(secret.len());
+    println!(
+        "RECOVERED PLAINTEXT: {:?}\n",
+        String::from_utf8_lossy(&recovered)
+    );
+    assert_eq!(&recovered, secret);
+
+    // ---- phase 2: same pipeline against the private protocol ----
+    println!("== same attack on the PRIVATE response (the paper's protocol) ==");
+    let mut trails = Vec::new();
+    for t in 0..s {
+        let mut beacon = [0u8; 48];
+        beacon[32] = t as u8 + 1;
+        let ch = Challenge::from_beacon(&beacon);
+        trails.push(PrivateTrail {
+            challenge: ch,
+            proof: prover.prove_private(&mut rng, &ch),
+        });
+    }
+    let garbage = interpolate_pk_from_private(&trails, s).expect("interpolates to *something*");
+    // compare against the true polynomial coefficients
+    let ch0 = trails[0].challenge;
+    let set = ch0.expand(d, params.k);
+    let mut truth = vec![dsaudit::algebra::Fr::zero(); s];
+    use dsaudit::algebra::field::Field;
+    for (i, c) in &set {
+        for (j, m) in file.chunk(*i as usize).iter().enumerate() {
+            truth[j] += *c * *m;
+        }
+    }
+    let hits = garbage
+        .coeffs()
+        .iter()
+        .zip(&truth)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "interpolated 'polynomial' matches the real one in {hits}/{s} coefficients \
+         (each trail carries a fresh uniform mask z; y' reveals nothing)"
+    );
+    assert_eq!(hits, 0);
+    println!("attack defeated: the 288-byte private proof leaks no data");
+}

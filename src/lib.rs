@@ -1,0 +1,47 @@
+//! # dsaudit — privacy-assured, lightweight on-chain auditing of decentralized storage
+//!
+//! Facade crate re-exporting the full workspace: a reproduction of the
+//! ICDCS 2020 paper "Towards Privacy-assured and Lightweight On-chain
+//! Auditing of Decentralized Storage" together with every substrate it
+//! depends on, implemented from scratch.
+//!
+//! ## Map
+//!
+//! * [`algebra`] — BN254 pairing curve, field tower, MSM, FFT, polynomials
+//! * [`crypto`] — SHA-256 / HMAC / ChaCha20 / PRF / PRP / MiMC / sloth VDF
+//! * [`core`] — the paper's audit protocol (HLA + KZG + Sigma masking)
+//! * [`merkle`] — Merkle trees and the Siacoin-style audit baseline
+//! * [`snark`] — Groth16 with the MiMC Merkle circuit (the §IV strawman)
+//! * [`chain`] — Ethereum-like simulator: gas, beacons, scheduler, costs
+//! * [`contract`] — the Fig. 2 audit smart contract and multi-user harness
+//! * [`storage`] — erasure-coded, DHT-routed decentralized storage network
+//!
+//! ## One audit round
+//!
+//! ```
+//! use dsaudit::core::{challenge::Challenge, file::EncodedFile, keys::keygen,
+//!     params::AuditParams, prove::Prover, tag::generate_tags,
+//!     verify::{verify_private, FileMeta}};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let params = AuditParams::new(8, 4)?;
+//! let (sk, pk) = keygen(&mut rng, &params);
+//! let file = EncodedFile::encode(&mut rng, b"archive bytes", params);
+//! let tags = generate_tags(&sk, &file);
+//! let meta = FileMeta { name: file.name, num_chunks: file.num_chunks(), k: params.k };
+//!
+//! let challenge = Challenge::random(&mut rng);              // from the beacon
+//! let proof = Prover::new(&pk, &file, &tags).prove_private(&mut rng, &challenge);
+//! assert!(verify_private(&pk, &meta, &challenge, &proof));  // on chain, 288 bytes
+//! # Ok::<(), dsaudit::core::params::ParamError>(())
+//! ```
+
+pub use dsaudit_algebra as algebra;
+pub use dsaudit_chain as chain;
+pub use dsaudit_contract as contract;
+pub use dsaudit_core as core;
+pub use dsaudit_crypto as crypto;
+pub use dsaudit_merkle as merkle;
+pub use dsaudit_snark as snark;
+pub use dsaudit_storage as storage;

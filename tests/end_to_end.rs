@@ -1,0 +1,119 @@
+//! Cross-crate integration: the full pipeline from raw bytes through
+//! the storage network, the audit protocol and the on-chain contract.
+
+use dsaudit::chain::beacon::TrustedBeacon;
+use dsaudit::chain::chain::Blockchain;
+use dsaudit::contract::harness::{run_round, setup_session, AgreementTerms};
+use dsaudit::core::params::AuditParams;
+use dsaudit::storage::StorageNetwork;
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xe2e)
+}
+
+/// Upload through the DSN, then audit the *ciphertext shares* a provider
+/// holds — auditing is storage-layer-agnostic by design.
+#[test]
+fn dsn_upload_then_audit_share() {
+    let mut rng = rng();
+    // storage layer
+    let mut dsn = StorageNetwork::new(12, 3, 10);
+    let data: Vec<u8> = (0..40_000).map(|i| (i * 7 % 251) as u8).collect();
+    let key = [9u8; 32];
+    let manifest = dsn.upload(key, [2u8; 12], &data);
+    assert_eq!(dsn.download(&manifest, key).unwrap(), data);
+
+    // audit layer over one share's bytes (the provider's actual holdings)
+    let params = AuditParams::new(8, 16).unwrap();
+    let (sk, pk) = dsaudit::core::keys::keygen(&mut rng, &params);
+    let share_bytes: Vec<u8> = {
+        // reconstruct what provider 0 stores via download of one share:
+        // use the systematic share = first third of the ciphertext
+        let mut ct = data.clone();
+        dsaudit::crypto::ChaCha20::new(key, manifest.nonce).encrypt(&mut ct);
+        ct[..ct.len() / 3].to_vec()
+    };
+    let file = dsaudit::core::file::EncodedFile::encode(&mut rng, &share_bytes, params);
+    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
+    let meta = dsaudit::core::verify::FileMeta {
+        name: file.name,
+        num_chunks: file.num_chunks(),
+        k: params.k,
+    };
+    let prover = dsaudit::core::prove::Prover::new(&pk, &file, &tags);
+    let ch = dsaudit::core::challenge::Challenge::random(&mut rng);
+    let proof = prover.prove_private(&mut rng, &ch);
+    assert!(dsaudit::core::verify::verify_private(&pk, &meta, &ch, &proof));
+}
+
+/// The contract pays out correctly across a mixed honest/dishonest run.
+#[test]
+fn contract_settles_mixed_run() {
+    let mut rng = rng();
+    let mut chain = Blockchain::new(Box::new(TrustedBeacon::new(b"mixed")));
+    let params = AuditParams::new(4, 8).unwrap(); // k >= d: full coverage
+    let terms = AgreementTerms {
+        num_audits: 3,
+        ..AgreementTerms::default()
+    };
+    let mut session = setup_session(
+        &mut rng,
+        &mut chain,
+        "mixed",
+        &[0x42u8; 800],
+        params,
+        None,
+        terms,
+    );
+    assert!(run_round(&mut rng, &mut chain, &session, true));
+    // drop everything -> guaranteed fail
+    for i in 0..session.provider_state.file.num_chunks() {
+        session.provider_state.file.drop_chunk(i);
+    }
+    assert!(!run_round(&mut rng, &mut chain, &session, true));
+    assert!(!run_round(&mut rng, &mut chain, &session, false)); // timeout
+    // one pass + two fails settled; contract completed
+    let events: Vec<String> = chain
+        .all_events()
+        .iter()
+        .map(|e| e.name.clone())
+        .collect();
+    assert_eq!(events.iter().filter(|n| *n == "pass").count(), 1);
+    assert_eq!(events.iter().filter(|n| *n == "fail").count(), 2);
+    assert!(events.contains(&"completed".to_string()));
+}
+
+/// 288-byte proofs decoded from the wire verify identically.
+#[test]
+fn wire_roundtrip_preserves_verification() {
+    let mut rng = rng();
+    let params = AuditParams::new(6, 5).unwrap();
+    let (sk, pk) = dsaudit::core::keys::keygen(&mut rng, &params);
+    let file = dsaudit::core::file::EncodedFile::encode(&mut rng, &[5u8; 3000], params);
+    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
+    let meta = dsaudit::core::verify::FileMeta {
+        name: file.name,
+        num_chunks: file.num_chunks(),
+        k: params.k,
+    };
+    let prover = dsaudit::core::prove::Prover::new(&pk, &file, &tags);
+    let ch = dsaudit::core::challenge::Challenge::random(&mut rng);
+    let proof = prover.prove_private(&mut rng, &ch);
+    let bytes = proof.to_bytes();
+    assert_eq!(bytes.len(), 288);
+    let decoded = dsaudit::core::proof::PrivateProof::from_bytes(&bytes).unwrap();
+    assert!(dsaudit::core::verify::verify_private(&pk, &meta, &ch, &decoded));
+}
+
+/// Beacon-driven challenges from the chain expand identically for
+/// prover and verifier (determinism across the wire).
+#[test]
+fn challenge_determinism_across_actors() {
+    let mut beacon = TrustedBeacon::new(b"shared");
+    use dsaudit::chain::beacon::Beacon;
+    let bytes = beacon.randomness(5);
+    let c1 = dsaudit::core::challenge::Challenge::from_beacon(&bytes);
+    let c2 = dsaudit::core::challenge::Challenge::from_beacon(&bytes);
+    assert_eq!(c1.expand(1000, 300), c2.expand(1000, 300));
+}

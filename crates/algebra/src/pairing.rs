@@ -82,7 +82,7 @@ pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
         r = r2;
         if (ATE_LOOP_COUNT >> i) & 1 == 1 {
             let (line, radd) = line_and_add(&r, &q_emb, &xt, &yt);
-            f = f * line;
+            f *= line;
             r = radd;
         }
     }
@@ -96,7 +96,7 @@ pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
         y: -q1.y.frobenius(1),
     };
     let (line, r1) = line_and_add(&r, &q1, &xt, &yt);
-    f = f * line;
+    f *= line;
     let (line, _) = line_and_add(&r1, &nq2, &xt, &yt);
     f * line
 }
@@ -180,7 +180,7 @@ pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
 pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Gt {
     let mut f = Fq12::one();
     for (p, q) in pairs {
-        f = f * miller_loop(p, q);
+        f *= miller_loop(p, q);
     }
     final_exponentiation(&f)
 }

@@ -6,7 +6,25 @@
 //! cargo run --release -p dsaudit-bench --bin repro -- fig7 --mb 32
 //! ```
 
-use dsaudit_bench::{figures, tables};
+use dsaudit_bench::{figures, json, tables};
+
+/// Measures the compact metric set and writes `BENCH_repro.json` at the
+/// workspace root (not the cwd, so the tracked snapshot always updates).
+fn emit_json() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
+    match json::emit(path) {
+        Ok(metrics) => {
+            println!("wrote {path}:");
+            for m in &metrics {
+                println!("  {:<28} {:>12.3} {}", m.name, m.value, m.unit);
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +51,7 @@ fn main() {
         "costs" => figures::costs(),
         "attack" => figures::attack_demo(),
         "baseline" => figures::baseline(),
+        "json" => emit_json(),
         "all" => {
             tables::table1();
             divider();
@@ -57,10 +76,12 @@ fn main() {
             figures::baseline();
             divider();
             figures::attack_demo();
+            divider();
+            emit_json();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|costs|baseline|attack|all] [--full] [--mb N]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|costs|baseline|attack|json|all] [--full] [--mb N]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,155 @@
+//! Machine-readable benchmark snapshot.
+//!
+//! `repro` (and `repro json`) writes `BENCH_repro.json` at the workspace
+//! root so every PR leaves a comparable perf record: proof sizes, the
+//! measured hot-path latencies, and the derived gas figure. Hand-rolled
+//! serialization — the build environment has no registry access, so no
+//! serde.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dsaudit_core::params::AuditParams;
+use dsaudit_core::proof::{PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
+use dsaudit_core::tag::generate_tags;
+
+use crate::{measure_verify_ms, preprocess_throughput_mb_s, rng, time_mean, Env};
+
+/// One measured metric: a name and a value with a unit.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    /// Snake-case metric name.
+    pub name: &'static str,
+    /// Unit label (e.g. `"ms"`, `"MB/s"`, `"bytes"`).
+    pub unit: &'static str,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Runs the compact benchmark set the JSON snapshot reports.
+pub fn collect_metrics() -> Vec<Metric> {
+    let mut out = Vec::new();
+
+    out.push(Metric {
+        name: "plain_proof_bytes",
+        unit: "bytes",
+        value: PLAIN_PROOF_BYTES as f64,
+    });
+    out.push(Metric {
+        name: "private_proof_bytes",
+        unit: "bytes",
+        value: PRIVATE_PROOF_BYTES as f64,
+    });
+
+    // Hot path 1: tag generation (data-owner pre-processing, Fig. 7).
+    out.push(Metric {
+        name: "preprocess_s50_throughput",
+        unit: "MB/s",
+        value: preprocess_throughput_mb_s(50, 2 * 1024 * 1024),
+    });
+
+    // Hot path 2: proving, both variants (Figs. 8, 9).
+    let env = Env::new(1024 * 1024, AuditParams::default());
+    let prover = env.prover();
+    let ch = env.challenge();
+    let mut r = rng();
+    let t_priv = time_mean(3, || {
+        let _ = prover.prove_private(&mut r, &ch);
+    });
+    let t_plain = time_mean(3, || {
+        let _ = prover.prove_plain(&ch);
+    });
+    out.push(Metric {
+        name: "prove_private_1mib",
+        unit: "ms",
+        value: t_priv.as_secs_f64() * 1e3,
+    });
+    out.push(Metric {
+        name: "prove_plain_1mib",
+        unit: "ms",
+        value: t_plain.as_secs_f64() * 1e3,
+    });
+
+    // Hot path 3: on-chain verification (Fig. 5 / Table II).
+    let v_priv = measure_verify_ms(&env, true, 5);
+    let v_plain = measure_verify_ms(&env, false, 5);
+    out.push(Metric {
+        name: "verify_private",
+        unit: "ms",
+        value: v_priv,
+    });
+    out.push(Metric {
+        name: "verify_plain",
+        unit: "ms",
+        value: v_plain,
+    });
+    let gas = dsaudit_chain::gas::GasSchedule::default();
+    out.push(Metric {
+        name: "audit_gas_private",
+        unit: "gas",
+        value: gas.audit_gas(PRIVATE_PROOF_BYTES, v_priv) as f64,
+    });
+
+    // Hot path 4: tag generation latency at default params (absolute).
+    let t0 = Instant::now();
+    let tags = generate_tags(&env.sk, &env.file);
+    out.push(Metric {
+        name: "tag_gen_1mib",
+        unit: "ms",
+        value: t0.elapsed().as_secs_f64() * 1e3,
+    });
+    assert_eq!(tags.len(), env.file.num_chunks());
+
+    out
+}
+
+/// Serializes metrics as a stable, pretty-printed JSON object.
+pub fn to_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"dsaudit-bench-v1\",\n  \"metrics\": {\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"value\": {:.4}, \"unit\": \"{}\" }}{}\n",
+            m.name, m.value, m.unit, comma
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Measures and writes the snapshot to `path`, returning the metrics.
+///
+/// # Errors
+/// Propagates I/O failures from creating or writing the file.
+pub fn emit(path: &str) -> std::io::Result<Vec<Metric>> {
+    let metrics = collect_metrics();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(&metrics).as_bytes())?;
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let metrics = vec![
+            Metric {
+                name: "a",
+                unit: "ms",
+                value: 1.5,
+            },
+            Metric {
+                name: "b",
+                unit: "bytes",
+                value: 288.0,
+            },
+        ];
+        let s = to_json(&metrics);
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert_eq!(s.matches("\"value\"").count(), 2);
+        assert!(!s.contains(",\n  }"), "no trailing comma before close");
+        assert!(s.contains("\"b\": { \"value\": 288.0000, \"unit\": \"bytes\" }"));
+    }
+}

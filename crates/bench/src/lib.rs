@@ -6,6 +6,7 @@
 //! this machine and prints the same rows/series the paper reports.
 
 pub mod figures;
+pub mod json;
 pub mod tables;
 
 use std::time::{Duration, Instant};

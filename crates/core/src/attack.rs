@@ -81,16 +81,16 @@ pub fn solve_linear_system(mut a: Vec<Vec<Fr>>, mut b: Vec<Fr>) -> Option<Vec<Fr
         a.swap(col, pivot);
         b.swap(col, pivot);
         let inv = a[col][col].inverse().expect("pivot nonzero");
-        for j in col..n {
-            a[col][j] *= inv;
+        for x in a[col][col..].iter_mut() {
+            *x *= inv;
         }
         b[col] *= inv;
+        let pivot_row: Vec<Fr> = a[col][col..].to_vec();
         for row in 0..n {
             if row != col && !a[row][col].is_zero() {
                 let factor = a[row][col];
-                for j in col..n {
-                    let v = a[col][j];
-                    a[row][j] -= factor * v;
+                for (x, v) in a[row][col..].iter_mut().zip(&pivot_row) {
+                    *x -= factor * *v;
                 }
                 let v = b[col];
                 b[row] -= factor * v;
@@ -133,17 +133,18 @@ pub fn recover_blocks(
     }
     // For each block position j, solve: sum_i w_{g,i} m_{i,j} = q_{g,j}
     let a: Vec<Vec<Fr>> = weight_rows[..d].to_vec();
-    let mut blocks = vec![vec![Fr::zero(); s]; d];
+    // Solve column-by-column, then transpose into row-major blocks.
+    let mut cols: Vec<Vec<Fr>> = Vec::with_capacity(s);
     for j in 0..s {
         let b: Vec<Fr> = polys[..d]
             .iter()
             .map(|p| p.coeffs().get(j).copied().unwrap_or_else(Fr::zero))
             .collect();
-        let col = solve_linear_system(a.clone(), b)?;
-        for (i, v) in col.into_iter().enumerate() {
-            blocks[i][j] = v;
-        }
+        cols.push(solve_linear_system(a.clone(), b)?);
     }
+    let blocks: Vec<Vec<Fr>> = (0..d)
+        .map(|i| cols.iter().map(|c| c[i]).collect())
+        .collect();
     Some(blocks)
 }
 
@@ -236,8 +237,9 @@ mod tests {
         }
 
         let recovered = recover_blocks(&groups, d, s, params.k).expect("attack must succeed");
-        for i in 0..d {
-            assert_eq!(recovered[i], file.chunk(i), "chunk {i} not recovered");
+        assert_eq!(recovered.len(), d);
+        for (i, rec) in recovered.iter().enumerate() {
+            assert_eq!(*rec, file.chunk(i), "chunk {i} not recovered");
         }
     }
 

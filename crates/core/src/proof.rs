@@ -4,8 +4,8 @@
 //!   **96 bytes** (the "w/o on-chain privacy" series of Figs. 5, 8, 9).
 //! * [`PrivateProof`] — the paper's main proof `(sigma, y', psi, R)`:
 //!   **288 bytes** = 3 x 32 B (two compressed G1 points and one scalar)
-//!   + 192 B (torus-compressed GT element), exactly the size the paper
-//!   reports per audit.
+//!   plus 192 B (torus-compressed GT element), exactly the size the
+//!   paper reports per audit.
 
 use dsaudit_algebra::g1::G1Affine;
 use dsaudit_algebra::pairing::Gt;
@@ -47,7 +47,12 @@ pub struct PrivateProof {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProofDecodeError {
     /// Input had the wrong length.
-    Length { expected: usize, got: usize },
+    Length {
+        /// Required byte length.
+        expected: usize,
+        /// Byte length actually supplied.
+        got: usize,
+    },
     /// A group element failed its curve/format check.
     Malformed,
 }

@@ -114,9 +114,9 @@ mod tests {
     fn tags_verify_individually() {
         let (_, pk, file, tags) = setup();
         assert_eq!(tags.len(), file.num_chunks());
-        for i in 0..file.num_chunks() {
+        for (i, tag) in tags.iter().enumerate() {
             assert!(
-                verify_tag(&pk, file.name, i as u64, file.chunk(i), &tags[i]),
+                verify_tag(&pk, file.name, i as u64, file.chunk(i), tag),
                 "tag {i} failed"
             );
         }

@@ -200,12 +200,14 @@ mod tests {
 
     #[test]
     fn dropped_chunk_detected() {
-        let env = setup(4, 8, 1500);
+        // 900 bytes -> 30 blocks -> d = 8 chunks at s = 4, so with k = 8
+        // every chunk is challenged every round.
+        let env = setup(4, 8, 900);
+        assert!(env.meta.num_chunks <= env.meta.k, "premise: full coverage");
         let mut rng = rng();
         let mut bad_file = env.file.clone();
         bad_file.drop_chunk(1);
         let prover = Prover::new(&env.pk, &bad_file, &env.tags);
-        // k = 8 >= d, every chunk is always challenged
         let ch = Challenge::random(&mut rng);
         assert!(!verify_private(
             &env.pk,

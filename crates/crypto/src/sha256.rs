@@ -86,7 +86,7 @@ impl Sha256 {
             120 - self.buffer_len
         };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
-        self.update(&pad[..pad_len + 8].to_vec());
+        self.update(&pad[..pad_len + 8]);
         let mut out = [0u8; 32];
         for (i, s) in self.state.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&s.to_be_bytes());

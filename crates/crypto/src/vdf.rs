@@ -80,7 +80,7 @@ mod tests {
     fn wrong_output_rejected() {
         let input = seed_to_fq(b"block 1");
         let mut proof = eval(input, 20);
-        proof.output = proof.output + Fq::one();
+        proof.output += Fq::one();
         assert!(!verify(input, &proof));
     }
 

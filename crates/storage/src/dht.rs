@@ -32,8 +32,8 @@ impl NodeId {
     /// XOR distance.
     pub fn distance(&self, other: &NodeId) -> [u8; 32] {
         let mut d = [0u8; 32];
-        for i in 0..32 {
-            d[i] = self.0[i] ^ other.0[i];
+        for (di, (a, b)) in d.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *di = a ^ b;
         }
         d
     }

@@ -20,7 +20,12 @@ pub struct ErasureCode {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ErasureError {
     /// Fewer than `k` shares supplied.
-    NotEnoughShares { have: usize, need: usize },
+    NotEnoughShares {
+        /// Shares actually supplied.
+        have: usize,
+        /// Minimum shares required (`k`).
+        need: usize,
+    },
     /// Shares disagree in length.
     ShapeMismatch,
     /// A share index is out of range or duplicated.

@@ -1,0 +1,220 @@
+//! Offline vendored shim for the subset of the `rand` crate API this
+//! workspace uses: the [`RngCore`] and [`SeedableRng`] traits and a
+//! deterministic [`rngs::StdRng`].
+//!
+//! The container this repo builds in has no network access to a crates.io
+//! mirror, so the real `rand` cannot be fetched. Everything in the
+//! workspace only needs seeded, deterministic, statistically-solid random
+//! streams — not compatibility with upstream `rand`'s exact output — so
+//! `StdRng` here is ChaCha12 (the same core algorithm upstream uses),
+//! implemented from scratch.
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, spreading it over the full seed
+    /// with SplitMix64 (the standard seed-expansion construction).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic ChaCha12-based generator (mirrors upstream `StdRng`'s
+    /// choice of core algorithm; the output stream is not bit-compatible).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// ChaCha state words 4..12 hold the key, 13..16 the counter/nonce.
+        key: [u32; 8],
+        counter: u64,
+        buf: [u8; 64],
+        /// Next unread byte in `buf`; 64 means exhausted.
+        pos: usize,
+    }
+
+    const CHACHA_CONST: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+    #[inline(always)]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&CHACHA_CONST);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            state[14] = 0;
+            state[15] = 0;
+            let input = state;
+            for _ in 0..6 {
+                // 12 rounds: 6 double-rounds of column + diagonal
+                quarter_round(&mut state, 0, 4, 8, 12);
+                quarter_round(&mut state, 1, 5, 9, 13);
+                quarter_round(&mut state, 2, 6, 10, 14);
+                quarter_round(&mut state, 3, 7, 11, 15);
+                quarter_round(&mut state, 0, 5, 10, 15);
+                quarter_round(&mut state, 1, 6, 11, 12);
+                quarter_round(&mut state, 2, 7, 8, 13);
+                quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (i, word) in state.iter_mut().enumerate() {
+                *word = word.wrapping_add(input[i]);
+                self.buf[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.pos = 0;
+        }
+
+        #[inline]
+        fn take(&mut self, n: usize) -> &[u8] {
+            debug_assert!(n <= 64);
+            if self.pos + n > 64 {
+                self.refill();
+            }
+            let out = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            out
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, word) in key.iter_mut().enumerate() {
+                *word = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+            }
+            Self {
+                key,
+                counter: 0,
+                buf: [0u8; 64],
+                pos: 64,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            u32::from_le_bytes(self.take(4).try_into().unwrap())
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            u64::from_le_bytes(self.take(8).try_into().unwrap())
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut filled = 0;
+            while filled < dest.len() {
+                if self.pos == 64 {
+                    self.refill();
+                }
+                let n = (dest.len() - filled).min(64 - self.pos);
+                dest[filled..filled + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                filled += n;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn deterministic_across_instances() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn different_seeds_diverge() {
+            let mut a = StdRng::seed_from_u64(1);
+            let mut b = StdRng::seed_from_u64(2);
+            assert_ne!(
+                (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+                (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn fill_bytes_matches_stream() {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            let mut buf = [0u8; 24];
+            a.fill_bytes(&mut buf);
+            let mut expect = [0u8; 24];
+            for chunk in expect.chunks_mut(8) {
+                chunk.copy_from_slice(&b.next_u64().to_le_bytes());
+            }
+            assert_eq!(buf, expect);
+        }
+
+        #[test]
+        fn fill_bytes_large_and_unaligned() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut buf = vec![0u8; 1000];
+            rng.fill_bytes(&mut buf);
+            // not all zero, not all equal
+            assert!(buf.iter().any(|&b| b != 0));
+            assert!(buf.windows(2).any(|w| w[0] != w[1]));
+        }
+    }
+}

@@ -114,6 +114,23 @@ mod tests {
     }
 
     #[test]
+    fn dedicated_squaring_edge_cases() {
+        // the SOS squaring path must agree with mont_mul on the extremes
+        for v in [
+            Fq::zero(),
+            Fq::one(),
+            -Fq::one(), // p - 1, the canonical maximum
+            Fq::from_u64(u64::MAX),
+            -Fq::from_u64(u64::MAX),
+        ] {
+            assert_eq!(v.square(), v * v);
+        }
+        for v in [Fr::zero(), Fr::one(), -Fr::one()] {
+            assert_eq!(v.square(), v * v);
+        }
+    }
+
+    #[test]
     fn fq_inverse_roundtrip() {
         let mut rng = rng();
         for _ in 0..20 {

@@ -80,6 +80,16 @@ impl G1Projective {
     pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
         Self::generator().mul(Fr::random(rng))
     }
+
+    /// Process-wide 8-bit fixed-base table for the subgroup generator,
+    /// built once on first use (~0.5 MB). Shared by tag generation and
+    /// key generation, where every multiple of `g1` can be had for ~32
+    /// mixed additions instead of a full double-and-add ladder.
+    pub fn generator_table() -> &'static crate::msm::FixedBaseTable<G1Params> {
+        static TABLE: std::sync::OnceLock<crate::msm::FixedBaseTable<G1Params>> =
+            std::sync::OnceLock::new();
+        TABLE.get_or_init(|| crate::msm::FixedBaseTable::new(&Self::generator()))
+    }
 }
 
 #[cfg(test)]

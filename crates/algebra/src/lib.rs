@@ -10,6 +10,7 @@
 
 pub mod bigint;
 pub mod biguint;
+pub mod endo;
 pub mod field;
 pub mod fields;
 pub mod curve;
@@ -19,6 +20,7 @@ pub mod g2;
 pub mod fft;
 pub mod msm;
 pub mod pairing;
+pub mod par;
 pub mod poly;
 pub mod fp6;
 pub mod fp12;
@@ -29,8 +31,9 @@ pub use fields::{Fq, Fr, ATE_LOOP_COUNT, BN_X, FR_TWO_ADICITY};
 pub use fp2::Fq2;
 pub use g1::{G1Affine, G1Projective};
 pub use g2::{G2Affine, G2Projective};
+pub use endo::mul_each_g1;
 pub use fft::Domain;
-pub use msm::msm;
+pub use msm::{msm, FixedBaseTable};
 pub use pairing::{final_exponentiation, miller_loop, multi_pairing, pairing, Gt};
 pub use poly::DensePoly;
 pub use fp6::Fq6;

@@ -1,24 +1,57 @@
-//! Multi-scalar multiplication (Pippenger's bucket algorithm).
+//! Multi-scalar multiplication and the fixed-base / fixed-scalar batch
+//! kernels built on the same machinery.
 //!
-//! `msm(bases, scalars)` computes `sum_i scalars[i] * bases[i]` much faster
-//! than individual scalar multiplications. Used for aggregated
+//! * [`msm`] — signed-digit (wNAF-style) Pippenger: each window digit is
+//!   recoded into `(-2^(c-1), 2^(c-1)]`, which halves the bucket count per
+//!   window (negative digits reuse the positive buckets with a negated
+//!   point, since affine negation is free). Windows are processed in
+//!   parallel on the [`crate::par`] thread-pool shim, and large windows
+//!   accumulate their buckets with [`Projective::batch_add_affine`] — many
+//!   independent affine additions sharing one Montgomery-inversion pass.
+//! * [`FixedBaseTable`] — 8-bit windowed precomputation for one fixed
+//!   base; [`FixedBaseTable::mul_many_affine`] evaluates many scalars at
+//!   once with batch-affine accumulators (~6 field muls per window per
+//!   scalar instead of ~11 for Jacobian mixed additions).
+//! * [`mul_each`] — one fixed scalar times many points (the shape of
+//!   authenticator generation, where every chunk hash is raised to the
+//!   same secret exponent), with a shared wNAF schedule and batch-affine
+//!   accumulators. The GLV-accelerated G1 version lives in
+//!   [`crate::endo`].
+//!
+//! `msm(bases, scalars)` computes `sum_i scalars[i] * bases[i]` much
+//! faster than individual scalar multiplications. Used for aggregated
 //! authenticators, KZG openings and the Groth16 prover.
 
+use crate::bigint::{self, Limbs};
 use crate::curve::{Affine, CurveParams, Projective};
 use crate::fields::Fr;
+use crate::par::par_map_chunks;
 
-/// Picks a bucket window size for `n` terms (heuristic from the usual
-/// `ln`-based rule, clamped to sane bounds).
+/// Scalars are canonical representatives of the 254-bit field `Fr`.
+const FR_BITS: usize = 254;
+
+/// Minimum number of simultaneous affine additions for the batch-affine
+/// path to beat Jacobian mixed additions. The shared inversion is a
+/// Fermat exponentiation (~380 field muls), so a batched lane (~6 muls)
+/// only beats a mixed addition (~11 muls) once the inversion is amortized
+/// over enough lanes.
+const BATCH_AFFINE_CUTOFF: usize = 128;
+
+/// Picks the bucket window size for `n` terms by minimizing the cost
+/// model `windows * (n + 3 * 2^(c-1))`: each window visits every point
+/// once (one bucket addition) and pays roughly three additions' worth of
+/// running-sum work per bucket. Signed digits halve the bucket count, so
+/// the optimum sits about one bit above the classic unsigned ladder.
 fn window_size(n: usize) -> usize {
-    match n {
-        0..=1 => 1,
-        2..=31 => 3,
-        32..=255 => 5,
-        256..=2047 => 7,
-        2048..=16383 => 9,
-        16384..=131071 => 11,
-        _ => 13,
+    let mut best = (usize::MAX, 1);
+    for c in 1..=15 {
+        let windows = FR_BITS.div_ceil(c) + 1;
+        let cost = windows * (n + 3 * (1usize << (c - 1)));
+        if cost < best.0 {
+            best = (cost, c);
+        }
     }
+    best.1
 }
 
 /// Computes `sum_i scalars[i] * bases[i]`.
@@ -38,31 +71,20 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
         return bases[0].mul(scalars[0]);
     }
     let c = window_size(bases.len());
-    let num_windows = 254usize.div_ceil(c);
-    let digits: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
-
-    let mut window_sums = Vec::with_capacity(num_windows);
-    for w in 0..num_windows {
-        let bit_offset = w * c;
-        let mut buckets = vec![Projective::<C>::identity(); (1 << c) - 1];
-        for (base, limbs) in bases.iter().zip(&digits) {
-            let digit = extract_bits(limbs, bit_offset, c);
-            if digit != 0 {
-                let b = &mut buckets[digit - 1];
-                *b = b.add_affine(base);
-            }
-        }
-        // running-sum trick: sum_j j * bucket[j]
-        let mut running = Projective::<C>::identity();
-        let mut acc = Projective::<C>::identity();
-        for b in buckets.iter().rev() {
-            running = running.add(b);
-            acc = acc.add(&running);
-        }
-        window_sums.push(acc);
-    }
+    let num_windows = FR_BITS.div_ceil(c) + 1;
+    let digits = signed_digits(scalars, c, num_windows);
+    // Windows are independent until the final combine, so fan them out
+    // across the thread pool (each worker walks all points for its own
+    // window; total work is identical to the serial loop). par_map_chunks
+    // with a chunk floor of 1 parallelizes even the few-windows regime of
+    // large inputs (big n picks a wide c, i.e. few windows), where
+    // par_map's small-n serial cutoff would otherwise kick in.
+    let window_sums: Vec<Projective<C>> = par_map_chunks(num_windows, 1, |r| {
+        r.map(|w| bucket_window(bases, &digits, w, num_windows, c))
+            .collect()
+    });
     // combine windows from the top down
-    let mut total = Projective::<C>::identity();
+    let mut total = Projective::identity();
     for ws in window_sums.iter().rev() {
         for _ in 0..c {
             total = total.double();
@@ -72,13 +94,134 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
     total
 }
 
-/// Extracts `count` bits starting at `offset` from little-endian limbs.
+/// Accumulates one window's buckets and collapses them with the
+/// running-sum trick, returning `sum_d d * bucket[d]`.
+fn bucket_window<C: CurveParams>(
+    bases: &[Affine<C>],
+    digits: &[i16],
+    w: usize,
+    num_windows: usize,
+    c: usize,
+) -> Projective<C> {
+    let half = 1usize << (c - 1);
+    let mut buckets = vec![Projective::<C>::identity(); half];
+    if bases.len() >= 2 * BATCH_AFFINE_CUTOFF {
+        // Batch-affine accumulation: keep per-bucket point lists and
+        // halve them round by round, all buckets sharing one inversion
+        // per round; the tail (too few pairs to amortize the inversion)
+        // drains through ordinary mixed additions.
+        let mut lists: Vec<Vec<Affine<C>>> = vec![Vec::new(); half];
+        for (i, base) in bases.iter().enumerate() {
+            let d = digits[i * num_windows + w];
+            match d.cmp(&0) {
+                core::cmp::Ordering::Greater => lists[(d - 1) as usize].push(*base),
+                core::cmp::Ordering::Less => lists[(-d - 1) as usize].push(base.neg()),
+                core::cmp::Ordering::Equal => {}
+            }
+        }
+        let mut lhs: Vec<Affine<C>> = Vec::new();
+        let mut rhs: Vec<Affine<C>> = Vec::new();
+        let mut origin: Vec<usize> = Vec::new();
+        loop {
+            lhs.clear();
+            rhs.clear();
+            origin.clear();
+            for (bi, list) in lists.iter_mut().enumerate() {
+                while list.len() >= 2 {
+                    lhs.push(list.pop().expect("len >= 2"));
+                    rhs.push(list.pop().expect("len >= 2"));
+                    origin.push(bi);
+                }
+            }
+            if lhs.len() < BATCH_AFFINE_CUTOFF {
+                // not worth another shared inversion: put the pairs back
+                for ((bi, l), r) in origin.iter().zip(&lhs).zip(&rhs) {
+                    lists[*bi].push(*l);
+                    lists[*bi].push(*r);
+                }
+                break;
+            }
+            Projective::batch_add_affine(&mut lhs, &rhs);
+            for (bi, p) in origin.iter().zip(&lhs) {
+                lists[*bi].push(*p);
+            }
+        }
+        for (bucket, list) in buckets.iter_mut().zip(&lists) {
+            for p in list {
+                *bucket = bucket.add_affine(p);
+            }
+        }
+    } else {
+        for (i, base) in bases.iter().enumerate() {
+            let d = digits[i * num_windows + w];
+            match d.cmp(&0) {
+                core::cmp::Ordering::Greater => {
+                    let b = &mut buckets[(d - 1) as usize];
+                    *b = b.add_affine(base);
+                }
+                core::cmp::Ordering::Less => {
+                    let b = &mut buckets[(-d - 1) as usize];
+                    *b = b.add_affine(&base.neg());
+                }
+                core::cmp::Ordering::Equal => {}
+            }
+        }
+    }
+    // running-sum trick: sum_d d * bucket[d]
+    let mut running = Projective::<C>::identity();
+    let mut acc = Projective::<C>::identity();
+    for b in buckets.iter().rev() {
+        running = running.add(b);
+        acc = acc.add(&running);
+    }
+    acc
+}
+
+/// Recodes every scalar into signed window digits in
+/// `(-2^(c-1), 2^(c-1)]`, laid out as `out[i * num_windows + w]`.
+///
+/// A raw digit above `2^(c-1)` is replaced by `raw - 2^c` with a carry
+/// into the next window; `num_windows` must include one window beyond the
+/// 254 scalar bits so the final carry is always absorbed (debug-asserted).
+fn signed_digits(scalars: &[Fr], c: usize, num_windows: usize) -> Vec<i16> {
+    debug_assert!((1..=15).contains(&c), "digit must fit in i16");
+    debug_assert!(num_windows * c > FR_BITS, "need room for the top carry");
+    let half = 1i64 << (c - 1);
+    let full = 1i64 << c;
+    let mut out = vec![0i16; scalars.len() * num_windows];
+    for (i, s) in scalars.iter().enumerate() {
+        let limbs = s.to_canonical();
+        let mut carry = 0i64;
+        for w in 0..num_windows {
+            let raw = extract_bits(&limbs, w * c, c) as i64 + carry;
+            if raw > half {
+                out[i * num_windows + w] = (raw - full) as i16;
+                carry = 1;
+            } else {
+                out[i * num_windows + w] = raw as i16;
+                carry = 0;
+            }
+        }
+        debug_assert_eq!(carry, 0, "top window must absorb the carry");
+    }
+    out
+}
+
+/// Extracts `count` bits starting at bit `offset` from little-endian
+/// limbs, where `1 <= count <= 15`.
+///
+/// Correct at every boundary: an `offset` at or past 256 yields 0, a
+/// window spanning two limbs stitches both together, and a window running
+/// off the top of limb 3 (offset >= 192 with `shift + count > 64`) is
+/// implicitly zero-padded — the mask is applied after the stitch, so no
+/// shift ever exceeds the limb width.
 fn extract_bits(limbs: &[u64; 4], offset: usize, count: usize) -> usize {
-    let limb = offset / 64;
-    let shift = offset % 64;
-    if limb >= 4 {
+    debug_assert!((1..=15).contains(&count));
+    if offset >= 256 {
         return 0;
     }
+    let limb = offset / 64;
+    let shift = offset % 64;
     let mut v = limbs[limb] >> shift;
     if shift + count > 64 && limb + 1 < 4 {
         v |= limbs[limb + 1] << (64 - shift);
@@ -86,9 +229,126 @@ fn extract_bits(limbs: &[u64; 4], offset: usize, count: usize) -> usize {
     (v & ((1u64 << count) - 1)) as usize
 }
 
+/// Width-`w` NAF recoding of a canonical scalar: little-endian digits,
+/// each either zero or odd with `|d| <= 2^w - 1`, at most one non-zero
+/// digit in any `w + 1` consecutive positions.
+pub(crate) fn wnaf_digits(limbs: &Limbs, w: usize) -> Vec<i8> {
+    debug_assert!((2..=7).contains(&w), "digit must fit in i8");
+    let mut k = *limbs;
+    let window = 1u64 << (w + 1);
+    let mut out = Vec::with_capacity(FR_BITS + 2);
+    while !bigint::is_zero(&k) {
+        if k[0] & 1 == 1 {
+            let mut d = (k[0] % window) as i64;
+            if d > (1 << w) {
+                d -= window as i64;
+            }
+            if d >= 0 {
+                k = bigint::sub(&k, &[d as u64, 0, 0, 0]);
+            } else {
+                k = bigint::add_wide(&k, &[(-d) as u64, 0, 0, 0]).0;
+            }
+            out.push(d as i8);
+        } else {
+            out.push(0);
+        }
+        k = bigint::shr(&k, 1);
+    }
+    out
+}
+
+/// Multiplies every point by the same scalar: `out[i] = k * points[i]`.
+///
+/// All lanes share one wNAF digit schedule (the scalar is identical), so
+/// every double and every table addition runs as a single batch-affine
+/// pass over all lanes. The G1-specific entry point
+/// [`crate::endo::mul_each_g1`] additionally splits `k` via the GLV
+/// endomorphism, halving the doubling count; this generic version works
+/// for any curve (G2 included).
+pub fn mul_each<C: CurveParams>(points: &[Affine<C>], k: Fr) -> Vec<Affine<C>> {
+    let digits = wnaf_digits(&k.to_canonical(), 5);
+    par_map_chunks(points.len(), 64, |r| {
+        mul_each_batched(&points[r], &digits, &[], 5, None)
+    })
+}
+
+/// Shared batch-affine double-and-add over a fixed digit schedule.
+///
+/// Computes `d1 * P_i + d2 * phi(P_i)` for every lane, where `d1`/`d2`
+/// are little-endian wNAF digit strings (width `w`) and `phi` is the
+/// x-coordinate endomorphism `(x, y) -> (beta * x, y)` when `beta` is
+/// given (`d2` must be empty otherwise). Odd-multiple tables are built
+/// with batched additions; the `phi` table reuses the base table at the
+/// cost of one multiplication per entry.
+pub(crate) fn mul_each_batched<C: CurveParams>(
+    points: &[Affine<C>],
+    d1: &[i8],
+    d2: &[i8],
+    w: usize,
+    beta: Option<C::Base>,
+) -> Vec<Affine<C>> {
+    debug_assert!(d2.is_empty() || beta.is_some());
+    let n = points.len();
+    if n == 0 || (d1.is_empty() && d2.is_empty()) {
+        return vec![Affine::identity(); n];
+    }
+    // tab1[t][i] = (2t+1) * points[i]
+    let table_len = 1usize << (w - 1);
+    let mut tab1: Vec<Vec<Affine<C>>> = Vec::with_capacity(table_len);
+    tab1.push(points.to_vec());
+    if table_len > 1 {
+        let mut twos = points.to_vec();
+        Projective::batch_double_affine(&mut twos);
+        for t in 1..table_len {
+            let mut next = tab1[t - 1].clone();
+            Projective::batch_add_affine(&mut next, &twos);
+            tab1.push(next);
+        }
+    }
+    // tab2[t][i] = (2t+1) * phi(points[i]) = phi(tab1[t][i])
+    let tab2: Option<Vec<Vec<Affine<C>>>> = beta.map(|b| {
+        tab1.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|p| Affine {
+                        x: p.x * b,
+                        y: p.y,
+                        infinity: p.infinity,
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    let len = d1.len().max(d2.len());
+    let mut acc = vec![Affine::<C>::identity(); n];
+    let mut rhs = vec![Affine::<C>::identity(); n];
+    let mut started = false;
+    type DigitTables<'a, C> = [(&'a [i8], Option<&'a Vec<Vec<Affine<C>>>>); 2];
+    for j in (0..len).rev() {
+        if started {
+            Projective::batch_double_affine(&mut acc);
+        }
+        let digit_tables: DigitTables<'_, C> = [(d1, Some(&tab1)), (d2, tab2.as_ref())];
+        for (digits, table) in digit_tables {
+            let d = digits.get(j).copied().unwrap_or(0);
+            if d == 0 {
+                continue;
+            }
+            let row = &table.expect("digits imply a table")[(d.unsigned_abs() >> 1) as usize];
+            for (slot, p) in rhs.iter_mut().zip(row) {
+                *slot = if d < 0 { p.neg() } else { *p };
+            }
+            Projective::batch_add_affine(&mut acc, &rhs);
+            started = true;
+        }
+    }
+    acc
+}
+
 /// Precomputed table for many scalar multiplications of one fixed base
-/// (used by the Groth16 trusted setup, which needs hundreds of
-/// thousands of multiples of the generators).
+/// (the subgroup generator during tag generation and key generation, or
+/// the Groth16 trusted setup, which needs hundreds of thousands of
+/// multiples of the generators).
 #[derive(Clone, Debug)]
 pub struct FixedBaseTable<C: CurveParams> {
     /// table[w][d] = (d+1) * 2^(8w) * base
@@ -126,10 +386,69 @@ impl<C: CurveParams> FixedBaseTable<C> {
         acc
     }
 
+    /// Applies the table to many scalars at once with batch-affine
+    /// accumulators: all lanes walk the 32 windows in lockstep, each
+    /// window contributing one shared-inversion [`Projective::batch_add_affine`]
+    /// pass. Roughly twice as fast per scalar as [`FixedBaseTable::mul`]
+    /// once the batch is large enough to amortize the inversions.
+    pub fn mul_many_affine(&self, scalars: &[Fr]) -> Vec<Affine<C>> {
+        par_map_chunks(scalars.len(), 64, |r| {
+            let scalars = &scalars[r];
+            let canon: Vec<Limbs> = scalars.iter().map(|s| s.to_canonical()).collect();
+            let mut acc = vec![Affine::<C>::identity(); scalars.len()];
+            let mut rhs = vec![Affine::<C>::identity(); scalars.len()];
+            for (w, row) in self.windows.iter().enumerate() {
+                let mut any = false;
+                for (slot, limbs) in rhs.iter_mut().zip(&canon) {
+                    let byte = (limbs[w / 8] >> ((w % 8) * 8)) & 0xff;
+                    *slot = if byte != 0 {
+                        any = true;
+                        row[(byte - 1) as usize]
+                    } else {
+                        Affine::identity()
+                    };
+                }
+                if any {
+                    Projective::batch_add_affine(&mut acc, &rhs);
+                }
+            }
+            acc
+        })
+    }
+
     /// Applies the table to many scalars.
     pub fn mul_many(&self, scalars: &[Fr]) -> Vec<Projective<C>> {
-        scalars.iter().map(|s| self.mul(*s)).collect()
+        self.mul_many_affine(scalars)
+            .iter()
+            .map(Affine::to_projective)
+            .collect()
     }
+}
+
+/// Test-support fixture: scalars that stress digit extraction and window
+/// recoding — the canonical maximum `r - 1`, a dense all-ones bit
+/// pattern reduced into the field, the top canonical bit alone and with
+/// the bottom bit, and the small constants around zero. Shared by the
+/// unit tests here and the differential proptests so the edge-case list
+/// cannot drift between suites.
+pub fn adversarial_scalars() -> Vec<Fr> {
+    use crate::field::Field;
+    let all_ones = Fr::from_bytes_wide(&[0xff; 64]);
+    let top_bit = {
+        let mut acc = Fr::one();
+        for _ in 0..253 {
+            acc = acc.double();
+        }
+        acc
+    };
+    vec![
+        Fr::zero() - Fr::one(), // r - 1, the canonical maximum
+        all_ones,
+        top_bit,
+        top_bit + Fr::one(),
+        Fr::one(),
+        Fr::zero(),
+    ]
 }
 
 /// Naive MSM used as a correctness oracle and for ablation benches.
@@ -171,6 +490,28 @@ mod tests {
     }
 
     #[test]
+    fn msm_matches_naive_adversarial_scalars() {
+        let mut rng = rng();
+        let scalars = adversarial_scalars();
+        let bases: Vec<_> = (0..scalars.len())
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn msm_batch_affine_path_matches_naive() {
+        // large enough to cross BATCH_AFFINE_CUTOFF in every window
+        let mut rng = rng();
+        let n = 2 * super::BATCH_AFFINE_CUTOFF + 17;
+        let bases: Vec<_> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
+    }
+
+    #[test]
     fn msm_handles_zero_scalars() {
         let mut rng = rng();
         let bases: Vec<_> = (0..10)
@@ -191,11 +532,108 @@ mod tests {
     }
 
     #[test]
+    fn signed_digits_reconstruct_scalar() {
+        let mut rng = rng();
+        let mut scalars = adversarial_scalars();
+        scalars.extend((0..8).map(|_| Fr::random(&mut rng)));
+        for c in [1usize, 3, 5, 8, 13, 15] {
+            let num_windows = FR_BITS.div_ceil(c) + 1;
+            let digits = signed_digits(&scalars, c, num_windows);
+            for (i, s) in scalars.iter().enumerate() {
+                // sum_w digit_w * 2^(w*c) must equal the scalar in Fr
+                let mut acc = Fr::zero();
+                let mut base = Fr::one();
+                let two_c = Fr::from_u64(1 << c);
+                for w in 0..num_windows {
+                    let d = digits[i * num_windows + w];
+                    let mag = Fr::from_u64(d.unsigned_abs() as u64) * base;
+                    if d >= 0 {
+                        acc += mag;
+                    } else {
+                        acc -= mag;
+                    }
+                    base *= two_c;
+                }
+                assert_eq!(acc, *s, "scalar {i} at window size {c}");
+            }
+        }
+    }
+
+    #[test]
     fn extract_bits_spans_limbs() {
         let limbs = [u64::MAX, 0b1011, 0, 0];
         // 5 bits starting at offset 62: bits 62,63 of limb0 (1,1) and bits
         // 0,1,2 of limb1 (1,1,0) -> 0b01111
         assert_eq!(extract_bits(&limbs, 62, 5), 0b01111);
+    }
+
+    #[test]
+    fn extract_bits_top_window_boundaries() {
+        // bits that run off the top of limb 3 must read as zero padding
+        let limbs = [0, 0, 0, u64::MAX];
+        assert_eq!(extract_bits(&limbs, 250, 13), 0b111111); // 6 real bits
+        assert_eq!(extract_bits(&limbs, 255, 5), 1); // one real bit
+        assert_eq!(extract_bits(&limbs, 256, 5), 0); // fully out of range
+        assert_eq!(extract_bits(&limbs, 300, 3), 0);
+        // limb-2 / limb-3 boundary with shift + count > 64
+        let limbs = [0, 0, 1 << 63, 0b101];
+        assert_eq!(extract_bits(&limbs, 191, 4), 0b1011);
+        // offset exactly 192 reads limb 3 alone
+        assert_eq!(extract_bits(&limbs, 192, 3), 0b101);
+    }
+
+    #[test]
+    fn wnaf_digits_reconstruct() {
+        let mut rng = rng();
+        let mut scalars = adversarial_scalars();
+        scalars.extend((0..4).map(|_| Fr::random(&mut rng)));
+        for w in [2usize, 4, 5, 7] {
+            for s in &scalars {
+                let digits = wnaf_digits(&s.to_canonical(), w);
+                let mut acc = Fr::zero();
+                let mut base = Fr::one();
+                for d in &digits {
+                    assert!(*d == 0 || d.rem_euclid(2) == 1, "digits must be odd");
+                    assert!((d.unsigned_abs() as u64) < (1 << w) * 2);
+                    let mag = Fr::from_u64(d.unsigned_abs() as u64) * base;
+                    if *d >= 0 {
+                        acc += mag;
+                    } else {
+                        acc -= mag;
+                    }
+                    base = base.double();
+                }
+                assert_eq!(acc, *s);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_each_matches_per_point_mul() {
+        let mut rng = rng();
+        let mut points: Vec<_> = (0..9)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        points.push(Affine::identity());
+        for k in [Fr::zero(), Fr::one(), Fr::zero() - Fr::one(), Fr::random(&mut rng)] {
+            let got = mul_each(&points, k);
+            for (p, g) in points.iter().zip(&got) {
+                assert_eq!(g.to_projective(), p.mul(k), "k={k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_each_works_on_g2() {
+        let mut rng = rng();
+        let points: Vec<_> = (0..5)
+            .map(|_| G2Projective::random(&mut rng).to_affine())
+            .collect();
+        let k = Fr::random(&mut rng);
+        let got = mul_each(&points, k);
+        for (p, g) in points.iter().zip(&got) {
+            assert_eq!(g.to_projective(), p.mul(k));
+        }
     }
 
     #[test]
@@ -217,5 +655,18 @@ mod tests {
         }
         assert!(table.mul(Fr::zero()).is_identity());
         assert_eq!(table.mul(Fr::one()), g);
+    }
+
+    #[test]
+    fn fixed_base_mul_many_affine_matches() {
+        let mut rng = rng();
+        let g = G1Projective::generator();
+        let table = super::FixedBaseTable::new(&g);
+        let mut scalars = adversarial_scalars();
+        scalars.extend((0..6).map(|_| Fr::random(&mut rng)));
+        let got = table.mul_many_affine(&scalars);
+        for (k, p) in scalars.iter().zip(&got) {
+            assert_eq!(p.to_projective(), g.mul(*k));
+        }
     }
 }

@@ -1,9 +1,11 @@
 //! Property-based tests for the algebra crate: field axioms, curve group
 //! laws and serialization roundtrips under randomized inputs.
 
+use dsaudit_algebra::curve::Projective;
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::fp2::Fq2;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::msm::{msm, msm_naive};
 use dsaudit_algebra::poly::DensePoly;
 use dsaudit_algebra::{Fq, Fr};
 use proptest::prelude::*;
@@ -88,5 +90,53 @@ proptest! {
         let (q, rem) = p.divide_by_linear(r);
         prop_assert_eq!(rem, p.evaluate(r));
         prop_assert_eq!(p.evaluate(x), q.evaluate(x) * (x - r) + rem);
+    }
+}
+
+/// Scalars that stress digit extraction: the shared adversarial fixture
+/// from `dsaudit_algebra::msm` (canonical max `r - 1`, all-ones pattern,
+/// top-bit-set, constants around zero) mixed with uniform ones.
+fn arb_msm_scalar() -> impl Strategy<Value = Fr> {
+    (any::<u8>(), any::<[u8; 64]>()).prop_map(|(sel, b)| {
+        let fixed = dsaudit_algebra::msm::adversarial_scalars();
+        let sel = sel as usize % (2 * fixed.len());
+        if sel < fixed.len() {
+            fixed[sel]
+        } else {
+            Fr::from_bytes_wide(&b)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Differential test of the signed-digit Pippenger against the naive
+    /// oracle, pinned to the window-size breakpoints (0, 1, 2, 31->32,
+    /// 255->256) so any digit-extraction or bucket regression at a window
+    /// boundary is caught. `same_base` floods the buckets with one point,
+    /// stressing the batch-affine doubling/cancellation lanes.
+    #[test]
+    fn msm_differential_vs_naive(
+        sel in any::<u8>(),
+        pool in prop::collection::vec(arb_msm_scalar(), 1..12),
+        kbase in arb_fr(),
+        same_base in any::<bool>(),
+    ) {
+        let lens = [0usize, 1, 2, 31, 32, 255, 256];
+        let n = lens[(sel as usize) % lens.len()];
+        let scalars: Vec<Fr> = (0..n).map(|i| pool[i % pool.len()]).collect();
+        let g = G1Projective::generator();
+        let bases_proj: Vec<G1Projective> = (0..n)
+            .map(|i| {
+                if same_base {
+                    g.mul(kbase)
+                } else {
+                    g.mul(kbase + Fr::from_u64(i as u64 + 1))
+                }
+            })
+            .collect();
+        let bases = Projective::batch_to_affine(&bases_proj);
+        prop_assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
     }
 }

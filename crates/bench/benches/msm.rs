@@ -1,0 +1,67 @@
+//! Criterion benches for the MSM hot-path overhaul: signed-digit
+//! Pippenger across sizes (including the batch-affine bucket regime),
+//! the fixed-base generator table, and the fixed-scalar GLV batch kernel
+//! that dominates tag generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_algebra::endo::mul_each_g1;
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::msm::{msm, msm_naive, FixedBaseTable};
+use dsaudit_algebra::Fr;
+use rand::SeedableRng;
+
+fn setup(n: usize) -> (Vec<G1Affine>, Vec<Fr>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x517e);
+    let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    let bases = G1Projective::generator_table().mul_many_affine(&scalars);
+    (bases, scalars)
+}
+
+fn bench_msm_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm_pippenger");
+    group.sample_size(10);
+    let (bases, scalars) = setup(8192);
+    for n in [256usize, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::new("signed_digit", n), &n, |b, &n| {
+            b.iter(|| msm(&bases[..n], &scalars[..n]));
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("naive", 256), &256, |b, _| {
+        b.iter(|| msm_naive(&bases[..256], &scalars[..256]));
+    });
+    group.finish();
+}
+
+fn bench_fixed_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm_fixed_patterns");
+    group.sample_size(10);
+    let (bases, scalars) = setup(4096);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf1c5);
+    let k = Fr::random(&mut rng);
+
+    // fixed base, many scalars (key generation, tag generation g1 part)
+    group.bench_function("fixed_base_mul_many_4096", |b| {
+        b.iter(|| G1Projective::generator_table().mul_many_affine(&scalars));
+    });
+    group.bench_function("fixed_base_table_build", |b| {
+        b.iter(|| FixedBaseTable::new(&G1Projective::generator()));
+    });
+    // fixed scalar, many points (the t_i^x hot loop of tag generation)
+    group.bench_function("mul_each_glv_4096", |b| {
+        b.iter(|| mul_each_g1(&bases, k));
+    });
+    // per-point baseline at a smaller size (256 ladders)
+    group.bench_function("per_point_mul_256", |b| {
+        b.iter(|| {
+            bases[..256]
+                .iter()
+                .map(|p| p.mul(k))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_msm_sizes, bench_fixed_patterns);
+criterion_main!(benches);

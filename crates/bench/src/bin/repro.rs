@@ -26,6 +26,33 @@ fn emit_json() {
     }
 }
 
+/// Re-measures the guarded hot-path metrics and fails (exit 1) when any
+/// of them regressed more than `json::REGRESSION_TOLERANCE` against the
+/// committed `BENCH_repro.json` — the CI perf gate.
+fn check_json() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
+    match json::check_against(path) {
+        Ok((report, ok)) => {
+            println!("bench regression gate against {path}:");
+            for line in &report {
+                println!("  {line}");
+            }
+            if !ok {
+                eprintln!(
+                    "FAIL: a guarded metric regressed more than {:.0}%",
+                    json::REGRESSION_TOLERANCE * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!("gate passed");
+        }
+        Err(e) => {
+            eprintln!("bench regression gate could not run: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -52,6 +79,7 @@ fn main() {
         "attack" => figures::attack_demo(),
         "baseline" => figures::baseline(),
         "json" => emit_json(),
+        "check" => check_json(),
         "all" => {
             tables::table1();
             divider();
@@ -81,7 +109,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|costs|baseline|attack|json|all] [--full] [--mb N]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|costs|baseline|attack|json|check|all] [--full] [--mb N]");
             std::process::exit(2);
         }
     }

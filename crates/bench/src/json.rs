@@ -9,6 +9,11 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use dsaudit_algebra::endo::mul_each_g1;
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::msm::{msm, msm_naive};
+use dsaudit_algebra::Fr;
 use dsaudit_core::params::AuditParams;
 use dsaudit_core::proof::{PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
 use dsaudit_core::tag::generate_tags;
@@ -26,6 +31,62 @@ pub struct Metric {
     pub value: f64,
 }
 
+/// Measures the `msm` metric group: the signed-digit Pippenger at two
+/// sizes, the naive oracle at the small size (so the speedup is readable
+/// straight off the snapshot), and the two fixed-pattern kernels it
+/// feeds (fixed-base table, fixed-scalar batch).
+pub fn collect_msm_metrics() -> Vec<Metric> {
+    let mut r = rng();
+    let n_large = 8192usize;
+    let scalars: Vec<Fr> = (0..n_large).map(|_| Fr::random(&mut r)).collect();
+    let table = G1Projective::generator_table();
+    let bases: Vec<G1Affine> = table.mul_many_affine(&scalars);
+    let mut out = Vec::new();
+
+    let t = time_mean(3, || {
+        let _ = msm(&bases[..1024], &scalars[..1024]);
+    });
+    out.push(Metric {
+        name: "msm_g1_n1024",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    let t = time_mean(3, || {
+        let _ = msm(&bases, &scalars);
+    });
+    out.push(Metric {
+        name: "msm_g1_n8192",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    let t = time_mean(1, || {
+        let _ = msm_naive(&bases[..1024], &scalars[..1024]);
+    });
+    out.push(Metric {
+        name: "msm_naive_g1_n1024",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    let t = time_mean(3, || {
+        let _ = table.mul_many_affine(&scalars);
+    });
+    out.push(Metric {
+        name: "msm_fixed_base_n8192",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    let k = Fr::random(&mut r);
+    let t = time_mean(3, || {
+        let _ = mul_each_g1(&bases, k);
+    });
+    out.push(Metric {
+        name: "msm_mul_each_n8192",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    out
+}
+
 /// Runs the compact benchmark set the JSON snapshot reports.
 pub fn collect_metrics() -> Vec<Metric> {
     let mut out = Vec::new();
@@ -40,6 +101,9 @@ pub fn collect_metrics() -> Vec<Metric> {
         unit: "bytes",
         value: PRIVATE_PROOF_BYTES as f64,
     });
+
+    // Hot path 0: the MSM kernel group behind every figure below.
+    out.extend(collect_msm_metrics());
 
     // Hot path 1: tag generation (data-owner pre-processing, Fig. 7).
     out.push(Metric {
@@ -128,6 +192,119 @@ pub fn emit(path: &str) -> std::io::Result<Vec<Metric>> {
     Ok(metrics)
 }
 
+/// Metrics guarded by the CI regression gate: `(name, higher_is_better)`.
+/// These are the two figures the MSM hot path drives directly.
+pub const GUARDED_METRICS: &[(&str, bool)] = &[
+    ("preprocess_s50_throughput", true),
+    ("tag_gen_1mib", false),
+];
+
+/// Relative regression allowed against the committed snapshot.
+pub const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Extracts `(name, value)` pairs from a committed snapshot. Hand-rolled
+/// to match [`to_json`]'s fixed shape (no serde in the build
+/// environment); unknown lines are ignored.
+pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(rest) = rest.split_once("\"value\":").map(|(_, r)| r) else {
+            continue;
+        };
+        let value_str: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = value_str.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Measures only the guarded metrics, taking the best of three runs per
+/// metric so a loaded machine does not trip the gate spuriously.
+pub fn collect_guarded_metrics() -> Vec<Metric> {
+    let throughput = (0..3)
+        .map(|_| preprocess_throughput_mb_s(50, 2 * 1024 * 1024))
+        .fold(0.0f64, f64::max);
+    let env = Env::new(1024 * 1024, AuditParams::default());
+    let tag_ms = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let tags = generate_tags(&env.sk, &env.file);
+            assert_eq!(tags.len(), env.file.num_chunks());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+    vec![
+        Metric {
+            name: "preprocess_s50_throughput",
+            unit: "MB/s",
+            value: throughput,
+        },
+        Metric {
+            name: "tag_gen_1mib",
+            unit: "ms",
+            value: tag_ms,
+        },
+    ]
+}
+
+/// Compares fresh guarded measurements against the committed snapshot at
+/// `path`; returns a human-readable report per guarded metric and an
+/// overall pass flag (false when any metric regressed more than
+/// [`REGRESSION_TOLERANCE`]).
+///
+/// # Errors
+/// Fails when the snapshot cannot be read or lacks a guarded metric.
+pub fn check_against(path: &str) -> Result<(Vec<String>, bool), String> {
+    let committed = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read committed snapshot {path}: {e}"))?;
+    let committed = parse_metrics(&committed);
+    let fresh = collect_guarded_metrics();
+    let mut report = Vec::new();
+    let mut ok = true;
+    for (name, higher_is_better) in GUARDED_METRICS {
+        let base = committed
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("committed snapshot lacks metric {name}"))?;
+        let now = fresh
+            .iter()
+            .find(|m| m.name == *name)
+            .map(|m| m.value)
+            .expect("guarded metric measured");
+        let ratio = if *higher_is_better {
+            now / base
+        } else {
+            base / now
+        };
+        let regressed = ratio < 1.0 - REGRESSION_TOLERANCE;
+        ok &= !regressed;
+        report.push(format!(
+            "{name}: committed {base:.3}, measured {now:.3} ({:+.1}% {}) -> {}",
+            (ratio - 1.0) * 100.0,
+            if *higher_is_better {
+                "throughput"
+            } else {
+                "latency, inverted"
+            },
+            if regressed { "REGRESSED" } else { "ok" },
+        ));
+    }
+    Ok((report, ok))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +328,27 @@ mod tests {
         assert_eq!(s.matches("\"value\"").count(), 2);
         assert!(!s.contains(",\n  }"), "no trailing comma before close");
         assert!(s.contains("\"b\": { \"value\": 288.0000, \"unit\": \"bytes\" }"));
+    }
+
+    #[test]
+    fn parse_roundtrips_emitted_json() {
+        let metrics = vec![
+            Metric {
+                name: "preprocess_s50_throughput",
+                unit: "MB/s",
+                value: 17.25,
+            },
+            Metric {
+                name: "tag_gen_1mib",
+                unit: "ms",
+                value: 59.125,
+            },
+        ];
+        let parsed = parse_metrics(&to_json(&metrics));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "preprocess_s50_throughput");
+        assert!((parsed[0].1 - 17.25).abs() < 1e-9);
+        assert_eq!(parsed[1].0, "tag_gen_1mib");
+        assert!((parsed[1].1 - 59.125).abs() < 1e-9);
     }
 }

@@ -36,6 +36,9 @@ pub enum Phase {
     Audit,
     /// Challenge issued; waiting for the proof and the `Verify` trigger.
     Prove,
+    /// Batched mode only: proof posted and deadline reached, waiting for
+    /// the round's shared batch verdict from the designated auditor.
+    AwaitVerdict,
     /// All rounds done; deposits released.
     Completed,
     /// Terminated during initialization (provider rejected).
@@ -114,6 +117,11 @@ pub struct AuditContract {
     provider_pool: Wei,
     current_challenge: Option<Challenge>,
     pending_proof: Option<PrivateProof>,
+    /// Batched-verification mode (§VII-D): when set, the `Verify` trigger
+    /// defers the pairing check to this address, which runs one
+    /// `verify_private_batch` for the whole round and posts per-contract
+    /// verdicts. `None` keeps the classic per-contract verification.
+    batch_auditor: Option<Address>,
     /// Completed round log (public audit trail).
     pub history: Vec<RoundOutcome>,
 }
@@ -135,8 +143,17 @@ impl AuditContract {
             provider_pool: 0,
             current_challenge: None,
             pending_proof: None,
+            batch_auditor: None,
             history: Vec::new(),
         }
+    }
+
+    /// Switches the contract into batched-verification mode: the round
+    /// verdict is accepted from `auditor` (the §VII-D batch verifier)
+    /// instead of being computed per contract at the `Verify` trigger.
+    pub fn with_batch_auditor(mut self, auditor: Address) -> Self {
+        self.batch_auditor = Some(auditor);
+        self
     }
 
     /// Current phase.
@@ -296,6 +313,31 @@ impl ContractBehavior for AuditContract {
                 env.emit("proofposted", self.cnt.to_le_bytes().to_vec());
                 Ok(())
             }
+            // the designated batch auditor settles a deferred round:
+            // calldata is 1 verdict byte plus the amortized verification
+            // time in milliseconds (8-byte LE f64) for gas metering
+            "verdict" => {
+                if self.phase != Phase::AwaitVerdict {
+                    return Err(VmError::BadState("no verdict pending".into()));
+                }
+                if Some(env.caller) != self.batch_auditor {
+                    return Err(VmError::Unauthorized);
+                }
+                if data.len() != 9 || data[0] > 1 {
+                    return Err(VmError::BadCalldata(
+                        "verdict is 1 flag byte + 8-byte f64 ms".into(),
+                    ));
+                }
+                let passed = data[0] == 1;
+                let ms = f64::from_le_bytes(data[1..9].try_into().expect("sliced"));
+                if ms.is_finite() && ms > 0.0 {
+                    env.charge_gas(
+                        dsaudit_chain::gas::GasSchedule::default().compute_gas(ms),
+                    );
+                }
+                self.settle_round(env, passed, false);
+                Ok(())
+            }
             other => Err(VmError::UnknownMethod(other.into())),
         }
     }
@@ -320,6 +362,21 @@ impl ContractBehavior for AuditContract {
                 let challenge = self
                     .current_challenge
                     .expect("Prove phase implies a challenge");
+                if self.batch_auditor.is_some() && self.pending_proof.is_some() {
+                    // batched mode: keep the proof, hand the round to the
+                    // shared batch verifier and wait for its verdict. The
+                    // wait is bounded: if the auditor never answers, the
+                    // VerdictTimeout trigger below falls back to
+                    // on-contract verification, so deposits can never be
+                    // frozen by a dead auditor.
+                    self.phase = Phase::AwaitVerdict;
+                    env.emit("needsverdict", self.cnt.to_le_bytes().to_vec());
+                    env.schedule(
+                        env.now + self.agreement.prove_deadline_secs,
+                        "VerdictTimeout",
+                    );
+                    return Ok(());
+                }
                 match self.pending_proof.take() {
                     Some(proof) => {
                         let t0 = std::time::Instant::now();
@@ -337,6 +394,31 @@ impl ContractBehavior for AuditContract {
                         self.settle_round(env, false, true);
                     }
                 }
+                Ok(())
+            }
+            // batched mode's escape hatch: the auditor missed its window,
+            // so the contract verifies the kept proof itself (same check
+            // as the unbatched path). A stale trigger arriving after the
+            // verdict already settled the round is a silent no-op.
+            "VerdictTimeout" => {
+                if self.phase != Phase::AwaitVerdict {
+                    return Ok(());
+                }
+                let challenge = self
+                    .current_challenge
+                    .expect("AwaitVerdict implies a challenge");
+                let proof = self
+                    .pending_proof
+                    .take()
+                    .expect("AwaitVerdict implies a posted proof");
+                env.emit("verdicttimeout", self.cnt.to_le_bytes().to_vec());
+                let t0 = std::time::Instant::now();
+                let ok = verify_private(&self.pk, &self.meta, &challenge, &proof);
+                let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
+                env.charge_gas(
+                    dsaudit_chain::gas::GasSchedule::default().compute_gas(verify_ms),
+                );
+                self.settle_round(env, ok, false);
                 Ok(())
             }
             other => Err(VmError::UnknownMethod(other.into())),

@@ -94,7 +94,10 @@ pub fn setup_session<R: rand::RngCore + ?Sized>(
         owner_deposit: agreement_template.owner_deposit,
         provider_deposit: agreement_template.provider_deposit,
     };
-    let contract_obj = AuditContract::new(agreement, pk.clone(), meta);
+    let mut contract_obj = AuditContract::new(agreement, pk.clone(), meta);
+    if let Some(auditor) = agreement_template.batch_auditor {
+        contract_obj = contract_obj.with_batch_auditor(auditor);
+    }
     let contract = chain.deploy(label, Box::new(contract_obj));
 
     // negotiate -> ack -> deposits
@@ -143,6 +146,10 @@ pub struct AgreementTerms {
     pub owner_deposit: Wei,
     /// Provider's locked deposit.
     pub provider_deposit: Wei,
+    /// When set, contracts defer round verdicts to this batch-verifier
+    /// address (§VII-D amortized verification); `None` keeps classic
+    /// per-contract verification at the `Verify` trigger.
+    pub batch_auditor: Option<Address>,
 }
 
 impl Default for AgreementTerms {
@@ -156,6 +163,7 @@ impl Default for AgreementTerms {
             penalty_per_fail: gwei(5_000_000), // 0.005 ETH
             owner_deposit: gwei(1_000_000) * 100,
             provider_deposit: gwei(5_000_000) * 100,
+            batch_auditor: None,
         }
     }
 }

@@ -5,7 +5,6 @@
 //! The `alpha`-powers are the KZG-style commitment key; `x` is the
 //! HLA signing exponent.
 
-use dsaudit_algebra::curve::Projective;
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
 use dsaudit_algebra::g2::G2Affine;
@@ -144,15 +143,14 @@ pub fn public_key_for(sk: &SecretKey, s: usize) -> PublicKey {
     let g2 = dsaudit_algebra::g2::G2Projective::generator();
     let eps = g2.mul(sk.x).to_affine();
     let delta = g2.mul(sk.alpha * sk.x).to_affine();
-    // powers g1^{alpha^j}
-    let mut projs: Vec<G1Projective> = Vec::with_capacity(s);
+    // powers g1^{alpha^j} off the shared fixed-base generator table
+    let mut powers: Vec<Fr> = Vec::with_capacity(s);
     let mut acc = Fr::one();
-    let g1 = G1Projective::generator();
     for _ in 0..s {
-        projs.push(g1.mul(acc));
+        powers.push(acc);
         acc *= sk.alpha;
     }
-    let alpha_powers_g1 = Projective::batch_to_affine(&projs);
+    let alpha_powers_g1 = G1Projective::generator_table().mul_many_affine(&powers);
     let e_g1_eps = pairing(&G1Affine::generator(), &eps);
     PublicKey {
         eps,

@@ -1,57 +1,23 @@
-//! Tiny data-parallel helper over `std::thread::scope` — keeps the
-//! dependency set minimal while letting tag generation and proving use
-//! all cores (the paper evaluates on quad-core machines).
+//! Data-parallel helpers, re-exported from `dsaudit-algebra`.
+//!
+//! The shim originally lived here; it moved down to the algebra crate so
+//! the MSM window loop can use it without a dependency cycle (`core`
+//! depends on `algebra`, never the other way around). Existing callers
+//! keep importing from `crate::par`.
 
-use std::num::NonZeroUsize;
-
-/// Number of worker threads to use (the machine's available parallelism).
-pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Applies `f` to every index in `0..n`, in parallel, collecting results
-/// in order. `f` must be cheap to call many times; chunking is by
-/// contiguous ranges.
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send + Default + Clone,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = num_threads().min(n.max(1));
-    if threads <= 1 || n < 32 {
-        return (0..n).map(f).collect();
-    }
-    let mut out = vec![T::default(); n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (i, s) in slot.iter_mut().enumerate() {
-                    *s = f(t * chunk + i);
-                }
-            });
-        }
-    });
-    out
-}
+pub use dsaudit_algebra::par::{num_threads, par_map, par_map_chunks};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn par_map_matches_serial() {
-        let serial: Vec<usize> = (0..1000).map(|i| i * i).collect();
-        let parallel = par_map(1000, |i| i * i);
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn par_map_empty_and_tiny() {
-        assert!(par_map(0, |i| i).is_empty());
-        assert_eq!(par_map(3, |i| i + 1), vec![1, 2, 3]);
+    fn reexported_par_map_works() {
+        assert_eq!(par_map(4, |i| i * 2), vec![0, 2, 4, 6]);
+        assert!(num_threads() >= 1);
+        assert_eq!(
+            par_map_chunks(5, 2, |r| r.map(|i| i + 1).collect()),
+            vec![1, 2, 3, 4, 5]
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use dsaudit_algebra::curve::Projective;
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::G1Affine;
 use dsaudit_algebra::msm::msm;
@@ -89,14 +90,20 @@ impl<'a> Prover<'a> {
     }
 
     /// Produces the non-private response `(sigma, y, psi)` — Eq. (1).
+    ///
+    /// Both aggregation MSMs (`sigma` over the challenged tags, `psi`
+    /// over the commitment key) run through the signed-digit Pippenger in
+    /// `dsaudit_algebra::msm`, and the two results share one batched
+    /// affine conversion.
     pub fn prove_plain(&self, challenge: &Challenge) -> PlainProof {
         let (sigma, pk_coeffs) = self.aggregate(challenge);
         let (y, quot) = self.open(pk_coeffs, challenge.r);
         let psi = msm(&self.pk.alpha_powers_g1[..quot.len()], &quot);
+        let affine = Projective::batch_to_affine(&[sigma, psi]);
         PlainProof {
-            sigma: sigma.to_affine(),
+            sigma: affine[0],
             y,
-            psi: psi.to_affine(),
+            psi: affine[1],
         }
     }
 
@@ -150,11 +157,12 @@ impl<'a> Prover<'a> {
         let y_prime = zeta * y + z;
         t.field_ops += t3.elapsed();
 
+        let affine = Projective::batch_to_affine(&[sigma, psi]);
         (
             PrivateProof {
-                sigma: sigma.to_affine(),
+                sigma: affine[0],
                 y_prime,
-                psi: psi.to_affine(),
+                psi: affine[1],
                 r_commit,
             },
             t,
@@ -183,11 +191,12 @@ impl<'a> Prover<'a> {
         let sigma = msm(&bases, &coeffs);
         let psi = msm(&self.pk.alpha_powers_g1[..quot.len()], &quot);
         t.curve_ops += t1.elapsed();
+        let affine = Projective::batch_to_affine(&[sigma, psi]);
         (
             PlainProof {
-                sigma: sigma.to_affine(),
+                sigma: affine[0],
                 y,
-                psi: psi.to_affine(),
+                psi: affine[1],
             },
             t,
         )

@@ -14,7 +14,7 @@ use dsaudit_algebra::g2::G2Affine;
 use dsaudit_algebra::msm::msm;
 use dsaudit_algebra::pairing::multi_pairing;
 use dsaudit_algebra::Fr;
-use dsaudit_crypto::prf::{h_prime, index_oracle};
+use dsaudit_crypto::prf::h_prime;
 
 use crate::challenge::Challenge;
 use crate::keys::PublicKey;
@@ -32,9 +32,67 @@ pub struct FileMeta {
     pub k: usize,
 }
 
-/// Computes `chi = prod_{(i, c_i)} H(name || i)^{c_i}` from public data.
+/// Verifier-side memoization of the index oracle `H(name || i)`.
+///
+/// Audit challenges re-sample `k` chunks of the same small file every
+/// round, so across rounds the verifier keeps recomputing the same
+/// hash-to-curve points (each costing a few hundred field operations in
+/// square-root candidates). This process-wide cache keyed by `(name, i)`
+/// makes every repeated round hit warm entries — the ROADMAP item for
+/// cutting on-chain simulation time of multi-round contracts.
+pub mod chi_cache {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    use dsaudit_algebra::g1::G1Affine;
+    use dsaudit_algebra::Fr;
+    use dsaudit_crypto::prf::index_oracle;
+
+    /// Upper bound on resident entries (~100 bytes each). When the map
+    /// would grow past this it is cleared wholesale — simpler than an
+    /// eviction order, and the bound is far beyond any realistic audit
+    /// population (a million distinct `(file, chunk)` pairs).
+    const MAX_ENTRIES: usize = 1 << 20;
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+
+    fn map() -> &'static Mutex<HashMap<(Fr, u64), G1Affine>> {
+        static MAP: OnceLock<Mutex<HashMap<(Fr, u64), G1Affine>>> = OnceLock::new();
+        MAP.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// `H(name || i)`, served from the cache when warm. Misses compute
+    /// outside the lock (two racing verifiers may both compute a fresh
+    /// entry, which is benign — the oracle is deterministic).
+    pub fn index_oracle_cached(name: Fr, i: u64) -> G1Affine {
+        if let Some(p) = map().lock().expect("chi cache lock").get(&(name, i)) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return *p;
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let p = index_oracle(name, i);
+        let mut m = map().lock().expect("chi cache lock");
+        if m.len() >= MAX_ENTRIES {
+            m.clear();
+        }
+        m.insert((name, i), p);
+        p
+    }
+
+    /// `(hits, misses)` counters since process start, for tests and the
+    /// bench harness.
+    pub fn stats() -> (u64, u64) {
+        (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    }
+}
+
+/// Computes `chi = prod_{(i, c_i)} H(name || i)^{c_i}` from public data,
+/// with the hash-to-curve points served from [`chi_cache`].
 pub fn compute_chi(name: Fr, set: &[(u64, Fr)]) -> G1Projective {
-    let hashes: Vec<G1Affine> = par_map(set.len(), |j| index_oracle(name, set[j].0));
+    let hashes: Vec<G1Affine> =
+        par_map(set.len(), |j| chi_cache::index_oracle_cached(name, set[j].0));
     let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
     msm(&hashes, &coeffs)
 }
@@ -247,6 +305,26 @@ mod tests {
         let mut bad = good;
         bad.r_commit = bad.r_commit.mul(&dsaudit_algebra::Gt::generator());
         assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+    }
+
+    #[test]
+    fn chi_cache_hits_on_repeated_rounds() {
+        let mut rng = rng();
+        // a name no other test uses, so the first round may miss freely
+        let name = Fr::random(&mut rng) + Fr::from_u64(0xc4c4e);
+        let set: Vec<(u64, Fr)> = (0..6)
+            .map(|i| (i as u64 * 3 + 1, Fr::random(&mut rng)))
+            .collect();
+        let first = compute_chi(name, &set);
+        let (h1, _) = chi_cache::stats();
+        let second = compute_chi(name, &set);
+        let (h2, m2) = chi_cache::stats();
+        assert_eq!(first, second, "cache must not change the result");
+        assert!(
+            h2 - h1 >= set.len() as u64,
+            "a repeated round must hit the cache for every challenged index \
+             (hits went {h1} -> {h2}, misses {m2})"
+        );
     }
 
     #[test]

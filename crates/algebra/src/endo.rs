@@ -389,6 +389,41 @@ pub fn mul_each_g1(points: &[G1Affine], k: Fr) -> Vec<G1Affine> {
     crate::msm::mul_each(points, k)
 }
 
+/// GLV-split multi-scalar multiplication on G1: every term
+/// `k_i * P_i` becomes `k1_i * (+-P_i) + k2_i * (+-phi(P_i))` with
+/// half-width magnitudes, so the Pippenger core runs over `2n` points but
+/// only ~128 scalar bits — half the windows, half the inter-window
+/// doubling chain. This is the verifier's `chi` aggregation and the
+/// prover's commitment kernel. Every decomposition is exact-checked; any
+/// failure (never expected) falls back to the generic [`crate::msm::msm`].
+pub fn msm_g1(bases: &[G1Affine], scalars: &[Fr]) -> crate::g1::G1Projective {
+    assert_eq!(bases.len(), scalars.len(), "msm requires equal-length inputs");
+    // Tiny inputs don't amortize the decomposition bookkeeping.
+    if bases.len() < 8 {
+        return crate::msm::msm(bases, scalars);
+    }
+    let Some(endo) = G1Endo::get() else {
+        return crate::msm::msm(bases, scalars);
+    };
+    let mut split_bases: Vec<G1Affine> = Vec::with_capacity(2 * bases.len());
+    let mut split_scalars: Vec<Limbs> = Vec::with_capacity(2 * bases.len());
+    for (p, k) in bases.iter().zip(scalars) {
+        let Some((k1, k2)) = endo.decompose(*k) else {
+            return crate::msm::msm(bases, scalars);
+        };
+        let phi = Affine {
+            x: p.x * endo.beta,
+            y: p.y,
+            infinity: p.infinity,
+        };
+        split_bases.push(if k1.neg { p.neg() } else { *p });
+        split_scalars.push(u128_limbs(k1.mag));
+        split_bases.push(if k2.neg { phi.neg() } else { phi });
+        split_scalars.push(u128_limbs(k2.mag));
+    }
+    crate::msm::msm_limbs(&split_bases, &split_scalars, 128)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

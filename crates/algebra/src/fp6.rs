@@ -72,6 +72,19 @@ impl Fq6 {
         }
     }
 
+    /// Multiplies by a sparse element `b0 + b1 v` (zero `v^2` slot) in
+    /// 5 `Fq2` multiplications instead of the generic 6 — the inner
+    /// kernel of the pairing engine's sparse line multiplication.
+    pub fn mul_by_01(&self, b0: Fq2, b1: Fq2) -> Self {
+        let v0 = self.c0 * b0;
+        let v1 = self.c1 * b1;
+        Self {
+            c0: ((self.c1 + self.c2) * b1 - v1).mul_by_nonresidue() + v0,
+            c1: (self.c0 + self.c1) * (b0 + b1) - v0 - v1,
+            c2: (self.c0 + self.c2) * b0 - v0 + v1,
+        }
+    }
+
     /// Scales every coefficient by an `Fq2` element.
     pub fn scale(&self, k: Fq2) -> Self {
         Self {
@@ -235,6 +248,22 @@ mod tests {
         let v = Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero());
         let xi6 = Fq6::new(Fq2::xi(), Fq2::zero(), Fq2::zero());
         assert_eq!(v * v * v, xi6);
+    }
+
+    #[test]
+    fn mul_by_01_matches_generic() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let a = Fq6::random(&mut rng);
+            let b0 = Fq2::random(&mut rng);
+            let b1 = Fq2::random(&mut rng);
+            let sparse = Fq6::new(b0, b1, Fq2::zero());
+            assert_eq!(a.mul_by_01(b0, b1), a * sparse);
+        }
+        // degenerate slots
+        let a = Fq6::random(&mut rng);
+        assert_eq!(a.mul_by_01(Fq2::zero(), Fq2::zero()), Fq6::ZERO);
+        assert_eq!(a.mul_by_01(Fq2::one(), Fq2::zero()), a);
     }
 
     #[test]

@@ -31,10 +31,13 @@ pub use fields::{Fq, Fr, ATE_LOOP_COUNT, BN_X, FR_TWO_ADICITY};
 pub use fp2::Fq2;
 pub use g1::{G1Affine, G1Projective};
 pub use g2::{G2Affine, G2Projective};
-pub use endo::mul_each_g1;
+pub use endo::{msm_g1, mul_each_g1};
 pub use fft::Domain;
 pub use msm::{msm, FixedBaseTable};
-pub use pairing::{final_exponentiation, miller_loop, multi_pairing, pairing, Gt};
+pub use pairing::{
+    final_exponentiation, miller_loop, multi_miller_loop, multi_pairing, multi_pairing_prepared,
+    pairing, G2Prepared, Gt,
+};
 pub use poly::DensePoly;
 pub use fp6::Fq6;
 pub use fp12::Fq12;

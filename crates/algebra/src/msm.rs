@@ -37,15 +37,16 @@ const FR_BITS: usize = 254;
 /// over enough lanes.
 const BATCH_AFFINE_CUTOFF: usize = 128;
 
-/// Picks the bucket window size for `n` terms by minimizing the cost
-/// model `windows * (n + 3 * 2^(c-1))`: each window visits every point
-/// once (one bucket addition) and pays roughly three additions' worth of
-/// running-sum work per bucket. Signed digits halve the bucket count, so
-/// the optimum sits about one bit above the classic unsigned ladder.
-fn window_size(n: usize) -> usize {
+/// Picks the bucket window size for `n` terms of `nbits` bits by
+/// minimizing the cost model `windows * (n + 3 * 2^(c-1))`: each window
+/// visits every point once (one bucket addition) and pays roughly three
+/// additions' worth of running-sum work per bucket. Signed digits halve
+/// the bucket count, so the optimum sits about one bit above the classic
+/// unsigned ladder.
+fn window_size(n: usize, nbits: usize) -> usize {
     let mut best = (usize::MAX, 1);
     for c in 1..=15 {
-        let windows = FR_BITS.div_ceil(c) + 1;
+        let windows = nbits.div_ceil(c) + 1;
         let cost = windows * (n + 3 * (1usize << (c - 1)));
         if cost < best.0 {
             best = (cost, c);
@@ -64,24 +65,39 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
         scalars.len(),
         "msm requires equal-length inputs"
     );
-    if bases.is_empty() {
-        return Projective::identity();
-    }
     if bases.len() == 1 {
         return bases[0].mul(scalars[0]);
     }
-    let c = window_size(bases.len());
-    let num_windows = FR_BITS.div_ceil(c) + 1;
+    let limbs: Vec<Limbs> = scalars.iter().map(|s| s.to_canonical()).collect();
+    msm_limbs(bases, &limbs, FR_BITS)
+}
+
+/// Pippenger over raw little-endian limb scalars bounded by `2^nbits` —
+/// the shared core of [`msm`] and the GLV-split
+/// [`crate::endo::msm_g1`], whose half-scalars only span 128 bits (and
+/// therefore half the windows).
+pub(crate) fn msm_limbs<C: CurveParams>(
+    bases: &[Affine<C>],
+    scalars: &[Limbs],
+    nbits: usize,
+) -> Projective<C> {
+    assert_eq!(bases.len(), scalars.len());
+    if bases.is_empty() {
+        return Projective::identity();
+    }
+    let c = window_size(bases.len(), nbits);
+    let num_windows = nbits.div_ceil(c) + 1;
     let digits = signed_digits(scalars, c, num_windows);
     // Windows are independent until the final combine, so fan them out
-    // across the thread pool (each worker walks all points for its own
-    // window; total work is identical to the serial loop). par_map_chunks
-    // with a chunk floor of 1 parallelizes even the few-windows regime of
-    // large inputs (big n picks a wide c, i.e. few windows), where
-    // par_map's small-n serial cutoff would otherwise kick in.
+    // across the thread pool. Each worker pools the batch-affine rounds
+    // of its whole window range (see `bucket_windows`): at verifier sizes
+    // (a few hundred points) a single window never amortizes the shared
+    // Montgomery inversion, but a worker's 20-40 windows together do.
+    // par_map_chunks with a chunk floor of 1 parallelizes even the
+    // few-windows regime of large inputs (big n picks a wide c, i.e. few
+    // windows), where par_map's small-n serial cutoff would kick in.
     let window_sums: Vec<Projective<C>> = par_map_chunks(num_windows, 1, |r| {
-        r.map(|w| bucket_window(bases, &digits, w, num_windows, c))
-            .collect()
+        bucket_windows(bases, &digits, r, num_windows, c)
     });
     // combine windows from the top down
     let mut total = Projective::identity();
@@ -94,87 +110,115 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
     total
 }
 
-/// Accumulates one window's buckets and collapses them with the
-/// running-sum trick, returning `sum_d d * bucket[d]`.
-fn bucket_window<C: CurveParams>(
+/// Accumulates the buckets of a whole window range and collapses each
+/// window with the running-sum trick, returning `sum_d d * bucket[w][d]`
+/// per window.
+///
+/// All windows' bucket lists live in one flat arena and the batch-affine
+/// halving rounds run over the pooled pairs, so every round shares a
+/// single Montgomery inversion across the full range — the per-window
+/// variant pays one inversion (a ~380-mul Fermat exponentiation) *per
+/// window* and drains most points through unbatched mixed additions at
+/// the sizes the audit verifier feeds (`chi` over a few hundred points).
+/// The tail that never reaches the batching cutoff merges through plain
+/// mixed additions inside the running-sum pass, which is exactly the old
+/// small-input path.
+fn bucket_windows<C: CurveParams>(
     bases: &[Affine<C>],
     digits: &[i16],
-    w: usize,
+    ws: core::ops::Range<usize>,
     num_windows: usize,
     c: usize,
-) -> Projective<C> {
+) -> Vec<Projective<C>> {
+    // Pool at most ~2^14 points per arena: enough windows to amortize the
+    // shared inversions at small n (the verifier's few-hundred-point chi
+    // pools its whole window range), but bounded so large inputs keep a
+    // cache-sized working set instead of thrashing one giant arena.
+    const TARGET_ARENA_POINTS: usize = 1 << 14;
+    let block = (TARGET_ARENA_POINTS / bases.len().max(1)).max(1);
+    if ws.len() > block {
+        let mut out = Vec::with_capacity(ws.len());
+        let mut start = ws.start;
+        while start < ws.end {
+            let end = (start + block).min(ws.end);
+            out.extend(bucket_windows_block(bases, digits, start..end, num_windows, c));
+            start = end;
+        }
+        return out;
+    }
+    bucket_windows_block(bases, digits, ws, num_windows, c)
+}
+
+/// One pooled arena of bucket lists covering `ws`; see [`bucket_windows`].
+fn bucket_windows_block<C: CurveParams>(
+    bases: &[Affine<C>],
+    digits: &[i16],
+    ws: core::ops::Range<usize>,
+    num_windows: usize,
+    c: usize,
+) -> Vec<Projective<C>> {
     let half = 1usize << (c - 1);
-    let mut buckets = vec![Projective::<C>::identity(); half];
-    if bases.len() >= 2 * BATCH_AFFINE_CUTOFF {
-        // Batch-affine accumulation: keep per-bucket point lists and
-        // halve them round by round, all buckets sharing one inversion
-        // per round; the tail (too few pairs to amortize the inversion)
-        // drains through ordinary mixed additions.
-        let mut lists: Vec<Vec<Affine<C>>> = vec![Vec::new(); half];
-        for (i, base) in bases.iter().enumerate() {
-            let d = digits[i * num_windows + w];
-            match d.cmp(&0) {
-                core::cmp::Ordering::Greater => lists[(d - 1) as usize].push(*base),
-                core::cmp::Ordering::Less => lists[(-d - 1) as usize].push(base.neg()),
-                core::cmp::Ordering::Equal => {}
-            }
-        }
-        let mut lhs: Vec<Affine<C>> = Vec::new();
-        let mut rhs: Vec<Affine<C>> = Vec::new();
-        let mut origin: Vec<usize> = Vec::new();
-        loop {
-            lhs.clear();
-            rhs.clear();
-            origin.clear();
-            for (bi, list) in lists.iter_mut().enumerate() {
-                while list.len() >= 2 {
-                    lhs.push(list.pop().expect("len >= 2"));
-                    rhs.push(list.pop().expect("len >= 2"));
-                    origin.push(bi);
-                }
-            }
-            if lhs.len() < BATCH_AFFINE_CUTOFF {
-                // not worth another shared inversion: put the pairs back
-                for ((bi, l), r) in origin.iter().zip(&lhs).zip(&rhs) {
-                    lists[*bi].push(*l);
-                    lists[*bi].push(*r);
-                }
-                break;
-            }
-            Projective::batch_add_affine(&mut lhs, &rhs);
-            for (bi, p) in origin.iter().zip(&lhs) {
-                lists[*bi].push(*p);
-            }
-        }
-        for (bucket, list) in buckets.iter_mut().zip(&lists) {
-            for p in list {
-                *bucket = bucket.add_affine(p);
-            }
-        }
-    } else {
+    let wcount = ws.len();
+    let mut lists: Vec<Vec<Affine<C>>> = vec![Vec::new(); wcount * half];
+    for (wi, w) in ws.enumerate() {
         for (i, base) in bases.iter().enumerate() {
             let d = digits[i * num_windows + w];
             match d.cmp(&0) {
                 core::cmp::Ordering::Greater => {
-                    let b = &mut buckets[(d - 1) as usize];
-                    *b = b.add_affine(base);
+                    lists[wi * half + (d - 1) as usize].push(*base);
                 }
                 core::cmp::Ordering::Less => {
-                    let b = &mut buckets[(-d - 1) as usize];
-                    *b = b.add_affine(&base.neg());
+                    lists[wi * half + (-d - 1) as usize].push(base.neg());
                 }
                 core::cmp::Ordering::Equal => {}
             }
         }
     }
-    // running-sum trick: sum_d d * bucket[d]
-    let mut running = Projective::<C>::identity();
-    let mut acc = Projective::<C>::identity();
-    for b in buckets.iter().rev() {
-        running = running.add(b);
-        acc = acc.add(&running);
+    // Halve every list round by round; all pending pairs of all windows
+    // share one inversion per round. The loop stops once the pooled pair
+    // count stops paying for the next inversion.
+    let mut lhs: Vec<Affine<C>> = Vec::new();
+    let mut rhs: Vec<Affine<C>> = Vec::new();
+    let mut origin: Vec<usize> = Vec::new();
+    loop {
+        lhs.clear();
+        rhs.clear();
+        origin.clear();
+        for (bi, list) in lists.iter_mut().enumerate() {
+            while list.len() >= 2 {
+                lhs.push(list.pop().expect("len >= 2"));
+                rhs.push(list.pop().expect("len >= 2"));
+                origin.push(bi);
+            }
+        }
+        if lhs.len() < BATCH_AFFINE_CUTOFF {
+            // not worth another shared inversion: put the pairs back
+            for ((bi, l), r) in origin.iter().zip(&lhs).zip(&rhs) {
+                lists[*bi].push(*l);
+                lists[*bi].push(*r);
+            }
+            break;
+        }
+        Projective::batch_add_affine(&mut lhs, &rhs);
+        for (bi, p) in origin.iter().zip(&lhs) {
+            lists[*bi].push(*p);
+        }
     }
-    acc
+    // Per window: merge each list's leftovers (mixed additions) while
+    // folding the buckets with the running-sum trick.
+    (0..wcount)
+        .map(|wi| {
+            let mut running = Projective::<C>::identity();
+            let mut acc = Projective::<C>::identity();
+            for list in lists[wi * half..(wi + 1) * half].iter().rev() {
+                for p in list {
+                    running = running.add_affine(p);
+                }
+                acc = acc.add(&running);
+            }
+            acc
+        })
+        .collect()
 }
 
 /// Recodes every scalar into signed window digits in
@@ -182,18 +226,16 @@ fn bucket_window<C: CurveParams>(
 ///
 /// A raw digit above `2^(c-1)` is replaced by `raw - 2^c` with a carry
 /// into the next window; `num_windows` must include one window beyond the
-/// 254 scalar bits so the final carry is always absorbed (debug-asserted).
-fn signed_digits(scalars: &[Fr], c: usize, num_windows: usize) -> Vec<i16> {
+/// scalar bits so the final carry is always absorbed (debug-asserted).
+fn signed_digits(scalars: &[Limbs], c: usize, num_windows: usize) -> Vec<i16> {
     debug_assert!((1..=15).contains(&c), "digit must fit in i16");
-    debug_assert!(num_windows * c > FR_BITS, "need room for the top carry");
     let half = 1i64 << (c - 1);
     let full = 1i64 << c;
     let mut out = vec![0i16; scalars.len() * num_windows];
-    for (i, s) in scalars.iter().enumerate() {
-        let limbs = s.to_canonical();
+    for (i, limbs) in scalars.iter().enumerate() {
         let mut carry = 0i64;
         for w in 0..num_windows {
-            let raw = extract_bits(&limbs, w * c, c) as i64 + carry;
+            let raw = extract_bits(limbs, w * c, c) as i64 + carry;
             if raw > half {
                 out[i * num_windows + w] = (raw - full) as i16;
                 carry = 1;
@@ -538,7 +580,8 @@ mod tests {
         scalars.extend((0..8).map(|_| Fr::random(&mut rng)));
         for c in [1usize, 3, 5, 8, 13, 15] {
             let num_windows = FR_BITS.div_ceil(c) + 1;
-            let digits = signed_digits(&scalars, c, num_windows);
+            let limbs: Vec<Limbs> = scalars.iter().map(|s| s.to_canonical()).collect();
+            let digits = signed_digits(&limbs, c, num_windows);
             for (i, s) in scalars.iter().enumerate() {
                 // sum_w digit_w * 2^(w*c) must equal the scalar in Fr
                 let mut acc = Fr::zero();

@@ -1,26 +1,236 @@
 //! The optimal ate pairing `e : G1 x G2 -> GT` on BN254.
 //!
-//! The implementation favors auditability over raw speed: G2 points are
-//! embedded into `E(Fq12)` through the sextic twist
-//! `psi(x, y) = (x w^2, y w^3)` and the Miller loop runs in affine `Fq12`
-//! coordinates with explicit line functions (the same structure as the
-//! reference `py_ecc` implementation). The final exponentiation uses the
-//! standard cyclotomic addition chain for `x = 4965661367192848881`,
-//! cross-checked in tests against a generic big-integer exponentiation
-//! derived from the curve order itself.
+//! The engine runs the Miller loop in homogeneous projective coordinates
+//! directly over the twist `E'(Fq2)` — no per-step field inversions and
+//! no untwisting into `E(Fq12)`. Each doubling/addition step emits a
+//! sparse line value `c0 + c3 w + c4 w^3` (three `Fq2` coefficients)
+//! which is folded into the accumulator through the `mul_by_034` /
+//! `mul_034_by_034` kernels in [`crate::fp12`]. Fixed G2 points are
+//! prepared once ([`G2Prepared`] caches the whole line-coefficient
+//! sequence) so repeated pairings against the same G2 point skip all
+//! curve arithmetic. The final exponentiation runs its hard part on
+//! cyclotomic arithmetic (Granger–Scott squaring, Karabina compressed
+//! squaring inside `x`-exponentiations).
+//!
+//! The original affine-`Fq12` Miller loop (the same structure as the
+//! reference `py_ecc` implementation) is retained as
+//! [`miller_loop_generic`], the correctness oracle for differential
+//! tests; the hard part is likewise cross-checked against a generic
+//! big-integer exponentiation in [`final_exp_hard_generic`].
 
 use std::sync::OnceLock;
 
 use crate::bigint;
+use crate::bigint::{div_small, sub_small};
 use crate::biguint::BigUint;
+use crate::curve::CurveParams;
 use crate::field::Field;
-use crate::fields::{Fr, FqParams, FrParams, ATE_LOOP_COUNT};
+use crate::fields::{Fq, FqParams, Fr, FrParams, ATE_LOOP_COUNT};
 use crate::fp::FieldParams;
 use crate::fp12::Fq12;
 use crate::fp2::Fq2;
 use crate::fp6::Fq6;
 use crate::g1::G1Affine;
-use crate::g2::G2Affine;
+use crate::g2::{G2Affine, G2Params};
+
+// ---------------------------------------------------------------------------
+// Projective Miller loop over the twist
+
+/// A twist point in homogeneous projective coordinates (`x = X/Z`,
+/// `y = Y/Z`), the working representation inside [`G2Prepared`].
+#[derive(Clone, Copy, Debug)]
+struct HomProjective {
+    x: Fq2,
+    y: Fq2,
+    z: Fq2,
+}
+
+/// One sparse line value: coefficients at the `w^0`, `w^1`, `w^3` slots,
+/// with `c0` still to be scaled by `y_P` and `c3` by `x_P`.
+type EllCoeff = (Fq2, Fq2, Fq2);
+
+/// `(q - 1)/3` and `(q - 1)/2` powers of `xi`, plus their `q^2`
+/// counterparts — the twisted-Frobenius constants for the two
+/// correction lines of the optimal ate pairing.
+fn frob_twist_consts() -> &'static (Fq2, Fq2, Fq2, Fq2) {
+    static CACHE: OnceLock<(Fq2, Fq2, Fq2, Fq2)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let q_minus_1 = sub_small(&FqParams::MODULUS, 1);
+        let g2 = Fq2::xi().pow(&div_small(&q_minus_1, 3)); // xi^{(q-1)/3}
+        let g3 = Fq2::xi().pow(&div_small(&q_minus_1, 2)); // xi^{(q-1)/2}
+        // xi^{(q^2-1)/3} = g2^{q+1} = conj(g2) * g2, likewise for g3
+        (g2, g3, g2.conjugate() * g2, g3.conjugate() * g3)
+    })
+}
+
+/// Doubling step: `r <- 2r`, returning the tangent-line coefficients.
+/// Homogeneous-coordinate formulas (Costello–Lange–Naehrig, as deployed
+/// for BN curves with a D-type twist).
+fn doubling_step(r: &mut HomProjective, two_inv: Fq) -> EllCoeff {
+    let a = (r.x * r.y).scale(two_inv);
+    let b = r.y.square();
+    let c = r.z.square();
+    let e = G2Params::coeff_b() * (c.double() + c);
+    let f = e.double() + e;
+    let g = (b + f).scale(two_inv);
+    let h = (r.y + r.z).square() - (b + c);
+    let i = e - b;
+    let j = r.x.square();
+    let e_sq = e.square();
+    r.x = a * (b - f);
+    r.y = g.square() - (e_sq.double() + e_sq);
+    r.z = b * h;
+    (-h, j.double() + j, i)
+}
+
+/// Addition step: `r <- r + q`, returning the chord-line coefficients.
+fn addition_step(r: &mut HomProjective, q: &G2Affine) -> EllCoeff {
+    let theta = r.y - q.y * r.z;
+    let lambda = r.x - q.x * r.z;
+    let c = theta.square();
+    let d = lambda.square();
+    let e = lambda * d;
+    let f = r.z * c;
+    let g = r.x * d;
+    let h = e + f - g.double();
+    r.x = lambda * h;
+    r.y = theta * (g - h) - e * r.y;
+    r.z *= e;
+    (lambda, -theta, theta * q.x - lambda * q.y)
+}
+
+/// A G2 point with its full Miller-loop line-coefficient sequence
+/// precomputed. Preparing costs one pass of twist-curve arithmetic;
+/// every subsequent pairing against the point reuses the coefficients
+/// and only pays the (sparse) `Fq12` accumulator work. The verifier's
+/// `g2`, `eps` and `delta` never change across audits, which is what
+/// makes this the right interface for `core`.
+#[derive(Clone, Debug)]
+pub struct G2Prepared {
+    /// Line coefficients in loop-execution order (doublings, conditional
+    /// additions, then the two Frobenius correction lines).
+    ell_coeffs: Vec<EllCoeff>,
+    /// Prepared identity: the pair contributes nothing to the product.
+    infinity: bool,
+}
+
+impl G2Prepared {
+    /// Runs the Miller-loop point arithmetic once and stores every line.
+    pub fn from_affine(q: &G2Affine) -> Self {
+        if q.infinity {
+            return Self {
+                ell_coeffs: Vec::new(),
+                infinity: true,
+            };
+        }
+        let two_inv = Fq::from_u64(2).inverse().expect("2 != 0 in Fq");
+        let mut r = HomProjective {
+            x: q.x,
+            y: q.y,
+            z: Fq2::one(),
+        };
+        let top = 127 - ATE_LOOP_COUNT.leading_zeros();
+        let mut ell_coeffs = Vec::with_capacity(top as usize + ATE_LOOP_COUNT.count_ones() as usize + 2);
+        for i in (0..top).rev() {
+            ell_coeffs.push(doubling_step(&mut r, two_inv));
+            if (ATE_LOOP_COUNT >> i) & 1 == 1 {
+                ell_coeffs.push(addition_step(&mut r, q));
+            }
+        }
+        // Frobenius corrections: Q1 = pi(Q), Q2 = -pi^2(Q), where pi acts
+        // on the twist as (x, y) -> (conj(x) g2, conj(y) g3).
+        let (g2c, g3c, g2c2, g3c2) = *frob_twist_consts();
+        let q1 = G2Affine {
+            x: q.x.conjugate() * g2c,
+            y: q.y.conjugate() * g3c,
+            infinity: false,
+        };
+        let nq2 = G2Affine {
+            x: q.x * g2c2,
+            y: -(q.y * g3c2),
+            infinity: false,
+        };
+        ell_coeffs.push(addition_step(&mut r, &q1));
+        ell_coeffs.push(addition_step(&mut r, &nq2));
+        Self {
+            ell_coeffs,
+            infinity: false,
+        }
+    }
+
+    /// The prepared canonical G2 generator, computed once per process.
+    pub fn generator() -> &'static Self {
+        static GEN: OnceLock<G2Prepared> = OnceLock::new();
+        GEN.get_or_init(|| Self::from_affine(&G2Affine::generator()))
+    }
+
+    /// True when this prepared point is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+}
+
+impl From<&G2Affine> for G2Prepared {
+    fn from(q: &G2Affine) -> Self {
+        Self::from_affine(q)
+    }
+}
+
+/// The Miller loop over any number of prepared pairs, sharing the
+/// accumulator squarings across all pairs. Pairs whose G1 or G2 point is
+/// the identity are skipped (their pairing factor is 1). Line values of
+/// distinct pairs are folded two at a time through the sparse-by-sparse
+/// kernel before touching the full accumulator.
+pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> Fq12 {
+    let active: Vec<(&G1Affine, &G2Prepared)> = pairs
+        .iter()
+        .filter(|(p, q)| !p.infinity && !q.infinity)
+        .copied()
+        .collect();
+    if active.is_empty() {
+        return Fq12::one();
+    }
+    let mut f = Fq12::one();
+    let mut idx = 0usize;
+    let mut lines: Vec<EllCoeff> = Vec::with_capacity(active.len());
+    let step = |f: &mut Fq12, idx: usize, lines: &mut Vec<EllCoeff>| {
+        lines.clear();
+        for (p, q) in &active {
+            let (c0, c3, c4) = q.ell_coeffs[idx];
+            lines.push((c0.scale(p.y), c3.scale(p.x), c4));
+        }
+        let mut chunks = lines.chunks_exact(2);
+        for pair in &mut chunks {
+            *f *= Fq12::mul_034_by_034(pair[0], pair[1]);
+        }
+        if let [l] = chunks.remainder() {
+            *f = f.mul_by_034(l.0, l.1, l.2);
+        }
+    };
+    let top = 127 - ATE_LOOP_COUNT.leading_zeros();
+    for i in (0..top).rev() {
+        f = f.square();
+        step(&mut f, idx, &mut lines);
+        idx += 1;
+        if (ATE_LOOP_COUNT >> i) & 1 == 1 {
+            step(&mut f, idx, &mut lines);
+            idx += 1;
+        }
+    }
+    // the two Frobenius correction lines
+    step(&mut f, idx, &mut lines);
+    step(&mut f, idx + 1, &mut lines);
+    f
+}
+
+/// The Miller loop `f_{6x+2, Q}(P)` through the projective engine
+/// (prepares `Q` on the fly).
+pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    multi_miller_loop(&[(p, &G2Prepared::from_affine(q))])
+}
+
+// ---------------------------------------------------------------------------
+// Generic affine oracle (retained for differential testing)
 
 /// A point of `E(Fq12)` in affine coordinates (never the identity inside
 /// the Miller loop).
@@ -64,9 +274,10 @@ fn line_and_add(a: &Ept, b: &Ept, xt: &Fq12, yt: &Fq12) -> (Fq12, Ept) {
     (line, Ept { x: x3, y: y3 })
 }
 
-/// The Miller loop `f_{6x+2, Q}(P)` of the optimal ate pairing, including
-/// the two Frobenius correction lines. Returns an unreduced `Fq12` value.
-pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
+/// The original affine-`Fq12` Miller loop (one field inversion per step):
+/// the slow, auditable oracle the projective engine is differentially
+/// tested against. Not used on any hot path.
+pub fn miller_loop_generic(p: &G1Affine, q: &G2Affine) -> Fq12 {
     if p.infinity || q.infinity {
         return Fq12::one();
     }
@@ -101,29 +312,34 @@ pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
     f * line
 }
 
+// ---------------------------------------------------------------------------
+// Final exponentiation
+
 /// Easy part of the final exponentiation: `f^{(q^6 - 1)(q^2 + 1)}`.
-/// The output is unitary (lies in the cyclotomic subgroup).
+/// The output lies in the cyclotomic subgroup.
 fn final_exp_easy(f: &Fq12) -> Fq12 {
     let inv = f.inverse().expect("Miller loop output is nonzero");
     let t = f.conjugate() * inv; // f^{q^6 - 1}
     t.frobenius(2) * t // ^(q^2 + 1)
 }
 
-/// `f^{-x}` for unitary `f` (conjugate of `f^x`).
+/// `f^{-x}` for cyclotomic `f` (conjugate of `f^x`), through the
+/// Karabina compressed-squaring chain.
 fn exp_by_neg_x(f: &Fq12) -> Fq12 {
-    f.pow_x().conjugate()
+    f.cyclotomic_pow_x().conjugate()
 }
 
 /// Hard part `f^{(q^4 - q^2 + 1)/r}` via the standard BN addition chain
-/// (Aranha et al., as deployed for alt_bn128). Requires unitary input.
+/// (Aranha et al., as deployed for alt_bn128). Requires cyclotomic input;
+/// all squarings run on the Granger–Scott kernel.
 fn final_exp_hard(f: &Fq12) -> Fq12 {
     let a = exp_by_neg_x(f);
-    let b = a.square();
-    let c = b.square();
+    let b = a.cyclotomic_square();
+    let c = b.cyclotomic_square();
     let d = c * b;
 
     let e = exp_by_neg_x(&d);
-    let g = e.square();
+    let g = e.cyclotomic_square();
     let h = exp_by_neg_x(&g);
     let i = d.conjugate();
     let j = h.conjugate();
@@ -170,25 +386,40 @@ pub fn final_exponentiation(f: &Fq12) -> Gt {
     Gt(final_exp_hard(&easy))
 }
 
+// ---------------------------------------------------------------------------
+// Pairing products
+
 /// The optimal ate pairing `e(P, Q)`.
 pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
     final_exponentiation(&miller_loop(p, q))
 }
 
-/// Product of pairings `prod_i e(P_i, Q_i)` with a single shared final
-/// exponentiation — the workhorse of proof verification.
+/// Product of pairings `prod_i e(P_i, Q_i)` with a single shared Miller
+/// loop and final exponentiation — the workhorse of proof verification.
 pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Gt {
-    let mut f = Fq12::one();
-    for (p, q) in pairs {
-        f *= miller_loop(p, q);
-    }
-    final_exponentiation(&f)
+    let prepared: Vec<G2Prepared> = pairs.iter().map(|(_, q)| G2Prepared::from_affine(q)).collect();
+    let refs: Vec<(&G1Affine, &G2Prepared)> = pairs
+        .iter()
+        .zip(&prepared)
+        .map(|((p, _), qp)| (p, qp))
+        .collect();
+    final_exponentiation(&multi_miller_loop(&refs))
+}
+
+/// Product of pairings against **prepared** G2 points: the hot-path API
+/// for verifiers whose G2 points (`g2`, `eps`, `delta`) are fixed across
+/// audits.
+pub fn multi_pairing_prepared(pairs: &[(&G1Affine, &G2Prepared)]) -> Gt {
+    final_exponentiation(&multi_miller_loop(pairs))
 }
 
 /// An element of the pairing target group `GT` (order `r`, multiplicative).
 ///
-/// Wraps a unitary `Fq12` element. Group notation is multiplicative:
-/// [`Gt::mul`] combines audits, [`Gt::pow`] exponentiates by a scalar.
+/// Wraps a cyclotomic `Fq12` element (every constructor guarantees
+/// membership in the cyclotomic subgroup, which is what licenses the
+/// Granger–Scott arithmetic in [`Gt::pow`]). Group notation is
+/// multiplicative: [`Gt::mul`] combines audits, [`Gt::pow`]
+/// exponentiates by a scalar.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Gt(pub(crate) Fq12);
 
@@ -220,9 +451,45 @@ impl Gt {
         Gt(self.0.conjugate())
     }
 
-    /// Exponentiation by a scalar.
+    /// Exponentiation by a scalar: signed-NAF square-and-multiply on
+    /// cyclotomic squarings, with the free conjugation serving the
+    /// negative digits.
     pub fn pow(&self, k: Fr) -> Self {
-        Gt(self.0.pow(&k.to_canonical()))
+        Gt(self.0.cyclotomic_exp(&k.to_canonical()))
+    }
+
+    /// Simultaneous multi-exponentiation `prod_i g_i^{k_i}` (Straus
+    /// interleaving): all terms share one cyclotomic squaring chain, so
+    /// `n` terms cost one chain plus the NAF-digit multiplications
+    /// instead of `n` full chains. This is the batch verifier's
+    /// `prod_u R_u^{-rho_u}` accumulator.
+    pub fn multi_pow(terms: &[(Gt, Fr)]) -> Gt {
+        let nafs: Vec<Vec<i8>> = terms
+            .iter()
+            .map(|(_, k)| crate::fp12::naf_digits(&k.to_canonical()))
+            .collect();
+        let maxlen = nafs.iter().map(Vec::len).max().unwrap_or(0);
+        let mut acc = Fq12::one();
+        let mut started = false;
+        for pos in (0..maxlen).rev() {
+            if started {
+                acc = acc.cyclotomic_square();
+            }
+            for (naf, (g, _)) in nafs.iter().zip(terms) {
+                match naf.get(pos) {
+                    Some(1) => {
+                        acc *= g.0;
+                        started = true;
+                    }
+                    Some(-1) => {
+                        acc *= g.0.conjugate();
+                        started = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Gt(acc)
     }
 
     /// True for the identity.
@@ -263,8 +530,12 @@ impl Gt {
     }
 
     /// Decompresses a torus-encoded element. Returns `None` for malformed
-    /// encodings. The result is always unitary; membership in the order-`r`
-    /// subgroup is the verifier equation's job.
+    /// encodings, including any encoding outside the **cyclotomic
+    /// subgroup** (torus decompression alone only guarantees unitarity;
+    /// the extra check keeps the `Gt` invariant that licenses cyclotomic
+    /// arithmetic, and rejects a class of adversarial encodings before
+    /// they ever reach a verifier equation). Membership in the order-`r`
+    /// subgroup is still the verifier equation's job.
     pub fn from_compressed(bytes: &[u8; 192]) -> Option<Self> {
         if bytes[0] & 0x80 != 0 {
             let ok = bytes[0] == 0x80 && bytes[1..].iter().all(|&b| b == 0);
@@ -285,7 +556,7 @@ impl Gt {
         let gw_plus = Fq12::new(g, Fq6::one());
         let gw_minus = Fq12::new(g, -Fq6::one());
         let m = gw_plus * gw_minus.inverse()?;
-        Some(Gt(m))
+        m.is_cyclotomic().then_some(Gt(m))
     }
 
     /// Uncompressed 384-byte serialization (12 `Fq` coefficients).
@@ -307,7 +578,7 @@ impl Gt {
 
 /// Exponentiates `Gt` by a raw 256-bit canonical integer (used by tests).
 pub fn gt_pow_limbs(g: &Gt, limbs: &bigint::Limbs) -> Gt {
-    Gt(g.0.pow(limbs))
+    Gt(g.0.cyclotomic_exp(limbs))
 }
 
 #[cfg(test)]
@@ -370,6 +641,69 @@ mod tests {
     }
 
     #[test]
+    fn projective_miller_loop_matches_generic_oracle() {
+        // The projective lines are scaled by Z-power factors living in
+        // proper subfields, which the final exponentiation kills — so the
+        // engines are compared in GT, where the pairing value lives.
+        let mut rng = rng();
+        for _ in 0..3 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            let p = G1Projective::generator().mul(a).to_affine();
+            let q = G2Projective::generator().mul(b).to_affine();
+            assert_eq!(
+                final_exponentiation(&miller_loop(&p, &q)),
+                final_exponentiation(&miller_loop_generic(&p, &q))
+            );
+        }
+        // identity inputs
+        let p = G1Affine::generator();
+        let q = G2Affine::generator();
+        assert_eq!(
+            miller_loop(&G1Affine::identity(), &q),
+            miller_loop_generic(&G1Affine::identity(), &q)
+        );
+        assert_eq!(
+            miller_loop(&p, &G2Affine::identity()),
+            miller_loop_generic(&p, &G2Affine::identity())
+        );
+    }
+
+    #[test]
+    fn prepared_multi_miller_matches_generic_product() {
+        let mut rng = rng();
+        let scalars: Vec<(Fr, Fr)> = (0..3)
+            .map(|_| (Fr::random(&mut rng), Fr::random(&mut rng)))
+            .collect();
+        let pairs: Vec<(G1Affine, G2Affine)> = scalars
+            .iter()
+            .map(|(a, b)| {
+                (
+                    G1Projective::generator().mul(*a).to_affine(),
+                    G2Projective::generator().mul(*b).to_affine(),
+                )
+            })
+            .collect();
+        let prepared: Vec<G2Prepared> =
+            pairs.iter().map(|(_, q)| G2Prepared::from_affine(q)).collect();
+        let refs: Vec<(&G1Affine, &G2Prepared)> = pairs
+            .iter()
+            .zip(&prepared)
+            .map(|((p, _), qp)| (p, qp))
+            .collect();
+        let mut expected = Fq12::one();
+        for (p, q) in &pairs {
+            expected *= miller_loop_generic(p, q);
+        }
+        // unreduced Miller values may differ by subfield factors that the
+        // final exponentiation kills; compare in GT
+        assert_eq!(
+            final_exponentiation(&multi_miller_loop(&refs)),
+            final_exponentiation(&expected)
+        );
+    }
+
+    #[test]
     fn hard_part_chain_matches_generic_multiple() {
         // The deployed chain (Fuentes-Castaneda variant) computes
         // f^{2x(6x^2+3x+1) * (q^4-q^2+1)/r} — the hard part raised to a
@@ -381,6 +715,7 @@ mod tests {
         let f = miller_loop(&p, &G2Affine::generator());
         let easy = final_exp_easy(&f);
         assert!(easy.is_unitary());
+        assert!(easy.is_cyclotomic());
         // c = 12x^3 + 6x^2 + 2x
         let x = BigUint::from_limbs(&[crate::fields::BN_X]);
         let x2 = x.mul(&x);
@@ -403,6 +738,24 @@ mod tests {
         let q = G2Affine::generator();
         let prod = multi_pairing(&[(p1, q), (p2, q)]);
         assert_eq!(prod, Gt::generator().pow(a + b));
+    }
+
+    #[test]
+    fn prepared_pairing_matches_fresh() {
+        let mut rng = rng();
+        let a = Fr::random(&mut rng);
+        let p = G1Projective::generator().mul(a).to_affine();
+        let q = G2Projective::random(&mut rng).to_affine();
+        let qp = G2Prepared::from_affine(&q);
+        assert_eq!(
+            multi_pairing_prepared(&[(&p, &qp)]),
+            pairing(&p, &q)
+        );
+        // the cached generator agrees with an on-the-fly preparation
+        assert_eq!(
+            multi_pairing_prepared(&[(&p, G2Prepared::generator())]),
+            pairing(&p, &G2Affine::generator())
+        );
     }
 
     #[test]
@@ -429,6 +782,25 @@ mod tests {
     }
 
     #[test]
+    fn gt_decompression_rejects_non_cyclotomic() {
+        // A torus encoding of an arbitrary Fq6 point decompresses to a
+        // unitary element that is (generically) outside the cyclotomic
+        // subgroup; the decoder must reject it.
+        let mut rng = rng();
+        let g = Fq6::random(&mut rng);
+        let mut bytes = [0u8; 192];
+        for (i, fq) in [g.c0.c0, g.c0.c1, g.c1.c0, g.c1.c1, g.c2.c0, g.c2.c1]
+            .iter()
+            .enumerate()
+        {
+            bytes[i * 32..(i + 1) * 32].copy_from_slice(&fq.to_bytes_be());
+        }
+        if bytes[0] & 0x80 == 0 {
+            assert!(Gt::from_compressed(&bytes).is_none());
+        }
+    }
+
+    #[test]
     fn gt_pow_homomorphic() {
         let mut rng = rng();
         let a = Fr::random(&mut rng);
@@ -436,5 +808,40 @@ mod tests {
         let g = Gt::generator();
         assert_eq!(g.pow(a).mul(&g.pow(b)), g.pow(a + b));
         assert_eq!(g.pow(a).pow(b), g.pow(a * b));
+    }
+
+    #[test]
+    fn gt_multi_pow_matches_individual_pows() {
+        let mut rng = rng();
+        let terms: Vec<(Gt, Fr)> = (0..4)
+            .map(|_| {
+                (
+                    Gt::generator().pow(Fr::random(&mut rng)),
+                    Fr::random(&mut rng),
+                )
+            })
+            .collect();
+        let mut expected = Gt::identity();
+        for (g, k) in &terms {
+            expected = expected.mul(&g.pow(*k));
+        }
+        assert_eq!(Gt::multi_pow(&terms), expected);
+        assert_eq!(Gt::multi_pow(&[]), Gt::identity());
+        assert_eq!(
+            Gt::multi_pow(&[(Gt::generator(), Fr::zero())]),
+            Gt::identity()
+        );
+    }
+
+    #[test]
+    fn gt_pow_matches_generic_fq12_pow() {
+        let mut rng = rng();
+        let g = Gt::generator();
+        for _ in 0..3 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(g.pow(k).0, g.0.pow(&k.to_canonical()));
+        }
+        assert_eq!(g.pow(Fr::zero()), Gt::identity());
+        assert_eq!(g.pow(Fr::one()), g);
     }
 }

@@ -3,9 +3,15 @@
 
 use dsaudit_algebra::curve::Projective;
 use dsaudit_algebra::field::Field;
+use dsaudit_algebra::fp12::Fq12;
 use dsaudit_algebra::fp2::Fq2;
+use dsaudit_algebra::fp6::Fq6;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::{G2Affine, G2Projective};
 use dsaudit_algebra::msm::{msm, msm_naive};
+use dsaudit_algebra::pairing::{
+    final_exponentiation, miller_loop_generic, multi_miller_loop, G2Prepared,
+};
 use dsaudit_algebra::poly::DensePoly;
 use dsaudit_algebra::{Fq, Fr};
 use proptest::prelude::*;
@@ -138,5 +144,122 @@ proptest! {
             .collect();
         let bases = Projective::batch_to_affine(&bases_proj);
         prop_assert_eq!(msm(&bases, &scalars), msm_naive(&bases, &scalars));
+        // the GLV-split variant must agree everywhere too (including the
+        // small-n fallback and identity points among the bases)
+        prop_assert_eq!(
+            dsaudit_algebra::endo::msm_g1(&bases, &scalars),
+            msm_naive(&bases, &scalars)
+        );
+    }
+}
+
+fn arb_fq6() -> impl Strategy<Value = Fq6> {
+    (arb_fq2(), arb_fq2(), arb_fq2()).prop_map(|(c0, c1, c2)| Fq6::new(c0, c1, c2))
+}
+
+fn arb_fq12() -> impl Strategy<Value = Fq12> {
+    (arb_fq6(), arb_fq6()).prop_map(|(c0, c1)| Fq12::new(c0, c1))
+}
+
+/// A uniformly sampled element of the cyclotomic subgroup, via the easy
+/// part of the final exponentiation (`f -> f^{(q^6-1)(q^2+1)}`).
+fn arb_cyclotomic() -> impl Strategy<Value = Fq12> {
+    arb_fq12().prop_map(|f| {
+        let f = if f.is_zero() { Fq12::one() } else { f };
+        let t = f.conjugate() * f.inverse().expect("nonzero");
+        t.frobenius(2) * t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The sparse line kernel agrees with a generic 18-mul `Fq12`
+    /// multiplication against the densely embedded line value.
+    #[test]
+    fn sparse_mul_034_matches_generic(f in arb_fq12(), c0 in arb_fq2(), c3 in arb_fq2(), c4 in arb_fq2()) {
+        let dense = Fq12::new(
+            Fq6::new(c0, Fq2::zero(), Fq2::zero()),
+            Fq6::new(c3, c4, Fq2::zero()),
+        );
+        prop_assert_eq!(f.mul_by_034(c0, c3, c4), f * dense);
+    }
+
+    /// The sparse-by-sparse line product agrees with the generic product
+    /// of the two densely embedded lines.
+    #[test]
+    fn sparse_mul_034_by_034_matches_generic(
+        a in (arb_fq2(), arb_fq2(), arb_fq2()),
+        b in (arb_fq2(), arb_fq2(), arb_fq2()),
+    ) {
+        let dense = |t: (Fq2, Fq2, Fq2)| Fq12::new(
+            Fq6::new(t.0, Fq2::zero(), Fq2::zero()),
+            Fq6::new(t.1, t.2, Fq2::zero()),
+        );
+        prop_assert_eq!(Fq12::mul_034_by_034(a, b), dense(a) * dense(b));
+    }
+
+    /// Granger–Scott squaring agrees with the generic square on the
+    /// cyclotomic subgroup (where all final-exponentiation work lives).
+    #[test]
+    fn cyclotomic_square_matches_square(u in arb_cyclotomic()) {
+        prop_assert!(u.is_cyclotomic());
+        prop_assert_eq!(u.cyclotomic_square(), u.square());
+    }
+
+    /// The Karabina compressed chain and the NAF cyclotomic
+    /// exponentiation agree with generic square-and-multiply.
+    #[test]
+    fn cyclotomic_exponentiation_matches_generic(u in arb_cyclotomic(), k in arb_fr()) {
+        prop_assert_eq!(u.cyclotomic_pow_x(), u.pow_x());
+        let exp = k.to_canonical();
+        prop_assert_eq!(u.cyclotomic_exp(&exp), u.pow(&exp));
+    }
+}
+
+/// A G1/G2 input pair for the pairing engines: mostly random points, with
+/// identity points mixed in as the adversarial edge case.
+fn arb_pairing_input() -> impl Strategy<Value = (G1Affine, G2Affine)> {
+    (arb_fr(), arb_fr(), any::<u8>()).prop_map(|(a, b, sel)| {
+        let p = if sel % 5 == 3 {
+            G1Affine::identity()
+        } else {
+            G1Projective::generator().mul(a).to_affine()
+        };
+        let q = if sel % 5 == 4 {
+            G2Affine::identity()
+        } else {
+            G2Projective::generator().mul(b).to_affine()
+        };
+        (p, q)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The prepared projective multi-Miller loop agrees with the product
+    /// of generic affine Miller loops, compared in GT (the projective
+    /// lines carry extra subfield factors that the final exponentiation
+    /// kills). Inputs include identity points on either side.
+    #[test]
+    fn prepared_multi_miller_matches_generic_product(
+        inputs in prop::collection::vec(arb_pairing_input(), 1..4),
+    ) {
+        let prepared: Vec<G2Prepared> =
+            inputs.iter().map(|(_, q)| G2Prepared::from_affine(q)).collect();
+        let refs: Vec<(&G1Affine, &G2Prepared)> = inputs
+            .iter()
+            .zip(&prepared)
+            .map(|((p, _), qp)| (p, qp))
+            .collect();
+        let mut generic = Fq12::one();
+        for (p, q) in &inputs {
+            generic *= miller_loop_generic(p, q);
+        }
+        prop_assert_eq!(
+            final_exponentiation(&multi_miller_loop(&refs)),
+            final_exponentiation(&generic)
+        );
     }
 }

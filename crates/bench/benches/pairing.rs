@@ -1,0 +1,88 @@
+//! Criterion benches for the pairing engine overhaul: projective vs.
+//! generic-affine Miller loop, prepared G2 points, the cyclotomic final
+//! exponentiation, and the shared-loop multi-pairing at the verifier's
+//! size (n = 3) and the paper's batched scale (n = 30 users per
+//! provider, 3 pairs each would be 90 — benched here at the pair counts
+//! 2 and 30 the snapshot tracks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::{G2Affine, G2Projective};
+use dsaudit_algebra::pairing::{
+    final_exponentiation, miller_loop, miller_loop_generic, multi_miller_loop,
+    multi_pairing, multi_pairing_prepared, G2Prepared,
+};
+use dsaudit_algebra::Fr;
+use rand::SeedableRng;
+
+fn setup(n: usize) -> (Vec<G1Affine>, Vec<G2Affine>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a17);
+    let ps = (0..n)
+        .map(|_| G1Projective::generator().mul(Fr::random(&mut rng)).to_affine())
+        .collect();
+    let qs = (0..n)
+        .map(|_| G2Projective::generator().mul(Fr::random(&mut rng)).to_affine())
+        .collect();
+    (ps, qs)
+}
+
+fn bench_miller_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_miller_loop");
+    group.sample_size(10);
+    let (ps, qs) = setup(1);
+    let (p, q) = (ps[0], qs[0]);
+    let prepared = G2Prepared::from_affine(&q);
+    group.bench_function("miller_loop", |b| {
+        b.iter(|| miller_loop(&p, &q));
+    });
+    group.bench_function("miller_loop_prepared", |b| {
+        b.iter(|| multi_miller_loop(&[(&p, &prepared)]));
+    });
+    group.bench_function("miller_loop_generic_oracle", |b| {
+        b.iter(|| miller_loop_generic(&p, &q));
+    });
+    group.bench_function("g2_prepare", |b| {
+        b.iter(|| G2Prepared::from_affine(&q));
+    });
+    group.finish();
+}
+
+fn bench_final_exponentiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_final_exp");
+    group.sample_size(10);
+    let (ps, qs) = setup(1);
+    let f = miller_loop(&ps[0], &qs[0]);
+    group.bench_function("final_exponentiation", |b| {
+        b.iter(|| final_exponentiation(&f));
+    });
+    group.finish();
+}
+
+fn bench_multi_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_multi");
+    group.sample_size(10);
+    let (ps, qs) = setup(30);
+    let prepared: Vec<G2Prepared> = qs.iter().map(G2Prepared::from_affine).collect();
+    for n in [2usize, 30] {
+        let pairs: Vec<(G1Affine, G2Affine)> =
+            ps[..n].iter().zip(&qs[..n]).map(|(p, q)| (*p, *q)).collect();
+        group.bench_with_input(BenchmarkId::new("multi_pairing", n), &n, |b, _| {
+            b.iter(|| multi_pairing(&pairs));
+        });
+        let prepared_pairs: Vec<(&G1Affine, &G2Prepared)> =
+            ps[..n].iter().zip(&prepared[..n]).collect();
+        group.bench_with_input(BenchmarkId::new("multi_pairing_prepared", n), &n, |b, _| {
+            b.iter(|| multi_pairing_prepared(&prepared_pairs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_miller_loop,
+    bench_final_exponentiation,
+    bench_multi_pairing
+);
+criterion_main!(benches);

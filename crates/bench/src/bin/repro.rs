@@ -75,6 +75,7 @@ fn main() {
         "fig8" => figures::fig8(),
         "fig9" => figures::fig9(),
         "fig10" => figures::fig10(),
+        "fig10b" => figures::fig10_batched(),
         "costs" => figures::costs(),
         "attack" => figures::attack_demo(),
         "baseline" => figures::baseline(),
@@ -99,6 +100,8 @@ fn main() {
             divider();
             figures::fig10();
             divider();
+            figures::fig10_batched();
+            divider();
             figures::costs();
             divider();
             figures::baseline();
@@ -109,7 +112,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|costs|baseline|attack|json|check|all] [--full] [--mb N]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|json|check|all] [--full] [--mb N]");
             std::process::exit(2);
         }
     }

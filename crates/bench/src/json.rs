@@ -12,7 +12,11 @@ use std::time::Instant;
 use dsaudit_algebra::endo::mul_each_g1;
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::{G2Affine, G2Projective};
 use dsaudit_algebra::msm::{msm, msm_naive};
+use dsaudit_algebra::pairing::{
+    final_exponentiation, miller_loop, multi_miller_loop, multi_pairing_prepared, G2Prepared,
+};
 use dsaudit_algebra::Fr;
 use dsaudit_core::params::AuditParams;
 use dsaudit_core::proof::{PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
@@ -87,6 +91,66 @@ pub fn collect_msm_metrics() -> Vec<Metric> {
     out
 }
 
+/// Measures the `pairing` metric group: the projective Miller loop
+/// (fresh and prepared), the cyclotomic final exponentiation, and the
+/// shared-loop pairing product at the verifier's size (n = 2 pairs, the
+/// tag-validation shape) and the paper's batched scale (n = 30).
+pub fn collect_pairing_metrics() -> Vec<Metric> {
+    let mut r = rng();
+    let n = 30usize;
+    let ps: Vec<G1Affine> = (0..n)
+        .map(|_| G1Projective::generator().mul(Fr::random(&mut r)).to_affine())
+        .collect();
+    let qs: Vec<G2Affine> = (0..n)
+        .map(|_| G2Projective::generator().mul(Fr::random(&mut r)).to_affine())
+        .collect();
+    let prepared: Vec<G2Prepared> = qs.iter().map(G2Prepared::from_affine).collect();
+    let mut out = Vec::new();
+
+    let t = time_mean(10, || {
+        let _ = miller_loop(&ps[0], &qs[0]);
+    });
+    out.push(Metric {
+        name: "miller_loop",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    let t = time_mean(10, || {
+        let _ = multi_miller_loop(&[(&ps[0], &prepared[0])]);
+    });
+    out.push(Metric {
+        name: "miller_loop_prepared",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    let f = miller_loop(&ps[0], &qs[0]);
+    let t = time_mean(10, || {
+        let _ = final_exponentiation(&f);
+    });
+    out.push(Metric {
+        name: "final_exponentiation",
+        unit: "ms",
+        value: t.as_secs_f64() * 1e3,
+    });
+    for count in [2usize, 30] {
+        let pairs: Vec<(&G1Affine, &G2Prepared)> =
+            ps[..count].iter().zip(&prepared[..count]).collect();
+        let t = time_mean(5, || {
+            let _ = multi_pairing_prepared(&pairs);
+        });
+        out.push(Metric {
+            name: if count == 2 {
+                "multi_pairing_n2"
+            } else {
+                "multi_pairing_n30"
+            },
+            unit: "ms",
+            value: t.as_secs_f64() * 1e3,
+        });
+    }
+    out
+}
+
 /// Runs the compact benchmark set the JSON snapshot reports.
 pub fn collect_metrics() -> Vec<Metric> {
     let mut out = Vec::new();
@@ -104,6 +168,9 @@ pub fn collect_metrics() -> Vec<Metric> {
 
     // Hot path 0: the MSM kernel group behind every figure below.
     out.extend(collect_msm_metrics());
+
+    // Hot path 0b: the pairing engine behind every verification.
+    out.extend(collect_pairing_metrics());
 
     // Hot path 1: tag generation (data-owner pre-processing, Fig. 7).
     out.push(Metric {
@@ -193,10 +260,14 @@ pub fn emit(path: &str) -> std::io::Result<Vec<Metric>> {
 }
 
 /// Metrics guarded by the CI regression gate: `(name, higher_is_better)`.
-/// These are the two figures the MSM hot path drives directly.
+/// The MSM pair landed with PR 2; the verify/prove/MSM-kernel trio joined
+/// once the pairing engine stabilized those numbers (ROADMAP item).
 pub const GUARDED_METRICS: &[(&str, bool)] = &[
     ("preprocess_s50_throughput", true),
     ("tag_gen_1mib", false),
+    ("verify_private", false),
+    ("prove_private_1mib", false),
+    ("msm_g1_n1024", false),
 ];
 
 /// Relative regression allowed against the committed snapshot.
@@ -237,14 +308,36 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
         .map(|_| preprocess_throughput_mb_s(50, 2 * 1024 * 1024))
         .fold(0.0f64, f64::max);
     let env = Env::new(1024 * 1024, AuditParams::default());
-    let tag_ms = (0..3)
-        .map(|_| {
-            let t0 = Instant::now();
-            let tags = generate_tags(&env.sk, &env.file);
-            assert_eq!(tags.len(), env.file.num_chunks());
-            t0.elapsed().as_secs_f64() * 1e3
+    let best_of_3 = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let tag_ms = best_of_3(&mut || {
+        let t0 = Instant::now();
+        let tags = generate_tags(&env.sk, &env.file);
+        assert_eq!(tags.len(), env.file.num_chunks());
+        t0.elapsed().as_secs_f64() * 1e3
+    });
+    let verify_ms = best_of_3(&mut || measure_verify_ms(&env, true, 3));
+    let prover = env.prover();
+    let ch = env.challenge();
+    let mut r = rng();
+    let prove_ms = best_of_3(&mut || {
+        time_mean(3, || {
+            let _ = prover.prove_private(&mut r, &ch);
         })
-        .fold(f64::INFINITY, f64::min);
+        .as_secs_f64()
+            * 1e3
+    });
+    let scalars: Vec<Fr> = {
+        let mut r = rng();
+        (0..1024).map(|_| Fr::random(&mut r)).collect()
+    };
+    let bases: Vec<G1Affine> = G1Projective::generator_table().mul_many_affine(&scalars);
+    let msm_ms = best_of_3(&mut || {
+        time_mean(3, || {
+            let _ = msm(&bases, &scalars);
+        })
+        .as_secs_f64()
+            * 1e3
+    });
     vec![
         Metric {
             name: "preprocess_s50_throughput",
@@ -255,6 +348,21 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
             name: "tag_gen_1mib",
             unit: "ms",
             value: tag_ms,
+        },
+        Metric {
+            name: "verify_private",
+            unit: "ms",
+            value: verify_ms,
+        },
+        Metric {
+            name: "prove_private_1mib",
+            unit: "ms",
+            value: prove_ms,
+        },
+        Metric {
+            name: "msm_g1_n1024",
+            unit: "ms",
+            value: msm_ms,
         },
     ]
 }
@@ -328,6 +436,19 @@ mod tests {
         assert_eq!(s.matches("\"value\"").count(), 2);
         assert!(!s.contains(",\n  }"), "no trailing comma before close");
         assert!(s.contains("\"b\": { \"value\": 288.0000, \"unit\": \"bytes\" }"));
+    }
+
+    #[test]
+    fn guarded_metrics_are_all_measured() {
+        let fresh = collect_guarded_metrics();
+        for (name, _) in GUARDED_METRICS {
+            let m = fresh
+                .iter()
+                .find(|m| m.name == *name)
+                .unwrap_or_else(|| panic!("guarded metric {name} not measured"));
+            assert!(m.value.is_finite() && m.value > 0.0, "{name} must measure");
+        }
+        assert_eq!(fresh.len(), GUARDED_METRICS.len());
     }
 
     #[test]

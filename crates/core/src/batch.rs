@@ -3,20 +3,23 @@
 //! When one storage provider serves dozens of data owners (the paper
 //! measures ~30 per provider on Siacoin/Storj), the contract can verify
 //! all posted proofs of one round together. Each user contributes three
-//! Miller loops, but all users share a *single* final exponentiation, and
-//! random weights `rho_u` keep soundness (a forged proof slips through
-//! with probability `1/r`).
+//! pairs to **one** shared Miller loop (the accumulator squarings are
+//! amortized over every pair, and each user's fixed G2 points come
+//! prepared from [`crate::prepared`]), all users share a *single* final
+//! exponentiation, and random weights `rho_u` keep soundness (a forged
+//! proof slips through with probability `1/r`).
+
+use std::sync::Arc;
 
 use dsaudit_algebra::field::Field;
-use dsaudit_algebra::fp12::Fq12;
-use dsaudit_algebra::g1::G1Projective;
-use dsaudit_algebra::g2::G2Affine;
-use dsaudit_algebra::pairing::{final_exponentiation, miller_loop, Gt};
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared, Gt};
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::h_prime;
 
 use crate::challenge::Challenge;
 use crate::keys::PublicKey;
+use crate::prepared;
 use crate::proof::PrivateProof;
 use crate::verify::{compute_chi, FileMeta};
 
@@ -43,34 +46,45 @@ pub fn verify_private_batch<R: rand::RngCore + ?Sized>(
     if items.is_empty() {
         return true;
     }
-    let g2 = G2Affine::generator();
-    let mut acc = Fq12::one();
-    let mut rhs = Gt::identity();
+    // Per item: (sigma^{zeta rho}, g2), (g1^{-y' rho} chi^{-zeta rho}
+    // psi^{zeta rho r}, eps), (psi^{-zeta rho}, delta) — same equation
+    // shape as `verify_private`, weighted by rho.
+    let mut g1_points: Vec<G1Affine> = Vec::with_capacity(3 * items.len());
+    let mut g2_points: Vec<Arc<G2Prepared>> = Vec::with_capacity(2 * items.len());
+    let mut rhs_terms: Vec<(Gt, Fr)> = Vec::with_capacity(items.len());
     for item in items {
         let rho = Fr::random(rng);
         let set = item.challenge.expand(item.meta.num_chunks, item.meta.k);
         let chi = compute_chi(item.meta.name, &set);
         let zeta = h_prime(&item.proof.r_commit);
         let zr = zeta * rho;
-        let sigma_part = item.proof.sigma.mul(zr).to_affine();
-        let left_eps = G1Projective::generator()
-            .mul(-(item.proof.y_prime * rho))
-            .add(&chi.mul(zr).neg())
-            .to_affine();
-        let psi_part = item.proof.psi.mul(-zr).to_affine();
-        let rhs_g2 = item
-            .pk
-            .delta
-            .to_projective()
-            .add(&item.pk.eps.mul(-item.challenge.r))
-            .to_affine();
-        acc = acc
-            * miller_loop(&sigma_part, &g2)
-            * miller_loop(&left_eps, &item.pk.eps)
-            * miller_loop(&psi_part, &rhs_g2);
-        rhs = rhs.mul(&item.proof.r_commit.pow(rho).invert());
+        g1_points.push(item.proof.sigma.mul(zr).to_affine());
+        g1_points.push(
+            G1Projective::generator()
+                .mul(-(item.proof.y_prime * rho))
+                .add(&chi.mul(zr).neg())
+                .add(&item.proof.psi.mul(zr * item.challenge.r))
+                .to_affine(),
+        );
+        g1_points.push(item.proof.psi.mul(-zr).to_affine());
+        g2_points.push(prepared::prepared(&item.pk.eps));
+        g2_points.push(prepared::prepared(&item.pk.delta));
+        rhs_terms.push((item.proof.r_commit.invert(), rho));
     }
-    final_exponentiation(&acc) == rhs
+    // prod_u R_u^{-rho_u} through one shared cyclotomic squaring chain
+    let rhs = Gt::multi_pow(&rhs_terms);
+    let pairs: Vec<(&G1Affine, &G2Prepared)> = items
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [
+                (&g1_points[3 * i], G2Prepared::generator()),
+                (&g1_points[3 * i + 1], g2_points[2 * i].as_ref()),
+                (&g1_points[3 * i + 2], g2_points[2 * i + 1].as_ref()),
+            ]
+        })
+        .collect();
+    multi_pairing_prepared(&pairs) == rhs
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! point `r`.
 
 use dsaudit_algebra::Fr;
-use dsaudit_crypto::prf::prf_fr;
+use dsaudit_crypto::hmac::HmacKey;
+use dsaudit_crypto::prf::prf_fr_keyed;
 use dsaudit_crypto::prp::SmallDomainPrp;
 use dsaudit_crypto::sha256::sha256_wide;
 
@@ -62,10 +63,11 @@ impl Challenge {
         let k_eff = k.min(d);
         let prp = SmallDomainPrp::new(&self.c1, d as u64);
         let indices = prp.sample_distinct(k_eff);
+        let prf_key = HmacKey::new(&self.c2);
         indices
             .into_iter()
             .enumerate()
-            .map(|(j, i)| (i, prf_fr(&self.c2, j as u64)))
+            .map(|(j, i)| (i, prf_fr_keyed(&prf_key, j as u64)))
             .collect()
     }
 }

@@ -8,10 +8,11 @@
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
 use dsaudit_algebra::g2::G2Affine;
-use dsaudit_algebra::pairing::{pairing, Gt};
+use dsaudit_algebra::pairing::{multi_pairing_prepared, Gt};
 use dsaudit_algebra::Fr;
 
 use crate::params::AuditParams;
+use crate::prepared;
 
 /// The data owner's secret key `(x, alpha)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,13 +99,19 @@ impl PublicKey {
             off += 32;
         }
         let e_g1_eps = Gt::from_compressed(bytes[off..off + 192].try_into().expect("sliced"))?;
-        // consistency checks a contract would perform once at registration
+        // consistency checks a contract would perform once at registration;
+        // the pairing runs against a fresh (uncached) preparation so
+        // rejected blobs never leave an entry in the process-wide cache
         if alpha_powers_g1[0] != G1Affine::generator() {
             return None;
         }
-        if pairing(&G1Affine::generator(), &eps) != e_g1_eps {
+        let g1 = G1Affine::generator();
+        let eps_p = dsaudit_algebra::pairing::G2Prepared::from_affine(&eps);
+        if multi_pairing_prepared(&[(&g1, &eps_p)]) != e_g1_eps {
             return None;
         }
+        // validated: warm the cache for the audit rounds that follow
+        let _ = prepared::prepared(&eps);
         Some(Self {
             eps,
             delta,
@@ -151,7 +158,9 @@ pub fn public_key_for(sk: &SecretKey, s: usize) -> PublicKey {
         acc *= sk.alpha;
     }
     let alpha_powers_g1 = G1Projective::generator_table().mul_many_affine(&powers);
-    let e_g1_eps = pairing(&G1Affine::generator(), &eps);
+    let g1 = G1Affine::generator();
+    let eps_p = prepared::prepared(&eps);
+    let e_g1_eps = multi_pairing_prepared(&[(&g1, eps_p.as_ref())]);
     PublicKey {
         eps,
         delta,
@@ -163,6 +172,7 @@ pub fn public_key_for(sk: &SecretKey, s: usize) -> PublicKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsaudit_algebra::pairing::pairing;
     use rand::SeedableRng;
 
     fn rng() -> rand::rngs::StdRng {

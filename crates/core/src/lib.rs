@@ -18,6 +18,7 @@ pub mod file;
 pub mod keys;
 pub mod par;
 pub mod params;
+pub mod prepared;
 pub mod proof;
 pub mod prove;
 pub mod tag;

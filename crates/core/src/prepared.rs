@@ -1,0 +1,92 @@
+//! Process-wide cache of prepared G2 points.
+//!
+//! The verifier pairs against the same three G2 points on every audit of
+//! a public key: the canonical generator `g2`, `pk.eps`, and `pk.delta`.
+//! Preparing a point ([`G2Prepared`]) runs the whole Miller-loop curve
+//! arithmetic once and stores the line-coefficient sequence (~17 KB);
+//! serving it from this cache makes repeated rounds pay only the sparse
+//! accumulator work. Mirrors the `(name, i)` chi cache from
+//! [`crate::verify::chi_cache`]: same locking discipline, same
+//! compute-outside-the-lock policy, same hit/miss counters for tests and
+//! the bench harness.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dsaudit_algebra::g2::G2Affine;
+use dsaudit_algebra::pairing::G2Prepared;
+
+/// Upper bound on resident entries (~17 KB each, so ~70 MB at the cap) —
+/// far beyond any realistic audit population (two fixed points per
+/// registered key). On overflow a single arbitrary entry is evicted, so
+/// an adversary flooding the cache with throwaway points degrades it
+/// gradually instead of wiping every verifier's hot entries at once.
+const MAX_ENTRIES: usize = 1 << 12;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn map() -> &'static Mutex<HashMap<[u8; 64], Arc<G2Prepared>>> {
+    static MAP: OnceLock<Mutex<HashMap<[u8; 64], Arc<G2Prepared>>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The prepared form of `q`, served from the cache when warm. Misses
+/// prepare outside the lock (two racing verifiers may both prepare a
+/// fresh entry, which is benign — preparation is deterministic).
+pub fn prepared(q: &G2Affine) -> Arc<G2Prepared> {
+    let key = q.to_compressed();
+    if let Some(p) = map().lock().expect("prepared cache lock").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(p);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let p = Arc::new(G2Prepared::from_affine(q));
+    let mut m = map().lock().expect("prepared cache lock");
+    if m.len() >= MAX_ENTRIES {
+        if let Some(victim) = m.keys().next().copied() {
+            m.remove(&victim);
+        }
+    }
+    m.insert(key, Arc::clone(&p));
+    p
+}
+
+/// `(hits, misses)` counters since process start, for tests and the
+/// bench harness.
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsaudit_algebra::g2::G2Projective;
+    use dsaudit_algebra::pairing::{multi_pairing_prepared, pairing};
+    use dsaudit_algebra::Fr;
+    use dsaudit_algebra::field::Field;
+    use dsaudit_algebra::g1::G1Projective;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cache_hits_on_repeated_lookup_and_matches_fresh() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x62ca);
+        let p = G1Projective::random(&mut rng).to_affine();
+        let q = G2Projective::random(&mut rng).to_affine();
+        let first = prepared(&q);
+        let (h1, _) = stats();
+        let second = prepared(&q);
+        let (h2, _) = stats();
+        assert!(h2 > h1, "second lookup must hit");
+        let e = multi_pairing_prepared(&[(&p, first.as_ref())]);
+        assert_eq!(e, multi_pairing_prepared(&[(&p, second.as_ref())]));
+        assert_eq!(e, pairing(&p, &q));
+        // identity points cache and pair correctly too
+        let id = prepared(&G2Affine::identity());
+        assert!(
+            multi_pairing_prepared(&[(&p, id.as_ref())]).is_identity()
+        );
+        let _ = Fr::random(&mut rng);
+    }
+}

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 use dsaudit_algebra::curve::Projective;
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::G1Affine;
-use dsaudit_algebra::msm::msm;
+use dsaudit_algebra::endo::msm_g1;
 use dsaudit_algebra::poly::DensePoly;
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::h_prime;
@@ -70,7 +70,7 @@ impl<'a> Prover<'a> {
         // sigma = prod_i sigma_i^{c_i}
         let bases: Vec<G1Affine> = set.iter().map(|(i, _)| self.tags[*i as usize]).collect();
         let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
-        let sigma = msm(&bases, &coeffs);
+        let sigma = msm_g1(&bases, &coeffs);
         // P_k coefficients: p_j = sum_i c_i m_{i,j}
         let s = self.file.params.s;
         let mut pk_coeffs = vec![Fr::zero(); s];
@@ -98,7 +98,7 @@ impl<'a> Prover<'a> {
     pub fn prove_plain(&self, challenge: &Challenge) -> PlainProof {
         let (sigma, pk_coeffs) = self.aggregate(challenge);
         let (y, quot) = self.open(pk_coeffs, challenge.r);
-        let psi = msm(&self.pk.alpha_powers_g1[..quot.len()], &quot);
+        let psi = msm_g1(&self.pk.alpha_powers_g1[..quot.len()], &quot);
         let affine = Projective::batch_to_affine(&[sigma, psi]);
         PlainProof {
             sigma: affine[0],
@@ -143,8 +143,8 @@ impl<'a> Prover<'a> {
         let t1 = Instant::now();
         let bases: Vec<G1Affine> = set.iter().map(|(i, _)| self.tags[*i as usize]).collect();
         let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
-        let sigma = msm(&bases, &coeffs);
-        let psi = msm(&self.pk.alpha_powers_g1[..quot.len()], &quot);
+        let sigma = msm_g1(&bases, &coeffs);
+        let psi = msm_g1(&self.pk.alpha_powers_g1[..quot.len()], &quot);
         t.curve_ops += t1.elapsed();
 
         let t2 = Instant::now();
@@ -188,8 +188,8 @@ impl<'a> Prover<'a> {
         let t1 = Instant::now();
         let bases: Vec<G1Affine> = set.iter().map(|(i, _)| self.tags[*i as usize]).collect();
         let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
-        let sigma = msm(&bases, &coeffs);
-        let psi = msm(&self.pk.alpha_powers_g1[..quot.len()], &quot);
+        let sigma = msm_g1(&bases, &coeffs);
+        let psi = msm_g1(&self.pk.alpha_powers_g1[..quot.len()], &quot);
         t.curve_ops += t1.elapsed();
         let affine = Projective::batch_to_affine(&[sigma, psi]);
         (

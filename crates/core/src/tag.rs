@@ -7,18 +7,18 @@
 //! authenticator passing this check is negligible).
 
 use dsaudit_algebra::curve::Projective;
-use dsaudit_algebra::endo::mul_each_g1;
+use dsaudit_algebra::endo::{msm_g1, mul_each_g1};
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
-use dsaudit_algebra::g2::G2Affine;
 use dsaudit_algebra::msm::msm;
-use dsaudit_algebra::pairing::multi_pairing;
+use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared};
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::index_oracle;
 
 use crate::file::EncodedFile;
 use crate::keys::{PublicKey, SecretKey};
 use crate::par::par_map;
+use crate::prepared;
 
 /// Generates all chunk authenticators for a file.
 ///
@@ -64,9 +64,13 @@ pub fn verify_tag(pk: &PublicKey, name: Fr, chunk_index: u64, blocks: &[Fr], tag
     assert!(blocks.len() <= s, "chunk larger than key supports");
     let commit = msm(&pk.alpha_powers_g1[..blocks.len()], blocks);
     let base = commit.add_affine(&index_oracle(name, chunk_index)).to_affine();
-    let g2 = G2Affine::generator();
+    let tag_neg = tag.neg();
+    let eps_p = prepared::prepared(&pk.eps);
     // e(sigma, g2) * e(-base, eps) == 1
-    let check = multi_pairing(&[(tag.neg(), g2), (base, pk.eps)]);
+    let check = multi_pairing_prepared(&[
+        (&tag_neg, G2Prepared::generator()),
+        (&base, eps_p.as_ref()),
+    ]);
     check.is_identity()
 }
 
@@ -87,7 +91,7 @@ pub fn verify_tags_batch<R: rand::RngCore + ?Sized>(
     }
     let weights: Vec<Fr> = (0..d).map(|_| Fr::random(rng)).collect();
     // left: prod sigma_i^{w_i}
-    let sigma_agg = msm(tags, &weights);
+    let sigma_agg = msm_g1(tags, &weights);
     // right: prod (g1^{M_i(alpha)} t_i)^{w_i}
     //      = g1^{sum_i w_i M_i(alpha)} * prod t_i^{w_i}
     // sum_i w_i M_i(alpha) has coefficient vector sum_i w_i m_{i,*}
@@ -98,12 +102,17 @@ pub fn verify_tags_batch<R: rand::RngCore + ?Sized>(
             combined[j] += *w * *m;
         }
     }
-    let commit = msm(&pk.alpha_powers_g1, &combined);
+    let commit = msm_g1(&pk.alpha_powers_g1, &combined);
     let hashes: Vec<G1Affine> = par_map(d, |i| index_oracle(file.name, i as u64));
-    let hash_agg = msm(&hashes, &weights);
+    let hash_agg = msm_g1(&hashes, &weights);
     let base = commit.add(&hash_agg).to_affine();
-    let g2 = G2Affine::generator();
-    multi_pairing(&[(sigma_agg.to_affine().neg(), g2), (base, pk.eps)]).is_identity()
+    let sigma_neg = sigma_agg.to_affine().neg();
+    let eps_p = prepared::prepared(&pk.eps);
+    multi_pairing_prepared(&[
+        (&sigma_neg, G2Prepared::generator()),
+        (&base, eps_p.as_ref()),
+    ])
+    .is_identity()
 }
 
 #[cfg(test)]

@@ -1,24 +1,29 @@
 //! On-chain proof verification (§V-B Audit / §V-D step 2).
 //!
 //! Both verification equations are evaluated as a single product of three
-//! pairings (sharing one final exponentiation), after folding the two
-//! `eps`-paired terms together:
+//! pairings (one shared Miller loop, one shared final exponentiation).
+//! The paper writes the KZG term as `e(psi^{-1}, delta * eps^{-r})`, but
+//! `eps^{-r}` would force a fresh G2 scalar multiplication *and* a fresh
+//! Miller-loop preparation every round; moving the challenge exponent to
+//! the G1 side (`e(psi^{-1}, eps^{-r}) = e(psi^{r}, eps)`) folds it into
+//! the `eps` term, so every G2 point in the product is fixed across
+//! audits and served prepared from [`crate::prepared`]:
 //!
-//! * Eq. (1): `e(sigma, g2) * e(g1^{-y} / chi, eps) * e(psi^{-1}, delta * eps^{-r}) == 1`
-//! * Eq. (2): `e(sigma^zeta, g2) * e(g1^{-y'} / chi^zeta, eps) * e(psi^{-zeta}, delta * eps^{-r}) == R^{-1}`
+//! * Eq. (1): `e(sigma, g2) * e(g1^{-y} * chi^{-1} * psi^{r}, eps) * e(psi^{-1}, delta) == 1`
+//! * Eq. (2): `e(sigma^zeta, g2) * e(g1^{-y'} * chi^{-zeta} * psi^{zeta r}, eps) * e(psi^{-zeta}, delta) == R^{-1}`
 //!
 //! with `chi = prod H(name || i)^{c_i}` recomputed from public data.
 
+use dsaudit_algebra::endo::msm_g1;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
-use dsaudit_algebra::g2::G2Affine;
-use dsaudit_algebra::msm::msm;
-use dsaudit_algebra::pairing::multi_pairing;
+use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared};
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::h_prime;
 
 use crate::challenge::Challenge;
 use crate::keys::PublicKey;
 use crate::par::par_map;
+use crate::prepared;
 use crate::proof::{PlainProof, PrivateProof};
 
 /// Public metadata the verifier (smart contract) holds about a file.
@@ -94,15 +99,7 @@ pub fn compute_chi(name: Fr, set: &[(u64, Fr)]) -> G1Projective {
     let hashes: Vec<G1Affine> =
         par_map(set.len(), |j| chi_cache::index_oracle_cached(name, set[j].0));
     let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
-    msm(&hashes, &coeffs)
-}
-
-/// `delta * eps^{-r}` — the right-hand G2 point of the KZG check.
-fn delta_eps_neg_r(pk: &PublicKey, r: Fr) -> G2Affine {
-    pk.delta
-        .to_projective()
-        .add(&pk.eps.mul(-r))
-        .to_affine()
+    msm_g1(&hashes, &coeffs)
 }
 
 /// Verifies the non-private response against Eq. (1).
@@ -114,17 +111,20 @@ pub fn verify_plain(
 ) -> bool {
     let set = challenge.expand(meta.num_chunks, meta.k);
     let chi = compute_chi(meta.name, &set);
-    let g2 = G2Affine::generator();
-    // g1^{-y} * chi^{-1}
-    let left_eps = G1Projective::generator()
+    // g1^{-y} * chi^{-1} * psi^{r}, with the fixed-base term served from
+    // the shared generator table
+    let left_eps = G1Projective::generator_table()
         .mul(-proof.y)
         .add(&chi.neg())
+        .add(&proof.psi.mul(challenge.r))
         .to_affine();
-    let rhs_g2 = delta_eps_neg_r(pk, challenge.r);
-    multi_pairing(&[
-        (proof.sigma, g2),
-        (left_eps, pk.eps),
-        (proof.psi.neg(), rhs_g2),
+    let psi_neg = proof.psi.neg();
+    let eps_p = prepared::prepared(&pk.eps);
+    let delta_p = prepared::prepared(&pk.delta);
+    multi_pairing_prepared(&[
+        (&proof.sigma, G2Prepared::generator()),
+        (&left_eps, eps_p.as_ref()),
+        (&psi_neg, delta_p.as_ref()),
     ])
     .is_identity()
 }
@@ -140,19 +140,26 @@ pub fn verify_private(
     let set = challenge.expand(meta.num_chunks, meta.k);
     let chi = compute_chi(meta.name, &set);
     let zeta = h_prime(&proof.r_commit);
-    let g2 = G2Affine::generator();
-    let sigma_zeta = proof.sigma.mul(zeta).to_affine();
-    // g1^{-y'} * chi^{-zeta}
-    let left_eps = G1Projective::generator()
+    let sigma_zeta = proof.sigma.mul(zeta);
+    // g1^{-y'} * chi^{-zeta} * psi^{zeta r}, fixed-base term off the
+    // shared generator table
+    let left_eps = G1Projective::generator_table()
         .mul(-proof.y_prime)
         .add(&chi.mul(zeta).neg())
-        .to_affine();
-    let psi_neg_zeta = proof.psi.mul(-zeta).to_affine();
-    let rhs_g2 = delta_eps_neg_r(pk, challenge.r);
-    let product = multi_pairing(&[
-        (sigma_zeta, g2),
-        (left_eps, pk.eps),
-        (psi_neg_zeta, rhs_g2),
+        .add(&proof.psi.mul(zeta * challenge.r));
+    let psi_neg_zeta = proof.psi.mul(-zeta);
+    // one shared inversion for all three affine conversions
+    let affine = dsaudit_algebra::curve::Projective::batch_to_affine(&[
+        sigma_zeta,
+        left_eps,
+        psi_neg_zeta,
+    ]);
+    let eps_p = prepared::prepared(&pk.eps);
+    let delta_p = prepared::prepared(&pk.delta);
+    let product = multi_pairing_prepared(&[
+        (&affine[0], G2Prepared::generator()),
+        (&affine[1], eps_p.as_ref()),
+        (&affine[2], delta_p.as_ref()),
     ]);
     product == proof.r_commit.invert()
 }

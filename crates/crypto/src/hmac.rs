@@ -4,28 +4,55 @@ use crate::sha256::Sha256;
 
 const BLOCK: usize = 64;
 
-/// Computes `HMAC-SHA256(key, message)`.
+/// An HMAC key with the inner/outer pad blocks pre-absorbed. Challenge
+/// expansion calls HMAC hundreds of times per audit round under the same
+/// key (Feistel rounds of the index PRP, one PRF call per coefficient);
+/// reusing the midstates halves the SHA-256 compressions of every call —
+/// two per short-message MAC instead of four.
+#[derive(Clone, Debug)]
+pub struct HmacKey {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacKey {
+    /// Derives the pad midstates for `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let mut h = Sha256::new();
+            h.update(key);
+            key_block[..32].copy_from_slice(&h.finalize());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// `HMAC-SHA256(key, message)` from the cached midstates.
+    pub fn mac(&self, message: &[u8]) -> [u8; 32] {
+        let mut h = self.inner.clone();
+        h.update(message);
+        let inner_digest = h.finalize();
+        let mut o = self.outer.clone();
+        o.update(&inner_digest);
+        o.finalize()
+    }
+}
+
+/// Computes `HMAC-SHA256(key, message)` (one-shot).
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
-    let mut key_block = [0u8; BLOCK];
-    if key.len() > BLOCK {
-        let mut h = Sha256::new();
-        h.update(key);
-        key_block[..32].copy_from_slice(&h.finalize());
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-    let mut ipad = [0x36u8; BLOCK];
-    let mut opad = [0x5cu8; BLOCK];
-    for i in 0..BLOCK {
-        ipad[i] ^= key_block[i];
-        opad[i] ^= key_block[i];
-    }
-    let mut inner = Sha256::new();
-    inner.update(&ipad).update(message);
-    let inner_digest = inner.finalize();
-    let mut outer = Sha256::new();
-    outer.update(&opad).update(&inner_digest);
-    outer.finalize()
+    HmacKey::new(key).mac(message)
 }
 
 #[cfg(test)]

@@ -12,19 +12,26 @@ use dsaudit_algebra::g1::G1Affine;
 use dsaudit_algebra::pairing::Gt;
 use dsaudit_algebra::{Fq, Fr};
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacKey;
 use crate::sha256::{sha256, sha256_wide};
 
 /// PRF `f`: derives the `i`-th pseudorandom scalar from a seed.
 /// Statistically uniform over `Fr` (wide reduction from 512 bits).
 pub fn prf_fr(seed: &[u8], index: u64) -> Fr {
-    let mut msg = Vec::with_capacity(16);
+    prf_fr_keyed(&HmacKey::new(seed), index)
+}
+
+/// [`prf_fr`] against a prepared [`HmacKey`] — challenge expansion
+/// derives `k` coefficients from one seed, and the cached pad midstates
+/// halve the SHA-256 compressions of each derivation.
+pub fn prf_fr_keyed(key: &HmacKey, index: u64) -> Fr {
+    let mut msg = Vec::with_capacity(21);
     msg.extend_from_slice(b"dsaudit/prf/");
     msg.extend_from_slice(&index.to_le_bytes());
     let mut wide = [0u8; 64];
-    wide[..32].copy_from_slice(&hmac_sha256(seed, &msg));
+    wide[..32].copy_from_slice(&key.mac(&msg));
     msg.push(0xff);
-    wide[32..].copy_from_slice(&hmac_sha256(seed, &msg));
+    wide[32..].copy_from_slice(&key.mac(&msg));
     Fr::from_bytes_wide(&wide)
 }
 

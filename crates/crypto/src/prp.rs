@@ -6,7 +6,7 @@
 //! permutation of `[0, d)` — so the first `k` outputs are automatically
 //! distinct, exactly the property the paper's `pi` provides.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::{hmac_sha256, HmacKey};
 
 /// Number of Feistel rounds (4 suffice for a PRP in the Luby–Rackoff
 /// sense; we use 7 for comfortable margin).
@@ -15,7 +15,7 @@ const ROUNDS: u32 = 7;
 /// A keyed pseudorandom permutation over `[0, domain_size)`.
 #[derive(Clone, Debug)]
 pub struct SmallDomainPrp {
-    key: [u8; 32],
+    key: HmacKey,
     domain_size: u64,
     half_bits: u32,
 }
@@ -30,7 +30,7 @@ impl SmallDomainPrp {
         let bits = 64 - domain_size.saturating_sub(1).leading_zeros();
         let half_bits = bits.div_ceil(2).max(1);
         Self {
-            key: hmac_sha256(seed, b"dsaudit/prp/key"),
+            key: HmacKey::new(&hmac_sha256(seed, b"dsaudit/prp/key")),
             domain_size,
             half_bits,
         }
@@ -45,7 +45,7 @@ impl SmallDomainPrp {
         let mut msg = [0u8; 12];
         msg[..4].copy_from_slice(&round.to_le_bytes());
         msg[4..].copy_from_slice(&half.to_le_bytes());
-        let mac = hmac_sha256(&self.key, &msg);
+        let mac = self.key.mac(&msg);
         u64::from_le_bytes(mac[..8].try_into().expect("mac is 32 bytes"))
             & ((1u64 << self.half_bits) - 1)
     }

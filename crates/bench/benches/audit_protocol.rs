@@ -6,7 +6,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsaudit_bench::{rng, Env};
 use dsaudit_core::params::AuditParams;
 use dsaudit_core::tag::generate_tags;
-use dsaudit_core::verify::{verify_plain, verify_private};
 
 fn bench_preprocess(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_preprocess");
@@ -63,13 +62,52 @@ fn bench_verify(c: &mut Criterion) {
     let plain = prover.prove_plain(&ch);
     let private = prover.prove_private(&mut r, &ch);
     group.bench_function("plain_96B", |b| {
-        b.iter(|| assert!(verify_plain(&env.pk, &env.meta, &ch, &plain)));
+        b.iter(|| {
+            assert!(env
+                .auditor
+                .verify_plain(&env.pk, &env.meta, &ch, &plain)
+                .expect("valid meta")
+                .accepted())
+        });
     });
     group.bench_function("private_288B", |b| {
-        b.iter(|| assert!(verify_private(&env.pk, &env.meta, &ch, &private)));
+        b.iter(|| {
+            assert!(env
+                .auditor
+                .verify_private(&env.pk, &env.meta, &ch, &private)
+                .expect("valid meta")
+                .accepted())
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_preprocess, bench_prove, bench_verify);
+fn bench_encode_stream(c: &mut Criterion) {
+    use dsaudit_algebra::field::Field;
+    use dsaudit_core::EncodedFile;
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(10);
+    let params = AuditParams::default();
+    let data: Vec<u8> = (0..1024 * 1024).map(|i| (i % 251) as u8).collect();
+    let name = dsaudit_algebra::Fr::from_u64(0x57e);
+    group.throughput(criterion::Throughput::Bytes(data.len() as u64));
+    group.bench_function("in_memory_1MiB", |b| {
+        b.iter(|| EncodedFile::encode_with_name(name, &data, params));
+    });
+    group.bench_function("streaming_1MiB", |b| {
+        b.iter(|| {
+            EncodedFile::encode_reader_with_name(name, &mut &data[..], params)
+                .expect("in-memory reader")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_prove,
+    bench_verify,
+    bench_encode_stream
+);
 criterion_main!(benches);

@@ -22,7 +22,9 @@ use dsaudit_core::params::AuditParams;
 use dsaudit_core::proof::{PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
 use dsaudit_core::tag::generate_tags;
 
-use crate::{measure_verify_ms, preprocess_throughput_mb_s, rng, time_mean, Env};
+use crate::{
+    measure_encode_stream_ms, measure_verify_ms, preprocess_throughput_mb_s, rng, time_mean, Env,
+};
 
 /// One measured metric: a name and a value with a unit.
 #[derive(Clone, Debug)]
@@ -179,6 +181,13 @@ pub fn collect_metrics() -> Vec<Metric> {
         value: preprocess_throughput_mb_s(50, 2 * 1024 * 1024),
     });
 
+    // Hot path 1b: the streaming chunk-blocking encode that feeds it.
+    out.push(Metric {
+        name: "encode_stream_1mib",
+        unit: "ms",
+        value: measure_encode_stream_ms(1024 * 1024, 3),
+    });
+
     // Hot path 2: proving, both variants (Figs. 8, 9).
     let env = Env::new(1024 * 1024, AuditParams::default());
     let prover = env.prover();
@@ -268,6 +277,7 @@ pub const GUARDED_METRICS: &[(&str, bool)] = &[
     ("verify_private", false),
     ("prove_private_1mib", false),
     ("msm_g1_n1024", false),
+    ("encode_stream_1mib", false),
 ];
 
 /// Relative regression allowed against the committed snapshot.
@@ -338,6 +348,7 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
         .as_secs_f64()
             * 1e3
     });
+    let stream_ms = best_of_3(&mut || measure_encode_stream_ms(1024 * 1024, 3));
     vec![
         Metric {
             name: "preprocess_s50_throughput",
@@ -363,6 +374,11 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
             name: "msm_g1_n1024",
             unit: "ms",
             value: msm_ms,
+        },
+        Metric {
+            name: "encode_stream_1mib",
+            unit: "ms",
+            value: stream_ms,
         },
     ]
 }

@@ -18,10 +18,10 @@
 
 use dsaudit_chain::runtime::{CallEnv, ContractBehavior, VmError};
 use dsaudit_chain::types::{Address, Wei};
-use dsaudit_core::challenge::Challenge;
-use dsaudit_core::keys::PublicKey;
-use dsaudit_core::proof::{PrivateProof, PRIVATE_PROOF_BYTES};
-use dsaudit_core::verify::{verify_private, FileMeta};
+use dsaudit_core::{
+    Auditor, Challenge, Codec, DsAuditError, FileMeta, PrivateProof, PublicKey,
+    PRIVATE_PROOF_BYTES,
+};
 
 /// Contract phase (the `st` variable of Fig. 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +109,9 @@ pub struct AuditContract {
     agreement: Agreement,
     pk: PublicKey,
     meta: FileMeta,
+    /// The contract's verifier handle: its chi/prepared-G2 caches are
+    /// warm across this contract's rounds and die with it.
+    auditor: Auditor,
     phase: Phase,
     cnt: u64,
     owner_deposited: bool,
@@ -130,11 +133,18 @@ impl AuditContract {
     /// Creates the contract in `Pending` phase. `params`/`metadata`
     /// (public key + file info) are fixed at deployment, as the paper's
     /// `Initialize` prescribes.
-    pub fn new(agreement: Agreement, pk: PublicKey, meta: FileMeta) -> Self {
-        Self {
+    ///
+    /// # Errors
+    /// [`DsAuditError::BadMeta`] when the metadata can never be audited
+    /// (zero chunks or zero challenge count) — rejected at deployment
+    /// rather than panicking at the first `Verify` trigger.
+    pub fn new(agreement: Agreement, pk: PublicKey, meta: FileMeta) -> Result<Self, DsAuditError> {
+        meta.validate()?;
+        Ok(Self {
             agreement,
             pk,
             meta,
+            auditor: Auditor::new(),
             phase: Phase::Pending,
             cnt: 0,
             owner_deposited: false,
@@ -145,7 +155,18 @@ impl AuditContract {
             pending_proof: None,
             batch_auditor: None,
             history: Vec::new(),
-        }
+        })
+    }
+
+    /// Runs the on-contract pairing check. Metadata was validated at
+    /// deployment, so verification-input errors are unreachable; should
+    /// one occur anyway it settles as a failed round (the proof did not
+    /// convince the contract).
+    fn check_proof(&self, challenge: &Challenge, proof: &PrivateProof) -> bool {
+        self.auditor
+            .verify_private(&self.pk, &self.meta, challenge, proof)
+            .map(|verdict| verdict.accepted())
+            .unwrap_or(false)
     }
 
     /// Switches the contract into batched-verification mode: the round
@@ -301,7 +322,7 @@ impl ContractBehavior for AuditContract {
                 if env.caller != self.agreement.provider {
                     return Err(VmError::Unauthorized);
                 }
-                let proof = PrivateProof::from_bytes(data)
+                let proof = PrivateProof::decode(data)
                     .map_err(|e| VmError::BadCalldata(e.to_string()))?;
                 self.pending_proof = Some(proof);
                 // proof persisted on chain: storage gas now, verification
@@ -380,7 +401,7 @@ impl ContractBehavior for AuditContract {
                 match self.pending_proof.take() {
                     Some(proof) => {
                         let t0 = std::time::Instant::now();
-                        let ok = verify_private(&self.pk, &self.meta, &challenge, &proof);
+                        let ok = self.check_proof(&challenge, &proof);
                         let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
                         // the paper's extrapolated compute gas
                         env.charge_gas(
@@ -413,7 +434,7 @@ impl ContractBehavior for AuditContract {
                     .expect("AwaitVerdict implies a posted proof");
                 env.emit("verdicttimeout", self.cnt.to_le_bytes().to_vec());
                 let t0 = std::time::Instant::now();
-                let ok = verify_private(&self.pk, &self.meta, &challenge, &proof);
+                let ok = self.check_proof(&challenge, &proof);
                 let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
                 env.charge_gas(
                     dsaudit_chain::gas::GasSchedule::default().compute_gas(verify_ms),

@@ -1,72 +1,64 @@
 //! Driver glue between off-chain actors (data owner, storage provider)
 //! and the on-chain contract: deployment, deposits, and the
 //! challenge/prove/verify round-trip of one audit round.
+//!
+//! The off-chain sides are the role handles of `dsaudit-core`: a
+//! [`DataOwner`] produces the outsourcing bundle, a [`StorageProvider`]
+//! validates and holds it, and the deployed [`AuditContract`] carries
+//! its own [`Auditor`](dsaudit_core::Auditor) for verification. (The
+//! typed off-chain session type is `dsaudit_core::session::AuditSession`;
+//! the on-chain pendant here is [`ContractSession`].)
 
 use dsaudit_chain::chain::Blockchain;
 use dsaudit_chain::types::{Address, Transaction, TxKind, TxStatus, Wei};
-use dsaudit_core::challenge::Challenge;
-use dsaudit_core::file::EncodedFile;
-use dsaudit_core::keys::{PublicKey, SecretKey};
-use dsaudit_core::prove::Prover;
-use dsaudit_core::tag::generate_tags;
-use dsaudit_core::verify::FileMeta;
-use dsaudit_algebra::g1::G1Affine;
+use dsaudit_core::{Challenge, Codec, DataOwner, StorageProvider};
 
 use crate::audit_contract::{Agreement, AuditContract};
 
-/// Everything a storage provider holds for one contract.
-pub struct ProviderState {
-    /// The stored file (encoded).
-    pub file: EncodedFile,
-    /// Authenticators from the owner.
-    pub tags: Vec<G1Affine>,
-    /// The owner's public key.
-    pub pk: PublicKey,
-}
-
-impl ProviderState {
-    /// Responds to a challenge with the privacy-assured proof.
-    pub fn respond<R: rand::RngCore + ?Sized>(
-        &self,
-        rng: &mut R,
-        challenge: &Challenge,
-    ) -> Vec<u8> {
-        let prover = Prover::new(&self.pk, &self.file, &self.tags);
-        prover.prove_private(rng, challenge).to_bytes().to_vec()
-    }
-}
-
-/// A fully initialized audit session: deployed contract, both deposits
-/// locked, first challenge scheduled.
-pub struct AuditSession {
+/// A fully initialized audit session on chain: deployed contract, both
+/// deposits locked, first challenge scheduled.
+pub struct ContractSession {
     /// Deployed contract address.
     pub contract: Address,
     /// Data owner account.
     pub owner: Address,
     /// Storage provider account.
     pub provider: Address,
-    /// Provider-side state for responding to challenges.
-    pub provider_state: ProviderState,
+    /// Provider-side role handle for responding to challenges.
+    pub provider_state: StorageProvider,
     /// Terms in force.
     pub agreement: Agreement,
 }
 
+impl ContractSession {
+    /// The provider's wire response to a challenge: the canonical
+    /// 288-byte encoding posted as `prove` calldata.
+    pub fn respond_wire<R: rand::RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        challenge: &Challenge,
+    ) -> Vec<u8> {
+        self.provider_state.respond(rng, challenge).encode()
+    }
+}
+
 /// Sets up a complete audit session on the chain: keygen, encode, tag,
-/// deploy, negotiate, ack, deposit (both sides).
+/// provider-side tag validation, deploy, negotiate, ack, deposit (both
+/// sides).
 ///
 /// # Panics
-/// Panics if any setup transaction reverts (programming error in the
-/// harness, not a runtime condition).
-#[allow(clippy::too_many_arguments)]
+/// Panics if any setup transaction reverts or the honest bundle fails
+/// validation (programming error in the harness, not a runtime
+/// condition).
 pub fn setup_session<R: rand::RngCore + ?Sized>(
     rng: &mut R,
     chain: &mut Blockchain,
     label: &str,
     data: &[u8],
     params: dsaudit_core::params::AuditParams,
-    sk_pk: Option<(SecretKey, PublicKey)>,
+    owner_handle: Option<DataOwner>,
     agreement_template: AgreementTerms,
-) -> AuditSession {
+) -> ContractSession {
     let owner = Address::from_label(&format!("{label}/owner"));
     let provider = Address::from_label(&format!("{label}/provider"));
     chain.fund_account(owner, agreement_template.owner_deposit + dsaudit_chain::types::eth(1));
@@ -75,14 +67,13 @@ pub fn setup_session<R: rand::RngCore + ?Sized>(
         agreement_template.provider_deposit + dsaudit_chain::types::eth(1),
     );
 
-    let (sk, pk) = sk_pk.unwrap_or_else(|| dsaudit_core::keys::keygen(rng, &params));
-    let file = EncodedFile::encode(rng, data, params);
-    let tags = generate_tags(&sk, &file);
-    let meta = FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: params.k,
-    };
+    let owner_handle = owner_handle.unwrap_or_else(|| DataOwner::generate(rng, params));
+    let bundle = owner_handle.outsource(rng, data);
+    let meta = bundle.meta();
+    let pk = bundle.pk.clone();
+    // the provider validates the authenticators before acknowledging
+    let provider_state =
+        StorageProvider::ingest(rng, bundle).expect("honest bundle must validate");
     let agreement = Agreement {
         owner,
         provider,
@@ -94,7 +85,8 @@ pub fn setup_session<R: rand::RngCore + ?Sized>(
         owner_deposit: agreement_template.owner_deposit,
         provider_deposit: agreement_template.provider_deposit,
     };
-    let mut contract_obj = AuditContract::new(agreement, pk.clone(), meta);
+    let mut contract_obj =
+        AuditContract::new(agreement, pk, meta).expect("harness meta is auditable");
     if let Some(auditor) = agreement_template.batch_auditor {
         contract_obj = contract_obj.with_batch_auditor(auditor);
     }
@@ -120,11 +112,11 @@ pub fn setup_session<R: rand::RngCore + ?Sized>(
         agreement.provider_deposit,
     );
 
-    AuditSession {
+    ContractSession {
         contract,
         owner,
         provider,
-        provider_state: ProviderState { file, tags, pk },
+        provider_state,
         agreement,
     }
 }
@@ -220,7 +212,7 @@ pub fn latest_challenge(chain: &Blockchain, contract: Address) -> Option<Challen
 pub fn run_round<R: rand::RngCore + ?Sized>(
     rng: &mut R,
     chain: &mut Blockchain,
-    session: &AuditSession,
+    session: &ContractSession,
     honest: bool,
 ) -> bool {
     run_round_multi(rng, chain, &[(session, honest)])[0]
@@ -241,7 +233,7 @@ pub fn run_round<R: rand::RngCore + ?Sized>(
 pub fn run_round_multi<R: rand::RngCore + ?Sized>(
     rng: &mut R,
     chain: &mut Blockchain,
-    sessions: &[(&AuditSession, bool)],
+    sessions: &[(&ContractSession, bool)],
 ) -> Vec<bool> {
     assert!(!sessions.is_empty());
     let interval = sessions[0].0.agreement.audit_interval_secs;
@@ -254,7 +246,7 @@ pub fn run_round_multi<R: rand::RngCore + ?Sized>(
         if *honest {
             let challenge =
                 latest_challenge(chain, session.contract).expect("challenge event");
-            let proof = session.provider_state.respond(rng, &challenge);
+            let proof = session.respond_wire(rng, &challenge);
             submit_ok(chain, session.provider, session.contract, "prove", proof, 0);
         }
     }

@@ -13,5 +13,7 @@ pub mod registry;
 
 pub use audit_contract::{Agreement, AuditContract, Phase, RoundOutcome};
 pub use merkle_contract::{MerkleAuditContract, MerklePhase};
-pub use harness::{run_round, run_round_multi, setup_session, AgreementTerms, AuditSession, ProviderState};
+pub use harness::{
+    run_round, run_round_multi, setup_session, AgreementTerms, ContractSession,
+};
 pub use registry::{AuditNetwork, NetworkStats};

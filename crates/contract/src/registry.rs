@@ -14,22 +14,24 @@ use std::time::Instant;
 
 use dsaudit_chain::chain::Blockchain;
 use dsaudit_chain::types::Address;
-use dsaudit_core::batch::{verify_private_batch, BatchItem};
-use dsaudit_core::challenge::Challenge;
-use dsaudit_core::params::AuditParams;
-use dsaudit_core::proof::PrivateProof;
-use dsaudit_core::verify::{verify_private, FileMeta};
+use dsaudit_core::batch::BatchItem;
+use dsaudit_core::{Auditor, Challenge, Codec, AuditParams, PrivateProof};
 
-use crate::harness::{latest_challenge, setup_session, submit_ok, AgreementTerms, AuditSession};
+use crate::harness::{
+    latest_challenge, setup_session, submit_ok, AgreementTerms, ContractSession,
+};
 
 /// A population of audit sessions sharing one chain.
 pub struct AuditNetwork {
     /// The shared chain.
     pub chain: Blockchain,
     /// All live sessions.
-    pub sessions: Vec<AuditSession>,
+    pub sessions: Vec<ContractSession>,
     /// The §VII-D batch verifier address, when batched verification is on.
     pub batch_auditor: Option<Address>,
+    /// The batch verifier's role handle: its caches stay warm across
+    /// the whole network's rounds.
+    auditor: Auditor,
 }
 
 /// Aggregate statistics after driving the network.
@@ -81,6 +83,7 @@ impl AuditNetwork {
             chain,
             sessions,
             batch_auditor: terms.batch_auditor,
+            auditor: Auditor::new(),
         }
     }
 
@@ -92,7 +95,7 @@ impl AuditNetwork {
         let results = match self.batch_auditor {
             Some(auditor) if !self.sessions.is_empty() => self.run_round_batched(rng, auditor),
             _ => {
-                let pairs: Vec<(&AuditSession, bool)> =
+                let pairs: Vec<(&ContractSession, bool)> =
                     self.sessions.iter().map(|s| (s, true)).collect();
                 crate::harness::run_round_multi(rng, &mut self.chain, &pairs)
             }
@@ -130,10 +133,15 @@ impl AuditNetwork {
         let mut round: Vec<(Challenge, PrivateProof)> = Vec::with_capacity(self.sessions.len());
         for session in &self.sessions {
             let challenge = latest_challenge(chain, session.contract).expect("challenge event");
-            let bytes = session.provider_state.respond(rng, &challenge);
-            let proof =
-                PrivateProof::from_bytes(&bytes).expect("provider emits a valid encoding");
-            submit_ok(chain, session.provider, session.contract, "prove", bytes, 0);
+            let proof = session.provider_state.respond(rng, &challenge);
+            submit_ok(
+                chain,
+                session.provider,
+                session.contract,
+                "prove",
+                proof.encode(),
+                0,
+            );
             round.push((challenge, proof));
         }
         // deadline passes: contracts park in AwaitVerdict ("needsverdict")
@@ -145,23 +153,29 @@ impl AuditNetwork {
             .iter()
             .zip(&round)
             .map(|(s, (challenge, proof))| BatchItem {
-                pk: &s.provider_state.pk,
-                meta: FileMeta {
-                    name: s.provider_state.file.name,
-                    num_chunks: s.provider_state.file.num_chunks(),
-                    k: s.provider_state.file.params.k,
-                },
+                pk: s.provider_state.public_key(),
+                meta: s.provider_state.meta(),
                 challenge: *challenge,
                 proof: *proof,
             })
             .collect();
         let t0 = Instant::now();
-        let verdicts: Vec<bool> = if verify_private_batch(rng, &items) {
+        let batch_accepts = self
+            .auditor
+            .verify_private_batch(rng, &items)
+            .expect("metadata validated at session setup")
+            .accepted();
+        let verdicts: Vec<bool> = if batch_accepts {
             vec![true; items.len()]
         } else {
             items
                 .iter()
-                .map(|it| verify_private(it.pk, &it.meta, &it.challenge, &it.proof))
+                .map(|it| {
+                    self.auditor
+                        .verify_private(it.pk, &it.meta, &it.challenge, &it.proof)
+                        .expect("metadata validated at session setup")
+                        .accepted()
+                })
                 .collect()
         };
         // amortized per-user verification time, metered by each contract
@@ -228,7 +242,7 @@ mod tests {
             };
             let mut net = AuditNetwork::new(&mut rng, 3, 400, params, terms);
             // the provider for user 1 silently corrupts a stored block
-            net.sessions[1].provider_state.file.corrupt_block(0, 0);
+            net.sessions[1].provider_state.corrupt_block(0, 0);
             net
         };
         let run = |mut net: AuditNetwork| {
@@ -269,7 +283,7 @@ mod tests {
         net.chain.advance_time(interval + 1);
         net.chain.mine_block();
         let ch = latest_challenge(&net.chain, session.contract).expect("challenge");
-        let proof = session.provider_state.respond(&mut rng, &ch);
+        let proof = session.respond_wire(&mut rng, &ch);
         submit_ok(&mut net.chain, session.provider, session.contract, "prove", proof, 0);
         // Verify trigger parks the round in AwaitVerdict
         net.chain.advance_time(deadline + 1);

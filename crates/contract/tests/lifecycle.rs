@@ -58,9 +58,9 @@ fn data_loss_pays_the_owner() {
     };
     let mut session = setup_session(&mut rng, &mut chain, "loss", &[3u8; 900], params(), None, terms);
     // provider silently drops a chunk; k >= d so it is always challenged
-    session.provider_state.file.drop_chunk(0);
-    session.provider_state.file.drop_chunk(1);
-    session.provider_state.file.drop_chunk(2);
+    session.provider_state.drop_chunk(0);
+    session.provider_state.drop_chunk(1);
+    session.provider_state.drop_chunk(2);
 
     let owner_before = chain.balance(session.owner);
     let passed = run_round(&mut rng, &mut chain, &session, true);
@@ -92,21 +92,16 @@ fn provider_can_reject_negotiation() {
     let mut rng = rng();
     let mut chain = chain();
     let terms = AgreementTerms::default();
-    // manual setup up to ack
+    // manual setup up to ack, through the owner role handle
     let data = [1u8; 500];
     let p = params();
-    let (sk, pk) = dsaudit_core::keys::keygen(&mut rng, &p);
-    let file = dsaudit_core::file::EncodedFile::encode(&mut rng, &data, p);
-    let _tags = dsaudit_core::tag::generate_tags(&sk, &file);
+    let owner_handle = dsaudit_core::DataOwner::generate(&mut rng, p);
+    let bundle = owner_handle.outsource(&mut rng, &data);
     let owner = dsaudit_chain::types::Address::from_label("rej/owner");
     let provider = dsaudit_chain::types::Address::from_label("rej/provider");
     chain.fund_account(owner, eth(10));
     chain.fund_account(provider, eth(10));
-    let meta = dsaudit_core::verify::FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: p.k,
-    };
+    let meta = bundle.meta();
     let agreement = dsaudit_contract::Agreement {
         owner,
         provider,
@@ -118,7 +113,9 @@ fn provider_can_reject_negotiation() {
         owner_deposit: terms.owner_deposit,
         provider_deposit: terms.provider_deposit,
     };
-    let addr = chain.deploy("rej", Box::new(dsaudit_contract::AuditContract::new(agreement, pk, meta)));
+    let contract = dsaudit_contract::AuditContract::new(agreement, bundle.pk.clone(), meta)
+        .expect("auditable meta");
+    let addr = chain.deploy("rej", Box::new(contract));
     submit_ok(&mut chain, owner, addr, "negotiate", Vec::new(), 0);
     submit_ok(&mut chain, provider, addr, "reject", Vec::new(), 0);
     assert!(chain.all_events().iter().any(|e| e.name == "rejected"));
@@ -143,13 +140,13 @@ fn wrong_deposit_amount_rejected() {
     let terms = AgreementTerms::default();
     let data = [1u8; 500];
     let p = params();
-    let (_, pk) = dsaudit_core::keys::keygen(&mut rng, &p);
-    let file = dsaudit_core::file::EncodedFile::encode(&mut rng, &data, p);
+    let owner_handle = dsaudit_core::DataOwner::generate(&mut rng, p);
+    let file = owner_handle.encode(&mut rng, &data);
     let owner = dsaudit_chain::types::Address::from_label("dep/owner");
     let provider = dsaudit_chain::types::Address::from_label("dep/provider");
     chain.fund_account(owner, eth(10));
     chain.fund_account(provider, eth(10));
-    let meta = dsaudit_core::verify::FileMeta {
+    let meta = dsaudit_core::FileMeta {
         name: file.name,
         num_chunks: file.num_chunks(),
         k: p.k,
@@ -165,7 +162,13 @@ fn wrong_deposit_amount_rejected() {
         owner_deposit: terms.owner_deposit,
         provider_deposit: terms.provider_deposit,
     };
-    let addr = chain.deploy("dep", Box::new(dsaudit_contract::AuditContract::new(agreement, pk, meta)));
+    let contract = dsaudit_contract::AuditContract::new(
+        agreement,
+        owner_handle.public_key().clone(),
+        meta,
+    )
+    .expect("auditable meta");
+    let addr = chain.deploy("dep", Box::new(contract));
     submit_ok(&mut chain, owner, addr, "negotiate", Vec::new(), 0);
     submit_ok(&mut chain, provider, addr, "acked", Vec::new(), 0);
     // wrong amount
@@ -194,12 +197,15 @@ fn forged_proof_from_wrong_file_fails() {
     let mut session = setup_session(&mut rng, &mut chain, "forge", &[9u8; 900], params(), None, terms);
     // provider swaps in a different file of the same shape (e.g. serving
     // someone else's data), keeping the original tags
-    let other = dsaudit_core::file::EncodedFile::encode_with_name(
-        session.provider_state.file.name,
+    let other = dsaudit_core::EncodedFile::encode_with_name(
+        session.provider_state.file().name,
         &[10u8; 900],
         params(),
     );
-    session.provider_state.file = other;
+    session
+        .provider_state
+        .replace_file(other)
+        .expect("same shape");
     let passed = run_round(&mut rng, &mut chain, &session, true);
     assert!(!passed);
 }
@@ -217,7 +223,7 @@ fn challenge_events_carry_valid_beacons() {
     chain.mine_block();
     let ch = latest_challenge(&chain, session.contract).expect("challenge");
     // challenge expansion works and is deterministic
-    let set = ch.expand(session.provider_state.file.num_chunks(), 3);
+    let set = ch.expand(session.provider_state.file().num_chunks(), 3);
     assert_eq!(set.len(), 3);
 }
 

@@ -214,7 +214,7 @@ mod tests {
         let file = EncodedFile::encode(&mut rng, &data, params);
         let d = file.num_chunks();
         let tags = crate::tag::generate_tags(&sk, &file);
-        let prover = Prover::new(&pk, &file, &tags);
+        let prover = Prover::new(&pk, &file, &tags).unwrap();
 
         // Adversary observes u = d challenge groups; in each, s audits
         // share (C1, C2) and differ only in r — the paper's observation
@@ -252,7 +252,7 @@ mod tests {
         let data: Vec<u8> = (0..500).map(|i| (i * 13 % 256) as u8).collect();
         let file = EncodedFile::encode(&mut rng, &data, params);
         let tags = crate::tag::generate_tags(&sk, &file);
-        let prover = Prover::new(&pk, &file, &tags);
+        let prover = Prover::new(&pk, &file, &tags).unwrap();
 
         // Same observation model, but against the main (private) protocol.
         let mut trails = Vec::new();
@@ -299,7 +299,7 @@ mod tests {
         let (sk, pk) = keygen(&mut rng, &params);
         let file = EncodedFile::encode(&mut rng, &[1u8; 300], params);
         let tags = crate::tag::generate_tags(&sk, &file);
-        let prover = Prover::new(&pk, &file, &tags);
+        let prover = Prover::new(&pk, &file, &tags).unwrap();
         let mut trails = Vec::new();
         for t in 0..s - 1 {
             let mut b = [0u8; 48];
@@ -321,7 +321,7 @@ mod tests {
         let (sk, pk) = keygen(&mut rng, &params);
         let file = EncodedFile::encode(&mut rng, &[2u8; 300], params);
         let tags = crate::tag::generate_tags(&sk, &file);
-        let prover = Prover::new(&pk, &file, &tags);
+        let prover = Prover::new(&pk, &file, &tags).unwrap();
         let mut trails = Vec::new();
         for t in 0..s {
             let mut b = [0u8; 48];

@@ -5,9 +5,9 @@
 //! all posted proofs of one round together. Each user contributes three
 //! pairs to **one** shared Miller loop (the accumulator squarings are
 //! amortized over every pair, and each user's fixed G2 points come
-//! prepared from [`crate::prepared`]), all users share a *single* final
-//! exponentiation, and random weights `rho_u` keep soundness (a forged
-//! proof slips through with probability `1/r`).
+//! prepared from the [`Auditor`]'s cache), all users share a *single*
+//! final exponentiation, and random weights `rho_u` keep soundness (a
+//! forged proof slips through with probability `1/r`).
 
 use std::sync::Arc;
 
@@ -17,9 +17,10 @@ use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared, Gt};
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::h_prime;
 
+use crate::auditor::Auditor;
 use crate::challenge::Challenge;
+use crate::error::{DsAuditError, RejectReason, Verdict};
 use crate::keys::PublicKey;
-use crate::prepared;
 use crate::proof::PrivateProof;
 use crate::verify::{compute_chi, FileMeta};
 
@@ -36,26 +37,28 @@ pub struct BatchItem<'a> {
     pub proof: PrivateProof,
 }
 
-/// Verifies a batch of private proofs with one shared final
-/// exponentiation. Equivalent to verifying each item individually
-/// (soundness error `~1/r` from the random weights).
-pub fn verify_private_batch<R: rand::RngCore + ?Sized>(
+/// The batched check against the caches of `auditor`.
+pub(crate) fn verify_private_batch_with<R: rand::RngCore + ?Sized>(
+    auditor: &Auditor,
     rng: &mut R,
     items: &[BatchItem<'_>],
-) -> bool {
+) -> Result<Verdict, DsAuditError> {
     if items.is_empty() {
-        return true;
+        return Ok(Verdict::Accept);
+    }
+    for item in items {
+        item.meta.validate()?;
     }
     // Per item: (sigma^{zeta rho}, g2), (g1^{-y' rho} chi^{-zeta rho}
     // psi^{zeta rho r}, eps), (psi^{-zeta rho}, delta) — same equation
-    // shape as `verify_private`, weighted by rho.
+    // shape as single verification, weighted by rho.
     let mut g1_points: Vec<G1Affine> = Vec::with_capacity(3 * items.len());
     let mut g2_points: Vec<Arc<G2Prepared>> = Vec::with_capacity(2 * items.len());
     let mut rhs_terms: Vec<(Gt, Fr)> = Vec::with_capacity(items.len());
     for item in items {
         let rho = Fr::random(rng);
         let set = item.challenge.expand(item.meta.num_chunks, item.meta.k);
-        let chi = compute_chi(item.meta.name, &set);
+        let chi = compute_chi(auditor.chi_cache(), item.meta.name, &set);
         let zeta = h_prime(&item.proof.r_commit);
         let zr = zeta * rho;
         g1_points.push(item.proof.sigma.mul(zr).to_affine());
@@ -67,8 +70,8 @@ pub fn verify_private_batch<R: rand::RngCore + ?Sized>(
                 .to_affine(),
         );
         g1_points.push(item.proof.psi.mul(-zr).to_affine());
-        g2_points.push(prepared::prepared(&item.pk.eps));
-        g2_points.push(prepared::prepared(&item.pk.delta));
+        g2_points.push(auditor.g2_cache().prepared(&item.pk.eps));
+        g2_points.push(auditor.g2_cache().prepared(&item.pk.delta));
         rhs_terms.push((item.proof.r_commit.invert(), rho));
     }
     // prod_u R_u^{-rho_u} through one shared cyclotomic squaring chain
@@ -84,7 +87,21 @@ pub fn verify_private_batch<R: rand::RngCore + ?Sized>(
             ]
         })
         .collect();
-    multi_pairing_prepared(&pairs) == rhs
+    let holds = multi_pairing_prepared(&pairs) == rhs;
+    Ok(Verdict::from_equation(holds, RejectReason::BatchCombination))
+}
+
+/// One-shot batched verification with cold caches. Prefer
+/// [`Auditor::verify_private_batch`] for repeated rounds.
+///
+/// # Errors
+/// [`DsAuditError::BadMeta`] when any item's metadata is unusable; a
+/// failing batch is `Ok(Verdict::Reject(BatchCombination))`.
+pub fn verify_private_batch<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    items: &[BatchItem<'_>],
+) -> Result<Verdict, DsAuditError> {
+    Auditor::ephemeral().verify_private_batch(rng, items)
 }
 
 #[cfg(test)]
@@ -139,7 +156,7 @@ mod tests {
         let mut rng = rng();
         let mut items = Vec::new();
         for u in &users {
-            let prover = Prover::new(&u.pk, &u.file, &u.tags);
+            let prover = Prover::new(&u.pk, &u.file, &u.tags).unwrap();
             let ch = Challenge::random(&mut rng);
             let proof = prover.prove_private(&mut rng, &ch);
             items.push(BatchItem {
@@ -149,7 +166,11 @@ mod tests {
                 proof,
             });
         }
-        assert!(verify_private_batch(&mut rng, &items));
+        let auditor = Auditor::new();
+        assert!(auditor
+            .verify_private_batch(&mut rng, &items)
+            .unwrap()
+            .accepted());
     }
 
     #[test]
@@ -162,7 +183,7 @@ mod tests {
             if idx == 1 {
                 file.corrupt_block(0, 0); // cheating provider for user 1
             }
-            let prover = Prover::new(&u.pk, &file, &u.tags);
+            let prover = Prover::new(&u.pk, &file, &u.tags).unwrap();
             let ch = Challenge::from_beacon(&[idx as u8; 48]);
             // ensure chunk 0 is challenged: k=3 of d=5, loop beacons
             let mut beacon = [idx as u8; 48];
@@ -187,12 +208,15 @@ mod tests {
                 proof,
             });
         }
-        assert!(!verify_private_batch(&mut rng, &items));
+        assert_eq!(
+            verify_private_batch(&mut rng, &items).unwrap(),
+            Verdict::Reject(RejectReason::BatchCombination)
+        );
     }
 
     #[test]
     fn empty_batch_is_trivially_valid() {
         let mut rng = rng();
-        assert!(verify_private_batch(&mut rng, &[]));
+        assert!(verify_private_batch(&mut rng, &[]).unwrap().accepted());
     }
 }

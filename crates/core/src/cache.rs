@@ -1,0 +1,292 @@
+//! Bounded verifier-side caches, owned by the [`crate::Auditor`] handle.
+//!
+//! Earlier revisions kept two process-wide statics: the `(name, i)`
+//! index-oracle cache behind `compute_chi` and the prepared-G2
+//! line-coefficient cache behind every pairing. Under million-file
+//! traffic those grow without limit and every verifier in the process
+//! shares one lock. Both now live inside each [`crate::Auditor`] (and
+//! are dropped with it), bounded by a capacity with FIFO eviction —
+//! oldest entry out first, so a flood of throwaway keys cycles through
+//! without wiping a hot working set all at once — and keep the hit/miss
+//! counters the bench harness and tests read.
+
+#![deny(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dsaudit_algebra::g1::G1Affine;
+use dsaudit_algebra::g2::G2Affine;
+use dsaudit_algebra::pairing::G2Prepared;
+use dsaudit_algebra::Fr;
+use dsaudit_crypto::prf::index_oracle;
+
+/// Hit/miss counters of one cache since its creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the entry.
+    pub misses: u64,
+}
+
+/// A capacity-bounded map with FIFO eviction and hit/miss counters.
+///
+/// Misses compute outside the lock (two racing lookups may both compute
+/// a fresh entry, which is benign for deterministic values); insertion
+/// evicts the oldest keys until the capacity bound holds.
+struct BoundedCache<K, V> {
+    inner: Mutex<BoundedMap<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct BoundedMap<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            inner: Mutex::new(BoundedMap {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.inner.lock().expect("cache lock").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key.clone(), v.clone()).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(victim) = inner.order.pop_front() {
+                    inner.map.remove(&victim);
+                } else {
+                    break;
+                }
+            }
+        }
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Memoizes the index oracle `H(name || i)` per `(file, chunk)` pair.
+///
+/// Audit challenges re-sample `k` chunks of the same file every round,
+/// so repeated rounds hit warm entries instead of re-running the
+/// hash-to-curve square-root search.
+pub struct ChiCache {
+    cache: BoundedCache<(Fr, u64), G1Affine>,
+}
+
+/// Default capacity of [`ChiCache`] (~100 bytes/entry).
+pub const CHI_CACHE_CAPACITY: usize = 1 << 20;
+
+impl ChiCache {
+    /// A cache bounded at [`CHI_CACHE_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(CHI_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded at `capacity` entries (FIFO eviction beyond it).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            cache: BoundedCache::new(capacity),
+        }
+    }
+
+    /// `H(name || i)`, served from the cache when warm.
+    pub fn index_oracle(&self, name: Fr, i: u64) -> G1Affine {
+        self.cache
+            .get_or_compute((name, i), || index_oracle(name, i))
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters since creation.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Default for ChiCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Memoizes prepared G2 points (`G2Prepared` line-coefficient
+/// sequences, ~17 KB each) keyed by the compressed point.
+///
+/// The verifier pairs against the same three G2 points on every audit
+/// of a public key (`g2`, `eps`, `delta`); serving them prepared makes
+/// repeated rounds pay only the sparse accumulator work.
+pub struct PreparedG2Cache {
+    cache: BoundedCache<[u8; 64], Arc<G2Prepared>>,
+}
+
+/// Default capacity of [`PreparedG2Cache`] (~70 MB at the bound).
+pub const PREPARED_CACHE_CAPACITY: usize = 1 << 12;
+
+impl PreparedG2Cache {
+    /// A cache bounded at [`PREPARED_CACHE_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(PREPARED_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded at `capacity` entries (FIFO eviction beyond it).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            cache: BoundedCache::new(capacity),
+        }
+    }
+
+    /// The prepared form of `q`, served from the cache when warm.
+    pub fn prepared(&self, q: &G2Affine) -> Arc<G2Prepared> {
+        self.cache
+            .get_or_compute(q.to_compressed(), || Arc::new(G2Prepared::from_affine(q)))
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters since creation.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Default for PreparedG2Cache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsaudit_algebra::field::Field;
+    use dsaudit_algebra::g2::G2Projective;
+    use dsaudit_algebra::pairing::{multi_pairing_prepared, pairing};
+    use dsaudit_algebra::g1::G1Projective;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xcac4e)
+    }
+
+    #[test]
+    fn chi_cache_hits_and_matches_fresh_compute() {
+        let mut rng = rng();
+        let cache = ChiCache::new();
+        let name = Fr::random(&mut rng);
+        let fresh = index_oracle(name, 3);
+        assert_eq!(cache.index_oracle(name, 3), fresh);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(cache.index_oracle(name, 3), fresh);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn chi_cache_evicts_oldest_at_capacity() {
+        let mut rng = rng();
+        let cache = ChiCache::with_capacity(4);
+        let name = Fr::random(&mut rng);
+        for i in 0..10 {
+            let _ = cache.index_oracle(name, i);
+        }
+        assert_eq!(cache.len(), 4, "capacity bound must hold");
+        // oldest entries (0..6) were evicted, newest (6..10) are warm
+        let before = cache.stats();
+        let _ = cache.index_oracle(name, 9);
+        assert_eq!(cache.stats().hits, before.hits + 1);
+        let _ = cache.index_oracle(name, 0);
+        assert_eq!(cache.stats().misses, before.misses + 1);
+        assert_eq!(cache.len(), 4, "re-inserting keeps the bound");
+    }
+
+    #[test]
+    fn prepared_cache_serves_working_preparations() {
+        let mut rng = rng();
+        let cache = PreparedG2Cache::with_capacity(2);
+        let p = G1Projective::random(&mut rng).to_affine();
+        let q = G2Projective::random(&mut rng).to_affine();
+        let prep = cache.prepared(&q);
+        assert_eq!(
+            multi_pairing_prepared(&[(&p, prep.as_ref())]),
+            pairing(&p, &q)
+        );
+        let again = cache.prepared(&q);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            multi_pairing_prepared(&[(&p, again.as_ref())]),
+            pairing(&p, &q)
+        );
+        // identity prepares and pairs correctly too
+        let id = cache.prepared(&G2Affine::identity());
+        assert!(multi_pairing_prepared(&[(&p, id.as_ref())]).is_identity());
+        // eviction keeps the bound
+        for _ in 0..4 {
+            let r = G2Projective::random(&mut rng).to_affine();
+            let _ = cache.prepared(&r);
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn repeated_insert_of_same_key_does_not_grow() {
+        let cache = ChiCache::with_capacity(2);
+        let name = Fr::from_u64(7);
+        for _ in 0..5 {
+            let _ = cache.index_oracle(name, 1);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

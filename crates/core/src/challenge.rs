@@ -12,6 +12,9 @@ use dsaudit_crypto::prf::prf_fr_keyed;
 use dsaudit_crypto::prp::SmallDomainPrp;
 use dsaudit_crypto::sha256::sha256_wide;
 
+use crate::codec::{ByteReader, Codec};
+use crate::error::DsAuditError;
+
 /// The 48-byte on-chain challenge of one audit round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Challenge {
@@ -72,11 +75,58 @@ impl Challenge {
     }
 }
 
+/// The expanded wire form of a challenge: `c1 (16 B) || c2 (16 B) ||
+/// r (32 B canonical scalar)` — 64 bytes. (The 48-byte on-chain form
+/// stores `r` as its beacon seed; this codec carries the *logical*
+/// challenge between off-chain actors, where `r` is already expanded.)
+impl Codec for Challenge {
+    const TYPE_NAME: &'static str = "Challenge";
+
+    fn encoded_len(&self) -> usize {
+        64
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.c1);
+        out.extend_from_slice(&self.c2);
+        self.r.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let c1 = r.array::<16>("c1")?;
+        let c2 = r.array::<16>("c2")?;
+        let r_bytes = r.array::<32>("r")?;
+        let r_scalar = Fr::from_bytes_be(&r_bytes).ok_or_else(|| r.malformed("r"))?;
+        Ok(Self {
+            c1,
+            c2,
+            r: r_scalar,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
     use std::collections::HashSet;
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xc4a2);
+        let ch = Challenge::random(&mut rng);
+        let bytes = ch.encode();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(Challenge::decode(&bytes).unwrap(), ch);
+        assert!(matches!(
+            Challenge::decode(&bytes[..20]),
+            Err(DsAuditError::Truncated {
+                ty: "Challenge",
+                field: "c2",
+                ..
+            })
+        ));
+    }
 
     fn rng() -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(0xc4a1)

@@ -1,0 +1,226 @@
+//! The crate-wide error and verdict types of the role-oriented API.
+//!
+//! Every fallible operation on the public surface of `dsaudit-core`
+//! returns [`DsAuditError`] instead of `bool`/`Option`/panicking, so
+//! callers (and the `contract` layer above) can tell *bad proof* from
+//! *bad input* from *protocol misuse*:
+//!
+//! * a proof that decodes but fails the pairing equations is **not** an
+//!   error — verification returns [`Verdict::Reject`] with a
+//!   [`RejectReason`];
+//! * malformed external bytes (truncated wire data, non-curve points,
+//!   out-of-range scalars) are [`DsAuditError::Truncated`] /
+//!   [`DsAuditError::Malformed`];
+//! * calling the protocol out of order (submitting a response for the
+//!   wrong round, mismatched tag counts) is a typed protocol error.
+
+#![deny(missing_docs)]
+
+use crate::params::ParamError;
+
+/// Unified error type for the audit protocol's public API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DsAuditError {
+    /// Wire input ended before the field being decoded was complete.
+    Truncated {
+        /// Type being decoded (e.g. `"PrivateProof"`).
+        ty: &'static str,
+        /// The field whose bytes ran out.
+        field: &'static str,
+        /// Bytes the field needed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A decoded field failed validation: a point off the curve, a
+    /// scalar at or above the group order, an inconsistent length
+    /// prefix, or trailing garbage after a complete value.
+    Malformed {
+        /// Type being decoded.
+        ty: &'static str,
+        /// The offending field.
+        field: &'static str,
+    },
+    /// Audit parameters were rejected (see [`ParamError`]).
+    Params(ParamError),
+    /// Two protocol objects that must agree in size did not.
+    DimensionMismatch {
+        /// What was being matched (e.g. `"tags per chunk"`).
+        what: &'static str,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        got: usize,
+    },
+    /// A response was submitted for a different audit round than the
+    /// one in flight.
+    RoundMismatch {
+        /// The round the session is waiting on.
+        expected: u64,
+        /// The round the response claims.
+        got: u64,
+    },
+    /// File metadata is unusable for auditing (zero chunks or a zero
+    /// challenge count).
+    BadMeta(&'static str),
+    /// The authenticators shipped with an outsourcing bundle failed the
+    /// provider's batch validation — the owner (or the transport)
+    /// supplied forged or mismatched tags.
+    TagsRejected,
+    /// An I/O failure while streaming data through
+    /// [`crate::file::EncodedFile::encode_reader`].
+    Io {
+        /// The failing operation's [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// Human-readable detail from the underlying error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DsAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsAuditError::Truncated {
+                ty,
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{ty}: truncated input at field `{field}` (needed {expected} bytes, {got} available)"
+            ),
+            DsAuditError::Malformed { ty, field } => {
+                write!(f, "{ty}: malformed field `{field}`")
+            }
+            DsAuditError::Params(e) => write!(f, "invalid audit parameters: {e}"),
+            DsAuditError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "dimension mismatch for {what}: expected {expected}, got {got}"),
+            DsAuditError::RoundMismatch { expected, got } => {
+                write!(f, "response is for round {got}, but round {expected} is in flight")
+            }
+            DsAuditError::BadMeta(why) => write!(f, "unusable file metadata: {why}"),
+            DsAuditError::TagsRejected => {
+                write!(f, "authenticator batch validation failed: tags are forged or mismatched")
+            }
+            DsAuditError::Io { kind, detail } => {
+                write!(f, "i/o error while streaming ({kind:?}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DsAuditError {}
+
+impl From<ParamError> for DsAuditError {
+    fn from(e: ParamError) -> Self {
+        DsAuditError::Params(e)
+    }
+}
+
+impl From<std::io::Error> for DsAuditError {
+    fn from(e: std::io::Error) -> Self {
+        DsAuditError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Why a well-formed proof was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The non-private verification equation (Eq. 1) did not hold.
+    Equation1,
+    /// The privacy-assured verification equation (Eq. 2) did not hold.
+    Equation2,
+    /// The random-linear-combination batch check did not hold (at least
+    /// one proof in the batch is invalid).
+    BatchCombination,
+    /// A single authenticator failed its pairing validation.
+    TagEquation,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Equation1 => write!(f, "verification equation (1) failed"),
+            RejectReason::Equation2 => write!(f, "verification equation (2) failed"),
+            RejectReason::BatchCombination => write!(f, "batched combination check failed"),
+            RejectReason::TagEquation => write!(f, "authenticator equation failed"),
+        }
+    }
+}
+
+/// Outcome of verifying a structurally valid proof.
+///
+/// Distinct from [`DsAuditError`]: an `Err` means the *inputs* were
+/// unusable (malformed bytes, bad metadata); a `Reject` means the check
+/// ran and the proof is wrong — the signal a contract settles on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "a rejected verdict settles a round differently than an accepted one"]
+pub enum Verdict {
+    /// The proof satisfies the verification equation.
+    Accept,
+    /// The proof is well-formed but does not verify.
+    Reject(RejectReason),
+}
+
+impl Verdict {
+    /// `true` when the proof was accepted.
+    pub fn accepted(&self) -> bool {
+        matches!(self, Verdict::Accept)
+    }
+
+    /// Folds a boolean equation result into a verdict with `reason`.
+    pub(crate) fn from_equation(holds: bool, reason: RejectReason) -> Self {
+        if holds {
+            Verdict::Accept
+        } else {
+            Verdict::Reject(reason)
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Accept => write!(f, "accept"),
+            Verdict::Reject(r) => write!(f, "reject ({r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accepted_flag() {
+        assert!(Verdict::Accept.accepted());
+        assert!(!Verdict::Reject(RejectReason::Equation2).accepted());
+        assert!(Verdict::from_equation(true, RejectReason::Equation1).accepted());
+        assert!(!Verdict::from_equation(false, RejectReason::Equation1).accepted());
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = DsAuditError::Truncated {
+            ty: "PrivateProof",
+            field: "sigma",
+            expected: 32,
+            got: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("PrivateProof") && s.contains("sigma") && s.contains("32"));
+        let e = DsAuditError::RoundMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("round 2"));
+        let e: DsAuditError = ParamError::Zero.into();
+        assert!(matches!(e, DsAuditError::Params(ParamError::Zero)));
+    }
+}

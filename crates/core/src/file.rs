@@ -7,6 +7,7 @@ use dsaudit_algebra::field::Field;
 use dsaudit_algebra::poly::DensePoly;
 use dsaudit_algebra::Fr;
 
+use crate::error::DsAuditError;
 use crate::params::{AuditParams, BLOCK_BYTES};
 
 /// A file encoded for auditing: `d` chunks of `s` blocks each.
@@ -41,22 +42,12 @@ impl EncodedFile {
         let s = params.s;
         let n_blocks = data.len().div_ceil(BLOCK_BYTES).max(1);
         let d = n_blocks.div_ceil(s);
+        let chunk_bytes = params.chunk_bytes();
         let mut blocks = Vec::with_capacity(d);
-        let mut cursor = 0usize;
-        for _ in 0..d {
-            let mut chunk = Vec::with_capacity(s);
-            for _ in 0..s {
-                let mut buf = [0u8; 32];
-                if cursor < data.len() {
-                    let take = BLOCK_BYTES.min(data.len() - cursor);
-                    buf[32 - BLOCK_BYTES..32 - BLOCK_BYTES + take]
-                        .copy_from_slice(&data[cursor..cursor + take]);
-                    cursor += take;
-                }
-                // 31 data bytes occupy the low 248 bits: always < r
-                chunk.push(Fr::from_bytes_be(&buf).expect("31-byte block fits in Fr"));
-            }
-            blocks.push(chunk);
+        for i in 0..d {
+            let lo = (i * chunk_bytes).min(data.len());
+            let hi = ((i + 1) * chunk_bytes).min(data.len());
+            blocks.push(Self::chunk_from_bytes(&data[lo..hi], s));
         }
         Self {
             name,
@@ -64,6 +55,99 @@ impl EncodedFile {
             byte_len: data.len(),
             blocks,
         }
+    }
+
+    /// Streaming encode: reads `reader` to EOF, chunk by chunk, with a
+    /// random `name`.
+    ///
+    /// # Errors
+    /// Propagates reader failures as [`DsAuditError::Io`].
+    pub fn encode_reader<R, T>(
+        rng: &mut R,
+        reader: &mut T,
+        params: AuditParams,
+    ) -> Result<Self, DsAuditError>
+    where
+        R: rand::RngCore + ?Sized,
+        T: std::io::Read + ?Sized,
+    {
+        let name = Fr::random(rng);
+        Self::encode_reader_with_name(name, reader, params)
+    }
+
+    /// Streaming encode with a caller-chosen `name`: reads the source to
+    /// EOF one chunk at a time, so the raw bytes are never buffered in
+    /// full — peak transient allocation is one `s * 31`-byte chunk
+    /// buffer regardless of file size (the encoded blocks themselves are
+    /// the output). Produces exactly the same [`EncodedFile`] as
+    /// [`EncodedFile::encode_with_name`] over the concatenated bytes,
+    /// which is what makes GiB-scale preprocessing possible: encode from
+    /// a `File` handle, then feed the chunks to tag generation.
+    ///
+    /// # Errors
+    /// Propagates reader failures as [`DsAuditError::Io`]; bytes read
+    /// before the failure are discarded.
+    pub fn encode_reader_with_name<T>(
+        name: Fr,
+        reader: &mut T,
+        params: AuditParams,
+    ) -> Result<Self, DsAuditError>
+    where
+        T: std::io::Read + ?Sized,
+    {
+        let s = params.s;
+        let chunk_bytes = params.chunk_bytes();
+        let mut buf = vec![0u8; chunk_bytes];
+        let mut blocks: Vec<Vec<Fr>> = Vec::new();
+        let mut byte_len = 0usize;
+        loop {
+            let mut filled = 0usize;
+            while filled < chunk_bytes {
+                match reader.read(&mut buf[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if filled == 0 {
+                break;
+            }
+            byte_len += filled;
+            blocks.push(Self::chunk_from_bytes(&buf[..filled], s));
+            if filled < chunk_bytes {
+                break; // EOF mid-chunk
+            }
+        }
+        if blocks.is_empty() {
+            // an empty file still audits as one all-zero chunk
+            blocks.push(vec![Fr::zero(); s]);
+        }
+        Ok(Self {
+            name,
+            params,
+            byte_len,
+            blocks,
+        })
+    }
+
+    /// Packs up to `s * 31` raw bytes into exactly `s` field-element
+    /// blocks, zero-padding the tail.
+    fn chunk_from_bytes(data: &[u8], s: usize) -> Vec<Fr> {
+        let mut chunk = Vec::with_capacity(s);
+        let mut cursor = 0usize;
+        for _ in 0..s {
+            let mut buf = [0u8; 32];
+            if cursor < data.len() {
+                let take = BLOCK_BYTES.min(data.len() - cursor);
+                buf[32 - BLOCK_BYTES..32 - BLOCK_BYTES + take]
+                    .copy_from_slice(&data[cursor..cursor + take]);
+                cursor += take;
+            }
+            // 31 data bytes occupy the low 248 bits: always < r
+            chunk.push(Fr::from_bytes_be(&buf).expect("31-byte block fits in Fr"));
+        }
+        chunk
     }
 
     /// Number of chunks `d`.
@@ -186,5 +270,77 @@ mod tests {
         let f = EncodedFile::encode(&mut rng, &[], params());
         assert_eq!(f.num_chunks(), 1);
         assert_eq!(f.decode(), Vec::<u8>::new());
+    }
+
+    /// A reader that hands out data in fixed drips, so the chunk loop
+    /// must cope with short reads that straddle block boundaries.
+    struct DripReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        drip: usize,
+    }
+
+    impl std::io::Read for DripReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.drip.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn streaming_encode_matches_in_memory_exactly() {
+        let name = Fr::from_u64(0x57eea);
+        let p = params(); // s = 4 -> 124 bytes per chunk
+        for len in [0usize, 1, 30, 31, 123, 124, 125, 500, 4999] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+            let in_memory = EncodedFile::encode_with_name(name, &data, p);
+            for drip in [1usize, 3, 31, 124, 1000] {
+                let mut reader = DripReader {
+                    data: &data,
+                    pos: 0,
+                    drip,
+                };
+                let streamed = EncodedFile::encode_reader_with_name(name, &mut reader, p)
+                    .expect("in-memory reader cannot fail");
+                assert_eq!(
+                    streamed, in_memory,
+                    "len {len}, drip {drip}: streaming must match in-memory encode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_encode_surfaces_reader_errors() {
+        struct FailAfter(usize);
+        impl std::io::Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "peer vanished",
+                    ));
+                }
+                let n = self.0.min(buf.len());
+                buf[..n].fill(0xaa);
+                self.0 -= n;
+                Ok(n)
+            }
+        }
+        let err = EncodedFile::encode_reader_with_name(
+            Fr::from_u64(1),
+            &mut FailAfter(200),
+            params(),
+        )
+        .expect_err("mid-stream failure must propagate");
+        assert!(matches!(
+            err,
+            DsAuditError::Io {
+                kind: std::io::ErrorKind::ConnectionReset,
+                ..
+            }
+        ));
     }
 }

@@ -8,11 +8,12 @@
 use dsaudit_algebra::field::Field;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
 use dsaudit_algebra::g2::G2Affine;
-use dsaudit_algebra::pairing::{multi_pairing_prepared, Gt};
+use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared, Gt};
 use dsaudit_algebra::Fr;
 
+use crate::codec::{ByteReader, Codec};
+use crate::error::DsAuditError;
 use crate::params::AuditParams;
-use crate::prepared;
 
 /// The data owner's secret key `(x, alpha)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +34,50 @@ impl SecretKey {
                 return Self { x, alpha };
             }
         }
+    }
+
+    /// Serializes to the 64-byte owner-vault format (see [`Codec`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Parses the 64-byte owner-vault format.
+    ///
+    /// # Errors
+    /// Typed [`DsAuditError`] on truncation, out-of-range scalars, a
+    /// zero component, or trailing bytes — never a silent `None`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DsAuditError> {
+        Self::decode(bytes)
+    }
+}
+
+/// `x (32 B) || alpha (32 B)`, both big-endian canonical scalars. The
+/// owner's vault format — never leaves the data owner.
+impl Codec for SecretKey {
+    const TYPE_NAME: &'static str = "SecretKey";
+
+    fn encoded_len(&self) -> usize {
+        64
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.x.encode_into(out);
+        self.alpha.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let x_bytes = r.array::<32>("x")?;
+        let x = Fr::from_bytes_be(&x_bytes).ok_or_else(|| r.malformed("x"))?;
+        let alpha_bytes = r.array::<32>("alpha")?;
+        let alpha = Fr::from_bytes_be(&alpha_bytes).ok_or_else(|| r.malformed("alpha"))?;
+        // zero components would make the key cryptographically void
+        if x.is_zero() {
+            return Err(r.malformed("x"));
+        }
+        if alpha.is_zero() {
+            return Err(r.malformed("alpha"));
+        }
+        Ok(Self { x, alpha })
     }
 }
 
@@ -61,63 +106,43 @@ impl PublicKey {
         self.alpha_powers_g1.len()
     }
 
-    /// Serializes to the on-chain registration format:
+    /// Serializes to the on-chain registration format (see [`Codec`]):
     /// `s (4 B LE) || eps (64 B) || delta (64 B) || s x 32 B alpha powers
     /// || 192 B e(g1, eps)`.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.serialized_len(true));
-        out.extend_from_slice(&(self.s() as u32).to_le_bytes());
-        out.extend_from_slice(&self.eps.to_compressed());
-        out.extend_from_slice(&self.delta.to_compressed());
-        for p in &self.alpha_powers_g1 {
-            out.extend_from_slice(&p.to_compressed());
-        }
-        out.extend_from_slice(&self.e_g1_eps.to_compressed());
-        out
+        self.encode()
     }
 
     /// Parses the on-chain registration format, validating every group
     /// element and the consistency `e(g1, eps) == cached GT element`.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 4 {
-            return None;
-        }
-        let s = u32::from_le_bytes(bytes[..4].try_into().expect("sliced")) as usize;
-        let expect = 4 + 64 + 64 + 32 * s + 192;
-        if bytes.len() != expect || s == 0 || s > 4096 {
-            return None;
-        }
-        let mut off = 4;
-        let eps = G2Affine::from_compressed(bytes[off..off + 64].try_into().expect("sliced"))?;
-        off += 64;
-        let delta = G2Affine::from_compressed(bytes[off..off + 64].try_into().expect("sliced"))?;
-        off += 64;
-        let mut alpha_powers_g1 = Vec::with_capacity(s);
-        for _ in 0..s {
-            alpha_powers_g1
-                .push(G1Affine::from_compressed(bytes[off..off + 32].try_into().expect("sliced"))?);
-            off += 32;
-        }
-        let e_g1_eps = Gt::from_compressed(bytes[off..off + 192].try_into().expect("sliced"))?;
-        // consistency checks a contract would perform once at registration;
-        // the pairing runs against a fresh (uncached) preparation so
-        // rejected blobs never leave an entry in the process-wide cache
-        if alpha_powers_g1[0] != G1Affine::generator() {
-            return None;
+    ///
+    /// # Errors
+    /// Typed [`DsAuditError`] naming the offending field — truncated
+    /// input, an inconsistent length prefix, a point off the curve, or a
+    /// failed consistency check — never a silent `None`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DsAuditError> {
+        Self::decode(bytes)
+    }
+
+    /// The consistency checks a contract performs once at registration:
+    /// the commitment key must start at the generator, and the cached
+    /// GT element must equal `e(g1, eps)`.
+    fn validate(&self) -> Result<(), DsAuditError> {
+        if self.alpha_powers_g1[0] != G1Affine::generator() {
+            return Err(DsAuditError::Malformed {
+                ty: Self::TYPE_NAME,
+                field: "alpha_powers_g1[0]",
+            });
         }
         let g1 = G1Affine::generator();
-        let eps_p = dsaudit_algebra::pairing::G2Prepared::from_affine(&eps);
-        if multi_pairing_prepared(&[(&g1, &eps_p)]) != e_g1_eps {
-            return None;
+        let eps_p = G2Prepared::from_affine(&self.eps);
+        if multi_pairing_prepared(&[(&g1, &eps_p)]) != self.e_g1_eps {
+            return Err(DsAuditError::Malformed {
+                ty: Self::TYPE_NAME,
+                field: "e_g1_eps",
+            });
         }
-        // validated: warm the cache for the audit rounds that follow
-        let _ = prepared::prepared(&eps);
-        Some(Self {
-            eps,
-            delta,
-            alpha_powers_g1,
-            e_g1_eps,
-        })
+        Ok(())
     }
 
     /// Serialized size in bytes as recorded on chain (Fig. 4).
@@ -132,6 +157,59 @@ impl PublicKey {
         } else {
             base
         }
+    }
+}
+
+/// The on-chain registration format: `s (4 B LE) || eps || delta ||
+/// s alpha powers || e(g1, eps)`. Decoding validates every group
+/// element and the registration consistency checks, so any value this
+/// impl produces is a usable public key.
+impl Codec for PublicKey {
+    const TYPE_NAME: &'static str = "PublicKey";
+
+    fn encoded_len(&self) -> usize {
+        4 + self.serialized_len(true)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.s() as u32).to_le_bytes());
+        self.eps.encode_into(out);
+        self.delta.encode_into(out);
+        for p in &self.alpha_powers_g1 {
+            p.encode_into(out);
+        }
+        self.e_g1_eps.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let s = r.u32_le("s")? as usize;
+        if s == 0 || s > crate::params::MAX_CHUNK_FACTOR {
+            return Err(r.malformed("s"));
+        }
+        let eps_bytes = r.array::<64>("eps")?;
+        let eps = G2Affine::from_compressed(&eps_bytes).ok_or_else(|| r.malformed("eps"))?;
+        let delta_bytes = r.array::<64>("delta")?;
+        let delta =
+            G2Affine::from_compressed(&delta_bytes).ok_or_else(|| r.malformed("delta"))?;
+        let mut alpha_powers_g1 = Vec::with_capacity(s);
+        for _ in 0..s {
+            let p_bytes = r.array::<32>("alpha_powers_g1")?;
+            alpha_powers_g1.push(
+                G1Affine::from_compressed(&p_bytes)
+                    .ok_or_else(|| r.malformed("alpha_powers_g1"))?,
+            );
+        }
+        let gt_bytes = r.array::<192>("e_g1_eps")?;
+        let e_g1_eps =
+            Gt::from_compressed(&gt_bytes).ok_or_else(|| r.malformed("e_g1_eps"))?;
+        let pk = Self {
+            eps,
+            delta,
+            alpha_powers_g1,
+            e_g1_eps,
+        };
+        pk.validate()?;
+        Ok(pk)
     }
 }
 
@@ -159,8 +237,8 @@ pub fn public_key_for(sk: &SecretKey, s: usize) -> PublicKey {
     }
     let alpha_powers_g1 = G1Projective::generator_table().mul_many_affine(&powers);
     let g1 = G1Affine::generator();
-    let eps_p = prepared::prepared(&eps);
-    let e_g1_eps = multi_pairing_prepared(&[(&g1, eps_p.as_ref())]);
+    let eps_p = G2Prepared::from_affine(&eps);
+    let e_g1_eps = multi_pairing_prepared(&[(&g1, &eps_p)]);
     PublicKey {
         eps,
         delta,
@@ -237,18 +315,59 @@ mod tests {
     }
 
     #[test]
-    fn public_key_rejects_tampering() {
+    fn public_key_rejects_tampering_with_typed_errors() {
         let mut rng = rng();
         let params = AuditParams::new(4, 2).unwrap();
         let (_, pk) = keygen(&mut rng, &params);
         let mut bytes = pk.to_bytes();
-        // truncation
-        assert!(PublicKey::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        // truncation names the field that ran out
+        assert!(matches!(
+            PublicKey::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(crate::error::DsAuditError::Truncated {
+                ty: "PublicKey",
+                field: "e_g1_eps",
+                ..
+            })
+        ));
         // swap eps for delta: breaks the pairing consistency check
         let (a, b) = (4usize, 4 + 64);
         for i in 0..64 {
             bytes.swap(a + i, b + i);
         }
-        assert!(PublicKey::from_bytes(&bytes).is_none());
+        assert!(matches!(
+            PublicKey::from_bytes(&bytes),
+            Err(crate::error::DsAuditError::Malformed {
+                ty: "PublicKey",
+                field: "e_g1_eps"
+            })
+        ));
+    }
+
+    #[test]
+    fn secret_key_codec_roundtrip_and_typed_errors() {
+        let mut rng = rng();
+        let sk = SecretKey::random(&mut rng);
+        let bytes = sk.to_bytes();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(SecretKey::from_bytes(&bytes).unwrap(), sk);
+        // truncation is a typed error, not a silent None
+        assert!(matches!(
+            SecretKey::from_bytes(&bytes[..63]),
+            Err(crate::error::DsAuditError::Truncated {
+                ty: "SecretKey",
+                field: "alpha",
+                ..
+            })
+        ));
+        // a zero component is rejected as malformed
+        let mut zeroed = bytes.clone();
+        zeroed[..32].fill(0);
+        assert!(matches!(
+            SecretKey::from_bytes(&zeroed),
+            Err(crate::error::DsAuditError::Malformed {
+                ty: "SecretKey",
+                field: "x"
+            })
+        ));
     }
 }

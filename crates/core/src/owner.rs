@@ -1,0 +1,193 @@
+//! The data-owner role handle: key generation, (streaming) encoding,
+//! authenticator generation, and the outsourcing bundle.
+//!
+//! A [`DataOwner`] holds the secret key `(x, alpha)` and the derived
+//! public key, and turns raw archives into [`Outsourcing`] bundles — the
+//! exact payload shipped to a storage provider (encoded file + tag
+//! vector + the public metadata the contract registers).
+
+#![deny(missing_docs)]
+
+use dsaudit_algebra::g1::G1Affine;
+
+use crate::error::DsAuditError;
+use crate::file::EncodedFile;
+use crate::keys::{keygen, public_key_for, PublicKey, SecretKey};
+use crate::params::AuditParams;
+use crate::tag::generate_tags;
+use crate::verify::FileMeta;
+
+/// Everything a storage provider receives for one file: the encoded
+/// data, one authenticator per chunk, and the public audit metadata.
+///
+/// The bundle's `pk` is the owner's registration key — the provider
+/// validates the tag vector against it before acknowledging the
+/// contract (see [`crate::StorageProvider::ingest`]).
+#[derive(Clone, Debug)]
+pub struct Outsourcing {
+    /// The owner's public key, as registered on chain.
+    pub pk: PublicKey,
+    /// The encoded file.
+    pub file: EncodedFile,
+    /// One homomorphic authenticator per chunk.
+    pub tags: Vec<G1Affine>,
+}
+
+impl Outsourcing {
+    /// The public metadata the contract stores about this file.
+    pub fn meta(&self) -> FileMeta {
+        FileMeta {
+            name: self.file.name,
+            num_chunks: self.file.num_chunks(),
+            k: self.file.params.k,
+        }
+    }
+}
+
+/// Data-owner handle: secret key material plus the agreed parameters.
+pub struct DataOwner {
+    sk: SecretKey,
+    pk: PublicKey,
+    params: AuditParams,
+}
+
+impl DataOwner {
+    /// Generates a fresh owner: samples `(x, alpha)` and derives the
+    /// public key for `params.s`.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R, params: AuditParams) -> Self {
+        let (sk, pk) = keygen(rng, &params);
+        Self { sk, pk, params }
+    }
+
+    /// Rebuilds an owner from stored secret-key material (the public
+    /// key is re-derived deterministically).
+    pub fn from_secret(sk: SecretKey, params: AuditParams) -> Self {
+        let pk = public_key_for(&sk, params.s);
+        Self { sk, pk, params }
+    }
+
+    /// The public key to register on chain.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// The owner's secret key (for vault storage via
+    /// [`SecretKey::to_bytes`]).
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// The agreed audit parameters.
+    pub fn params(&self) -> AuditParams {
+        self.params
+    }
+
+    /// Encodes an in-memory archive (already encrypted by the storage
+    /// layer — the paper mandates owner-side encryption).
+    pub fn encode<R: rand::RngCore + ?Sized>(&self, rng: &mut R, data: &[u8]) -> EncodedFile {
+        EncodedFile::encode(rng, data, self.params)
+    }
+
+    /// Streaming encode: reads the archive chunk by chunk, so GiB-scale
+    /// preprocessing never buffers the raw bytes in full (see
+    /// [`EncodedFile::encode_reader_with_name`]).
+    ///
+    /// # Errors
+    /// Propagates reader failures as [`DsAuditError::Io`].
+    pub fn encode_reader<R, T>(&self, rng: &mut R, reader: &mut T) -> Result<EncodedFile, DsAuditError>
+    where
+        R: rand::RngCore + ?Sized,
+        T: std::io::Read + ?Sized,
+    {
+        EncodedFile::encode_reader(rng, reader, self.params)
+    }
+
+    /// Computes one homomorphic authenticator per chunk (the dominant
+    /// pre-processing cost, Fig. 7).
+    pub fn tag(&self, file: &EncodedFile) -> Vec<G1Affine> {
+        generate_tags(&self.sk, file)
+    }
+
+    /// Encodes and tags an in-memory archive into the bundle shipped to
+    /// a provider.
+    pub fn outsource<R: rand::RngCore + ?Sized>(&self, rng: &mut R, data: &[u8]) -> Outsourcing {
+        let file = self.encode(rng, data);
+        let tags = self.tag(&file);
+        Outsourcing {
+            pk: self.pk.clone(),
+            file,
+            tags,
+        }
+    }
+
+    /// Streaming variant of [`DataOwner::outsource`]: encode from a
+    /// reader, then tag chunk by chunk.
+    ///
+    /// # Errors
+    /// Propagates reader failures as [`DsAuditError::Io`].
+    pub fn outsource_reader<R, T>(&self, rng: &mut R, reader: &mut T) -> Result<Outsourcing, DsAuditError>
+    where
+        R: rand::RngCore + ?Sized,
+        T: std::io::Read + ?Sized,
+    {
+        let file = self.encode_reader(rng, reader)?;
+        let tags = self.tag(&file);
+        Ok(Outsourcing {
+            pk: self.pk.clone(),
+            file,
+            tags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x0114e4)
+    }
+
+    #[test]
+    fn outsource_bundle_is_consistent() {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 3).unwrap();
+        let owner = DataOwner::generate(&mut rng, params);
+        let bundle = owner.outsource(&mut rng, &[7u8; 500]);
+        assert_eq!(bundle.tags.len(), bundle.file.num_chunks());
+        assert_eq!(bundle.meta().num_chunks, bundle.file.num_chunks());
+        assert_eq!(bundle.meta().k, params.k);
+        assert_eq!(bundle.pk, *owner.public_key());
+    }
+
+    #[test]
+    fn streaming_outsource_matches_in_memory() {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 3).unwrap();
+        let owner = DataOwner::generate(&mut rng, params);
+        let data: Vec<u8> = (0..700).map(|i| (i % 251) as u8).collect();
+        let in_memory = owner.encode(&mut rng, &data);
+        let streamed = owner
+            .encode_reader(&mut rng, &mut &data[..])
+            .expect("in-memory reader");
+        // names differ (fresh randomness); content must be identical
+        assert_eq!(streamed.byte_len, in_memory.byte_len);
+        assert_eq!(streamed.num_chunks(), in_memory.num_chunks());
+        for i in 0..streamed.num_chunks() {
+            assert_eq!(streamed.chunk(i), in_memory.chunk(i));
+        }
+        // and the owner's tags over equal content with equal names agree
+        let renamed = EncodedFile::encode_with_name(streamed.name, &data, params);
+        assert_eq!(owner.tag(&streamed), owner.tag(&renamed));
+    }
+
+    #[test]
+    fn owner_rebuilds_from_secret_deterministically() {
+        let mut rng = rng();
+        let params = AuditParams::new(6, 4).unwrap();
+        let owner = DataOwner::generate(&mut rng, params);
+        let rebuilt = DataOwner::from_secret(*owner.secret_key(), params);
+        assert_eq!(owner.public_key(), rebuilt.public_key());
+    }
+}

@@ -5,6 +5,10 @@
 /// scalar (`r > 2^248`), so encoding is injective with no reduction.
 pub const BLOCK_BYTES: usize = 31;
 
+/// Largest supported chunking factor `s`; bounds public-key size (and
+/// the allocation a decoded wire key may request).
+pub const MAX_CHUNK_FACTOR: usize = 4096;
+
 /// System-wide audit parameters agreed during contract negotiation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AuditParams {
@@ -33,7 +37,7 @@ impl AuditParams {
         if s == 0 || k == 0 {
             return Err(ParamError::Zero);
         }
-        if s > 4096 {
+        if s > MAX_CHUNK_FACTOR {
             return Err(ParamError::ChunkTooLarge(s));
         }
         Ok(Self { s, k })

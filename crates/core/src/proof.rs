@@ -6,10 +6,16 @@
 //!   **288 bytes** = 3 x 32 B (two compressed G1 points and one scalar)
 //!   plus 192 B (torus-compressed GT element), exactly the size the
 //!   paper reports per audit.
+//!
+//! Both serialize through the canonical [`Codec`]; decoding malformed
+//! wire bytes yields typed [`DsAuditError`]s naming the offending field.
 
 use dsaudit_algebra::g1::G1Affine;
 use dsaudit_algebra::pairing::Gt;
 use dsaudit_algebra::Fr;
+
+use crate::codec::{ByteReader, Codec};
+use crate::error::DsAuditError;
 
 /// Byte length of a serialized [`PlainProof`].
 pub const PLAIN_PROOF_BYTES: usize = 96;
@@ -43,60 +49,46 @@ pub struct PrivateProof {
     pub r_commit: Gt,
 }
 
-/// Errors from proof (de)serialization.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ProofDecodeError {
-    /// Input had the wrong length.
-    Length {
-        /// Required byte length.
-        expected: usize,
-        /// Byte length actually supplied.
-        got: usize,
-    },
-    /// A group element failed its curve/format check.
-    Malformed,
-}
-
-impl std::fmt::Display for ProofDecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProofDecodeError::Length { expected, got } => {
-                write!(f, "proof has {got} bytes, expected {expected}")
-            }
-            ProofDecodeError::Malformed => write!(f, "malformed group element in proof"),
-        }
-    }
-}
-
-impl std::error::Error for ProofDecodeError {}
-
 impl PlainProof {
     /// Serializes to the 96-byte wire format.
     pub fn to_bytes(&self) -> [u8; PLAIN_PROOF_BYTES] {
         let mut out = [0u8; PLAIN_PROOF_BYTES];
-        out[..32].copy_from_slice(&self.sigma.to_compressed());
-        out[32..64].copy_from_slice(&self.y.to_bytes_be());
-        out[64..].copy_from_slice(&self.psi.to_compressed());
+        out.copy_from_slice(&self.encode());
         out
     }
 
     /// Parses the 96-byte wire format.
     ///
     /// # Errors
-    /// Returns [`ProofDecodeError`] on bad length or malformed elements.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProofDecodeError> {
-        if bytes.len() != PLAIN_PROOF_BYTES {
-            return Err(ProofDecodeError::Length {
-                expected: PLAIN_PROOF_BYTES,
-                got: bytes.len(),
-            });
-        }
-        let sigma = G1Affine::from_compressed(bytes[..32].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
-        let y = Fr::from_bytes_be(bytes[32..64].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
-        let psi = G1Affine::from_compressed(bytes[64..].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
+    /// Typed [`DsAuditError`] on bad length or malformed elements.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DsAuditError> {
+        Self::decode(bytes)
+    }
+}
+
+/// `sigma (32 B) || y (32 B) || psi (32 B)` — the 96-byte Eq. (1) wire
+/// format.
+impl Codec for PlainProof {
+    const TYPE_NAME: &'static str = "PlainProof";
+
+    fn encoded_len(&self) -> usize {
+        PLAIN_PROOF_BYTES
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.sigma.encode_into(out);
+        self.y.encode_into(out);
+        self.psi.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let sigma_bytes = r.array::<32>("sigma")?;
+        let sigma =
+            G1Affine::from_compressed(&sigma_bytes).ok_or_else(|| r.malformed("sigma"))?;
+        let y_bytes = r.array::<32>("y")?;
+        let y = Fr::from_bytes_be(&y_bytes).ok_or_else(|| r.malformed("y"))?;
+        let psi_bytes = r.array::<32>("psi")?;
+        let psi = G1Affine::from_compressed(&psi_bytes).ok_or_else(|| r.malformed("psi"))?;
         Ok(Self { sigma, y, psi })
     }
 }
@@ -105,32 +97,46 @@ impl PrivateProof {
     /// Serializes to the 288-byte wire format.
     pub fn to_bytes(&self) -> [u8; PRIVATE_PROOF_BYTES] {
         let mut out = [0u8; PRIVATE_PROOF_BYTES];
-        out[..32].copy_from_slice(&self.sigma.to_compressed());
-        out[32..64].copy_from_slice(&self.y_prime.to_bytes_be());
-        out[64..96].copy_from_slice(&self.psi.to_compressed());
-        out[96..].copy_from_slice(&self.r_commit.to_compressed());
+        out.copy_from_slice(&self.encode());
         out
     }
 
     /// Parses the 288-byte wire format.
     ///
     /// # Errors
-    /// Returns [`ProofDecodeError`] on bad length or malformed elements.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProofDecodeError> {
-        if bytes.len() != PRIVATE_PROOF_BYTES {
-            return Err(ProofDecodeError::Length {
-                expected: PRIVATE_PROOF_BYTES,
-                got: bytes.len(),
-            });
-        }
-        let sigma = G1Affine::from_compressed(bytes[..32].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
-        let y_prime = Fr::from_bytes_be(bytes[32..64].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
-        let psi = G1Affine::from_compressed(bytes[64..96].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
-        let r_commit = Gt::from_compressed(bytes[96..].try_into().expect("sliced"))
-            .ok_or(ProofDecodeError::Malformed)?;
+    /// Typed [`DsAuditError`] on bad length or malformed elements.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DsAuditError> {
+        Self::decode(bytes)
+    }
+}
+
+/// `sigma (32 B) || y' (32 B) || psi (32 B) || R (192 B)` — the
+/// 288-byte on-chain format of the paper's main proof.
+impl Codec for PrivateProof {
+    const TYPE_NAME: &'static str = "PrivateProof";
+
+    fn encoded_len(&self) -> usize {
+        PRIVATE_PROOF_BYTES
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.sigma.encode_into(out);
+        self.y_prime.encode_into(out);
+        self.psi.encode_into(out);
+        self.r_commit.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let sigma_bytes = r.array::<32>("sigma")?;
+        let sigma =
+            G1Affine::from_compressed(&sigma_bytes).ok_or_else(|| r.malformed("sigma"))?;
+        let y_bytes = r.array::<32>("y_prime")?;
+        let y_prime = Fr::from_bytes_be(&y_bytes).ok_or_else(|| r.malformed("y_prime"))?;
+        let psi_bytes = r.array::<32>("psi")?;
+        let psi = G1Affine::from_compressed(&psi_bytes).ok_or_else(|| r.malformed("psi"))?;
+        let gt_bytes = r.array::<192>("r_commit")?;
+        let r_commit =
+            Gt::from_compressed(&gt_bytes).ok_or_else(|| r.malformed("r_commit"))?;
         Ok(Self {
             sigma,
             y_prime,
@@ -179,15 +185,39 @@ mod tests {
     }
 
     #[test]
-    fn wrong_length_rejected() {
+    fn wrong_length_rejected_with_typed_errors() {
+        let mut rng = rng();
+        let plain = PlainProof {
+            sigma: G1Projective::random(&mut rng).to_affine(),
+            y: Fr::random(&mut rng),
+            psi: G1Projective::random(&mut rng).to_affine(),
+        };
+        let bytes = plain.to_bytes();
         assert!(matches!(
-            PlainProof::from_bytes(&[0u8; 95]),
-            Err(ProofDecodeError::Length { .. })
+            PlainProof::from_bytes(&bytes[..95]),
+            Err(DsAuditError::Truncated {
+                ty: "PlainProof",
+                field: "psi",
+                expected: 32,
+                got: 31,
+            })
         ));
-        assert!(matches!(
-            PrivateProof::from_bytes(&[0u8; 289]),
-            Err(ProofDecodeError::Length { .. })
-        ));
+        // one byte too many is trailing garbage, not a bigger proof
+        let good = PrivateProof {
+            sigma: G1Projective::random(&mut rng).to_affine(),
+            y_prime: Fr::random(&mut rng),
+            psi: G1Projective::random(&mut rng).to_affine(),
+            r_commit: Gt::generator().pow(Fr::random(&mut rng)),
+        };
+        let mut bytes = good.to_bytes().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            PrivateProof::from_bytes(&bytes),
+            Err(DsAuditError::Malformed {
+                ty: "PrivateProof",
+                field: "trailing bytes"
+            })
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::h_prime;
 
 use crate::challenge::Challenge;
+use crate::error::DsAuditError;
 use crate::file::EncodedFile;
 use crate::keys::PublicKey;
 use crate::proof::{PlainProof, PrivateProof};
@@ -50,15 +51,30 @@ impl ProveTimings {
 impl<'a> Prover<'a> {
     /// Creates a prover after sanity-checking dimensions.
     ///
-    /// # Panics
-    /// Panics if the tag count does not match the file's chunk count.
-    pub fn new(pk: &'a PublicKey, file: &'a EncodedFile, tags: &'a [G1Affine]) -> Self {
-        assert_eq!(
-            tags.len(),
-            file.num_chunks(),
-            "one authenticator per chunk required"
-        );
-        Self { pk, file, tags }
+    /// # Errors
+    /// [`DsAuditError::DimensionMismatch`] when the tag count does not
+    /// match the file's chunk count, or the chunk size exceeds what the
+    /// public key's commitment key supports.
+    pub fn new(
+        pk: &'a PublicKey,
+        file: &'a EncodedFile,
+        tags: &'a [G1Affine],
+    ) -> Result<Self, DsAuditError> {
+        if tags.len() != file.num_chunks() {
+            return Err(DsAuditError::DimensionMismatch {
+                what: "authenticators per chunk",
+                expected: file.num_chunks(),
+                got: tags.len(),
+            });
+        }
+        if file.params.s > pk.s() {
+            return Err(DsAuditError::DimensionMismatch {
+                what: "chunk size vs. commitment key",
+                expected: pk.s(),
+                got: file.params.s,
+            });
+        }
+        Ok(Self { pk, file, tags })
     }
 
     /// Expands the challenge and computes the shared pieces:
@@ -222,7 +238,7 @@ mod tests {
         let (sk, pk) = keygen(&mut rng, &params);
         let file = EncodedFile::encode(&mut rng, &[42u8; 800], params);
         let tags = generate_tags(&sk, &file);
-        let prover = Prover::new(&pk, &file, &tags);
+        let prover = Prover::new(&pk, &file, &tags).unwrap();
         let ch = Challenge::random(&mut rng);
         assert_eq!(prover.prove_plain(&ch), prover.prove_plain(&ch));
     }
@@ -234,7 +250,7 @@ mod tests {
         let (sk, pk) = keygen(&mut rng, &params);
         let file = EncodedFile::encode(&mut rng, &[7u8; 800], params);
         let tags = generate_tags(&sk, &file);
-        let prover = Prover::new(&pk, &file, &tags);
+        let prover = Prover::new(&pk, &file, &tags).unwrap();
         let ch = Challenge::random(&mut rng);
         let plain = prover.prove_plain(&ch);
         let priv1 = prover.prove_private(&mut rng, &ch);
@@ -248,14 +264,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one authenticator per chunk")]
-    fn mismatched_tags_panic() {
+    fn mismatched_tags_is_a_typed_error() {
         let mut rng = rng();
         let params = AuditParams::new(5, 4).unwrap();
         let (sk, pk) = keygen(&mut rng, &params);
         let file = EncodedFile::encode(&mut rng, &[7u8; 800], params);
         let mut tags = generate_tags(&sk, &file);
         tags.pop();
-        let _ = Prover::new(&pk, &file, &tags);
+        assert_eq!(
+            Prover::new(&pk, &file, &tags).err(),
+            Some(DsAuditError::DimensionMismatch {
+                what: "authenticators per chunk",
+                expected: file.num_chunks(),
+                got: file.num_chunks() - 1,
+            })
+        );
     }
 }

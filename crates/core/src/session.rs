@@ -1,0 +1,368 @@
+//! The typed audit-session state machine connecting the three roles.
+//!
+//! One [`AuditSession`] tracks the audit of one file by one
+//! [`Auditor`] and moves through the round lifecycle as
+//! **distinct types**, so invalid call orders do not compile:
+//!
+//! ```text
+//! AuditSession --challenge()--> ChallengedRound --submit()--> ProvenRound
+//!      ^                                                          |
+//!      +------------------------- verify() -----------------------+
+//! ```
+//!
+//! * proving before a challenge exists: impossible — only a
+//!   [`ChallengedRound`] exposes the challenge to respond to;
+//! * verifying before a response arrives: impossible — only a
+//!   [`ProvenRound`] has `verify()`;
+//! * submitting a response for the wrong round: a typed
+//!   [`DsAuditError::RoundMismatch`], because every challenge and
+//!   response carries its round counter.
+//!
+//! The runtime errors that remain are exactly the ones a distributed
+//! deployment needs to report (stale responses racing a settled round),
+//! while everything that is a plain programming error is unrepresentable.
+
+#![deny(missing_docs)]
+
+use crate::auditor::Auditor;
+use crate::challenge::Challenge;
+use crate::error::{DsAuditError, Verdict};
+use crate::keys::PublicKey;
+use crate::proof::PrivateProof;
+use crate::verify::FileMeta;
+
+/// A challenge stamped with the round it belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundChallenge {
+    /// Zero-based round counter of the issuing session.
+    pub round: u64,
+    /// The beacon-derived challenge.
+    pub challenge: Challenge,
+}
+
+/// A proof stamped with the round it answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundResponse {
+    /// The round this proof responds to.
+    pub round: u64,
+    /// The privacy-assured proof.
+    pub proof: PrivateProof,
+}
+
+/// An idle audit session: no round in flight. Created by
+/// [`Auditor::begin_session`], which validates the metadata once.
+pub struct AuditSession<'a> {
+    auditor: &'a Auditor,
+    pk: &'a PublicKey,
+    meta: FileMeta,
+    round: u64,
+    passes: u64,
+    failures: u64,
+}
+
+impl<'a> AuditSession<'a> {
+    pub(crate) fn new(auditor: &'a Auditor, pk: &'a PublicKey, meta: FileMeta) -> Self {
+        Self {
+            auditor,
+            pk,
+            meta,
+            round: 0,
+            passes: 0,
+            failures: 0,
+        }
+    }
+
+    /// The file metadata under audit.
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// The next round to be challenged (also: rounds completed so far).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// `(passes, failures)` over the completed rounds.
+    pub fn tally(&self) -> (u64, u64) {
+        (self.passes, self.failures)
+    }
+
+    /// Opens the next round from 48 bytes of beacon randomness.
+    pub fn challenge_from_beacon(self, beacon: &[u8; 48]) -> ChallengedRound<'a> {
+        let challenge = Challenge::from_beacon(beacon);
+        ChallengedRound {
+            session: self,
+            challenge,
+        }
+    }
+
+    /// Opens the next round with RNG-sampled randomness (stand-in for
+    /// the beacon in tests and benches).
+    pub fn challenge<R: rand::RngCore + ?Sized>(self, rng: &mut R) -> ChallengedRound<'a> {
+        let challenge = Challenge::random(rng);
+        ChallengedRound {
+            session: self,
+            challenge,
+        }
+    }
+}
+
+/// A round with its challenge published, waiting for the provider's
+/// response.
+pub struct ChallengedRound<'a> {
+    session: AuditSession<'a>,
+    challenge: Challenge,
+}
+
+impl<'a> ChallengedRound<'a> {
+    /// The round-stamped challenge to hand to the provider (see
+    /// [`crate::StorageProvider::respond_round`]).
+    pub fn round_challenge(&self) -> RoundChallenge {
+        RoundChallenge {
+            round: self.session.round,
+            challenge: self.challenge,
+        }
+    }
+
+    /// This round's counter value.
+    pub fn round(&self) -> u64 {
+        self.session.round
+    }
+
+    /// Accepts the provider's response if it answers *this* round.
+    ///
+    /// # Errors
+    /// [`DsAuditError::RoundMismatch`] when the response was produced
+    /// for a different round — the round stays open, so a late or
+    /// replayed response cannot consume it.
+    // The Err variant intentionally carries `Self` back to the caller:
+    // a failed submission must not consume the open round.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(self, response: RoundResponse) -> Result<ProvenRound<'a>, (Self, DsAuditError)> {
+        if response.round != self.session.round {
+            let err = DsAuditError::RoundMismatch {
+                expected: self.session.round,
+                got: response.round,
+            };
+            return Err((self, err));
+        }
+        Ok(ProvenRound {
+            session: self.session,
+            challenge: self.challenge,
+            proof: response.proof,
+        })
+    }
+
+    /// Accepts a raw 288-byte wire response (round number + proof are
+    /// checked/decoded).
+    ///
+    /// # Errors
+    /// Typed decode errors for malformed bytes, or
+    /// [`DsAuditError::RoundMismatch`]; either way the round stays
+    /// open.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_bytes(
+        self,
+        round: u64,
+        proof_bytes: &[u8],
+    ) -> Result<ProvenRound<'a>, (Self, DsAuditError)> {
+        let proof = match PrivateProof::from_bytes(proof_bytes) {
+            Ok(p) => p,
+            Err(e) => return Err((self, e)),
+        };
+        self.submit(RoundResponse { round, proof })
+    }
+
+    /// Closes the round without a response (provider timeout): counts a
+    /// failure and returns the idle session.
+    pub fn timeout(self) -> AuditSession<'a> {
+        let mut session = self.session;
+        session.failures += 1;
+        session.round += 1;
+        session
+    }
+}
+
+/// A round with a response on file, ready for the pairing check.
+pub struct ProvenRound<'a> {
+    session: AuditSession<'a>,
+    challenge: Challenge,
+    proof: PrivateProof,
+}
+
+impl std::fmt::Debug for AuditSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditSession")
+            .field("meta", &self.meta)
+            .field("round", &self.round)
+            .field("passes", &self.passes)
+            .field("failures", &self.failures)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ChallengedRound<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChallengedRound")
+            .field("round", &self.session.round)
+            .field("challenge", &self.challenge)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ProvenRound<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvenRound")
+            .field("round", &self.session.round)
+            .field("challenge", &self.challenge)
+            .field("proof", &self.proof)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ProvenRound<'a> {
+    /// The proof awaiting verification.
+    pub fn proof(&self) -> &PrivateProof {
+        &self.proof
+    }
+
+    /// Runs Eq. (2) and settles the round, returning the idle session
+    /// (advanced to the next round) and the verdict.
+    ///
+    /// # Errors
+    /// Propagates verification-input errors; the round is consumed
+    /// either way (metadata was validated when the session opened, so
+    /// this is unreachable in practice).
+    pub fn verify(self) -> Result<(AuditSession<'a>, Verdict), DsAuditError> {
+        let mut session = self.session;
+        let verdict =
+            session
+                .auditor
+                .verify_private(session.pk, &session.meta, &self.challenge, &self.proof)?;
+        if verdict.accepted() {
+            session.passes += 1;
+        } else {
+            session.failures += 1;
+        }
+        session.round += 1;
+        Ok((session, verdict))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::DataOwner;
+    use crate::params::AuditParams;
+    use crate::provider::StorageProvider;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5e5510)
+    }
+
+    fn actors() -> (rand::rngs::StdRng, StorageProvider) {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 3).unwrap();
+        let owner = DataOwner::generate(&mut rng, params);
+        let bundle = owner.outsource(&mut rng, &[11u8; 700]);
+        let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
+        (rng, provider)
+    }
+
+    #[test]
+    fn full_round_trip_through_the_state_machine() {
+        let (mut rng, provider) = actors();
+        let auditor = Auditor::new();
+        let mut session = auditor
+            .begin_session(provider.public_key(), provider.meta())
+            .unwrap();
+        for expected_round in 0..3u64 {
+            assert_eq!(session.round(), expected_round);
+            let round = session.challenge(&mut rng);
+            let response = provider.respond_round(&mut rng, &round.round_challenge());
+            let proven = round.submit(response).map_err(|(_, e)| e).unwrap();
+            let (next, verdict) = proven.verify().unwrap();
+            assert!(verdict.accepted(), "honest provider passes round {expected_round}");
+            session = next;
+        }
+        assert_eq!(session.tally(), (3, 0));
+    }
+
+    #[test]
+    fn mismatched_round_is_typed_and_keeps_the_round_open() {
+        let (mut rng, provider) = actors();
+        let auditor = Auditor::new();
+        let session = auditor
+            .begin_session(provider.public_key(), provider.meta())
+            .unwrap();
+        let round = session.challenge(&mut rng);
+        let mut response = provider.respond_round(&mut rng, &round.round_challenge());
+        response.round += 7; // a replayed/future response
+        let (round, err) = round.submit(response).expect_err("round mismatch");
+        assert_eq!(
+            err,
+            DsAuditError::RoundMismatch {
+                expected: 0,
+                got: 7
+            }
+        );
+        // the round is still open: the correct response settles it
+        let good = provider.respond_round(&mut rng, &round.round_challenge());
+        let (session, verdict) = round.submit(good).map_err(|(_, e)| e).unwrap().verify().unwrap();
+        assert!(verdict.accepted());
+        assert_eq!(session.round(), 1);
+    }
+
+    #[test]
+    fn malformed_wire_response_keeps_the_round_open() {
+        let (mut rng, provider) = actors();
+        let auditor = Auditor::new();
+        let session = auditor
+            .begin_session(provider.public_key(), provider.meta())
+            .unwrap();
+        let round = session.challenge(&mut rng);
+        let (round, err) = round
+            .submit_bytes(0, &[0xffu8; 100])
+            .expect_err("garbage must not settle the round");
+        assert!(matches!(
+            err,
+            DsAuditError::Malformed { ty: "PrivateProof", .. } | DsAuditError::Truncated { .. }
+        ));
+        let wire = provider
+            .respond_round(&mut rng, &round.round_challenge());
+        let bytes = wire.proof.to_bytes();
+        let (session, verdict) = round
+            .submit_bytes(0, &bytes)
+            .map_err(|(_, e)| e)
+            .unwrap()
+            .verify()
+            .unwrap();
+        assert!(verdict.accepted());
+        assert_eq!(session.tally(), (1, 0));
+    }
+
+    #[test]
+    fn timeout_counts_a_failure_and_advances() {
+        let (mut rng, provider) = actors();
+        let auditor = Auditor::new();
+        let session = auditor
+            .begin_session(provider.public_key(), provider.meta())
+            .unwrap();
+        let session = session.challenge(&mut rng).timeout();
+        assert_eq!(session.round(), 1);
+        assert_eq!(session.tally(), (0, 1));
+    }
+
+    #[test]
+    fn bad_meta_cannot_open_a_session() {
+        let (_, provider) = actors();
+        let auditor = Auditor::new();
+        let mut meta = provider.meta();
+        meta.num_chunks = 0;
+        assert!(matches!(
+            auditor.begin_session(provider.public_key(), meta),
+            Err(DsAuditError::BadMeta(_))
+        ));
+    }
+}

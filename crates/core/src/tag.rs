@@ -15,10 +15,10 @@ use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared};
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::index_oracle;
 
+use crate::error::{DsAuditError, RejectReason, Verdict};
 use crate::file::EncodedFile;
 use crate::keys::{PublicKey, SecretKey};
 use crate::par::par_map;
-use crate::prepared;
 
 /// Generates all chunk authenticators for a file.
 ///
@@ -59,19 +59,84 @@ pub fn generate_tags(sk: &SecretKey, file: &EncodedFile) -> Vec<G1Affine> {
 
 /// Validates a single authenticator against the public key:
 /// `e(sigma_i, g2) == e(g1^{M_i(alpha)} * t_i, eps)`.
-pub fn verify_tag(pk: &PublicKey, name: Fr, chunk_index: u64, blocks: &[Fr], tag: &G1Affine) -> bool {
+///
+/// One-shot: prepares `eps` fresh each call. To validate many chunks of
+/// the same key — e.g. pinpointing the forged tag after
+/// [`verify_tags_batch`] rejects — use [`verify_tags_each`], which
+/// shares one preparation across the whole file.
+///
+/// # Errors
+/// [`DsAuditError::DimensionMismatch`] when the chunk holds more blocks
+/// than the commitment key supports; a forged tag is
+/// `Ok(Verdict::Reject(TagEquation))`.
+pub fn verify_tag(
+    pk: &PublicKey,
+    name: Fr,
+    chunk_index: u64,
+    blocks: &[Fr],
+    tag: &G1Affine,
+) -> Result<Verdict, DsAuditError> {
+    let eps_p = G2Prepared::from_affine(&pk.eps);
+    verify_tag_prepared(pk, &eps_p, name, chunk_index, blocks, tag)
+}
+
+/// [`verify_tag`] against an already-prepared `eps` (one Miller-loop
+/// preparation shared across calls).
+fn verify_tag_prepared(
+    pk: &PublicKey,
+    eps_p: &G2Prepared,
+    name: Fr,
+    chunk_index: u64,
+    blocks: &[Fr],
+    tag: &G1Affine,
+) -> Result<Verdict, DsAuditError> {
     let s = pk.s();
-    assert!(blocks.len() <= s, "chunk larger than key supports");
+    if blocks.len() > s {
+        return Err(DsAuditError::DimensionMismatch {
+            what: "blocks vs. commitment key",
+            expected: s,
+            got: blocks.len(),
+        });
+    }
     let commit = msm(&pk.alpha_powers_g1[..blocks.len()], blocks);
     let base = commit.add_affine(&index_oracle(name, chunk_index)).to_affine();
     let tag_neg = tag.neg();
-    let eps_p = prepared::prepared(&pk.eps);
     // e(sigma, g2) * e(-base, eps) == 1
     let check = multi_pairing_prepared(&[
         (&tag_neg, G2Prepared::generator()),
-        (&base, eps_p.as_ref()),
+        (&base, eps_p),
     ]);
-    check.is_identity()
+    Ok(Verdict::from_equation(
+        check.is_identity(),
+        RejectReason::TagEquation,
+    ))
+}
+
+/// Validates every authenticator of a file individually, sharing one
+/// `eps` preparation across all chunks — the blame-assignment path
+/// after a batch rejection (per-chunk verdicts instead of one combined
+/// answer).
+///
+/// # Errors
+/// [`DsAuditError::DimensionMismatch`] when the tag count does not
+/// match the chunk count or a chunk exceeds the commitment key.
+pub fn verify_tags_each(
+    pk: &PublicKey,
+    file: &EncodedFile,
+    tags: &[G1Affine],
+) -> Result<Vec<Verdict>, DsAuditError> {
+    let d = file.num_chunks();
+    if tags.len() != d {
+        return Err(DsAuditError::DimensionMismatch {
+            what: "authenticators per chunk",
+            expected: d,
+            got: tags.len(),
+        });
+    }
+    let eps_p = G2Prepared::from_affine(&pk.eps);
+    (0..d)
+        .map(|i| verify_tag_prepared(pk, &eps_p, file.name, i as u64, file.chunk(i), &tags[i]))
+        .collect()
 }
 
 /// Batch-validates all authenticators of a file with a random linear
@@ -79,15 +144,24 @@ pub fn verify_tag(pk: &PublicKey, name: Fr, chunk_index: u64, blocks: &[Fr], tag
 /// `w_i`, checks `e(prod sigma_i^{w_i}, g2) == e(prod base_i^{w_i}, eps)`.
 ///
 /// A forged tag passes only with probability `1/r`.
+///
+/// # Errors
+/// [`DsAuditError::DimensionMismatch`] when the tag count does not
+/// match the chunk count; forged tags are
+/// `Ok(Verdict::Reject(TagEquation))`.
 pub fn verify_tags_batch<R: rand::RngCore + ?Sized>(
     rng: &mut R,
     pk: &PublicKey,
     file: &EncodedFile,
     tags: &[G1Affine],
-) -> bool {
+) -> Result<Verdict, DsAuditError> {
     let d = file.num_chunks();
     if tags.len() != d {
-        return false;
+        return Err(DsAuditError::DimensionMismatch {
+            what: "authenticators per chunk",
+            expected: d,
+            got: tags.len(),
+        });
     }
     let weights: Vec<Fr> = (0..d).map(|_| Fr::random(rng)).collect();
     // left: prod sigma_i^{w_i}
@@ -107,12 +181,13 @@ pub fn verify_tags_batch<R: rand::RngCore + ?Sized>(
     let hash_agg = msm_g1(&hashes, &weights);
     let base = commit.add(&hash_agg).to_affine();
     let sigma_neg = sigma_agg.to_affine().neg();
-    let eps_p = prepared::prepared(&pk.eps);
-    multi_pairing_prepared(&[
+    let eps_p = G2Prepared::from_affine(&pk.eps);
+    let holds = multi_pairing_prepared(&[
         (&sigma_neg, G2Prepared::generator()),
-        (&base, eps_p.as_ref()),
+        (&base, &eps_p),
     ])
-    .is_identity()
+    .is_identity();
+    Ok(Verdict::from_equation(holds, RejectReason::TagEquation))
 }
 
 #[cfg(test)]
@@ -142,7 +217,9 @@ mod tests {
         assert_eq!(tags.len(), file.num_chunks());
         for (i, tag) in tags.iter().enumerate() {
             assert!(
-                verify_tag(&pk, file.name, i as u64, file.chunk(i), tag),
+                verify_tag(&pk, file.name, i as u64, file.chunk(i), tag)
+                    .unwrap()
+                    .accepted(),
                 "tag {i} failed"
             );
         }
@@ -152,20 +229,60 @@ mod tests {
     fn wrong_block_fails_validation() {
         let (_, pk, mut file, tags) = setup();
         file.corrupt_block(0, 1);
-        assert!(!verify_tag(&pk, file.name, 0, file.chunk(0), &tags[0]));
+        assert_eq!(
+            verify_tag(&pk, file.name, 0, file.chunk(0), &tags[0]).unwrap(),
+            Verdict::Reject(RejectReason::TagEquation)
+        );
     }
 
     #[test]
     fn wrong_index_fails_validation() {
         let (_, pk, file, tags) = setup();
-        assert!(!verify_tag(&pk, file.name, 1, file.chunk(0), &tags[0]));
+        assert!(!verify_tag(&pk, file.name, 1, file.chunk(0), &tags[0])
+            .unwrap()
+            .accepted());
+    }
+
+    #[test]
+    fn oversized_chunk_is_a_typed_error() {
+        let (_, pk, file, tags) = setup();
+        let blocks = vec![Fr::from_u64(1); pk.s() + 1];
+        assert!(matches!(
+            verify_tag(&pk, file.name, 0, &blocks, &tags[0]),
+            Err(DsAuditError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_chunk_validation_pinpoints_the_forgery() {
+        let (_, pk, file, mut tags) = setup();
+        let mut rng = rng();
+        tags[2] = G1Projective::random(&mut rng).to_affine();
+        // the batch check only says "something is wrong"...
+        assert!(!verify_tags_batch(&mut rng, &pk, &file, &tags)
+            .unwrap()
+            .accepted());
+        // ...the per-chunk pass names the culprit, with one shared
+        // eps preparation
+        let verdicts = verify_tags_each(&pk, &file, &tags).unwrap();
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.accepted(), i != 2, "only chunk 2 is forged");
+        }
+        let mut short = tags.clone();
+        short.pop();
+        assert!(matches!(
+            verify_tags_each(&pk, &file, &short),
+            Err(DsAuditError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn batch_validation_accepts_honest() {
         let (_, pk, file, tags) = setup();
         let mut rng = rng();
-        assert!(verify_tags_batch(&mut rng, &pk, &file, &tags));
+        assert!(verify_tags_batch(&mut rng, &pk, &file, &tags)
+            .unwrap()
+            .accepted());
     }
 
     #[test]
@@ -173,15 +290,21 @@ mod tests {
         let (_, pk, file, mut tags) = setup();
         let mut rng = rng();
         tags[2] = G1Projective::random(&mut rng).to_affine();
-        assert!(!verify_tags_batch(&mut rng, &pk, &file, &tags));
+        assert_eq!(
+            verify_tags_batch(&mut rng, &pk, &file, &tags).unwrap(),
+            Verdict::Reject(RejectReason::TagEquation)
+        );
     }
 
     #[test]
-    fn batch_validation_rejects_wrong_count() {
+    fn batch_validation_wrong_count_is_a_typed_error() {
         let (_, pk, file, mut tags) = setup();
         let mut rng = rng();
         tags.pop();
-        assert!(!verify_tags_batch(&mut rng, &pk, &file, &tags));
+        assert!(matches!(
+            verify_tags_batch(&mut rng, &pk, &file, &tags),
+            Err(DsAuditError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

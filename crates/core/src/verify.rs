@@ -7,12 +7,17 @@
 //! Miller-loop preparation every round; moving the challenge exponent to
 //! the G1 side (`e(psi^{-1}, eps^{-r}) = e(psi^{r}, eps)`) folds it into
 //! the `eps` term, so every G2 point in the product is fixed across
-//! audits and served prepared from [`crate::prepared`]:
+//! audits and served prepared from the [`Auditor`]'s bounded
+//! [`PreparedG2Cache`](crate::cache::PreparedG2Cache):
 //!
 //! * Eq. (1): `e(sigma, g2) * e(g1^{-y} * chi^{-1} * psi^{r}, eps) * e(psi^{-1}, delta) == 1`
 //! * Eq. (2): `e(sigma^zeta, g2) * e(g1^{-y'} * chi^{-zeta} * psi^{zeta r}, eps) * e(psi^{-zeta}, delta) == R^{-1}`
 //!
 //! with `chi = prod H(name || i)^{c_i}` recomputed from public data.
+//!
+//! The entry points are methods on [`Auditor`], which owns the caches;
+//! the free [`verify_plain`] / [`verify_private`] wrappers run the same
+//! check stateless (cold caches) for one-shot use.
 
 use dsaudit_algebra::endo::msm_g1;
 use dsaudit_algebra::g1::{G1Affine, G1Projective};
@@ -20,10 +25,12 @@ use dsaudit_algebra::pairing::{multi_pairing_prepared, G2Prepared};
 use dsaudit_algebra::Fr;
 use dsaudit_crypto::prf::h_prime;
 
+use crate::auditor::Auditor;
+use crate::cache::ChiCache;
 use crate::challenge::Challenge;
+use crate::error::{DsAuditError, RejectReason, Verdict};
 use crate::keys::PublicKey;
 use crate::par::par_map;
-use crate::prepared;
 use crate::proof::{PlainProof, PrivateProof};
 
 /// Public metadata the verifier (smart contract) holds about a file.
@@ -37,80 +44,42 @@ pub struct FileMeta {
     pub k: usize,
 }
 
-/// Verifier-side memoization of the index oracle `H(name || i)`.
-///
-/// Audit challenges re-sample `k` chunks of the same small file every
-/// round, so across rounds the verifier keeps recomputing the same
-/// hash-to-curve points (each costing a few hundred field operations in
-/// square-root candidates). This process-wide cache keyed by `(name, i)`
-/// makes every repeated round hit warm entries — the ROADMAP item for
-/// cutting on-chain simulation time of multi-round contracts.
-pub mod chi_cache {
-    use std::collections::HashMap;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Mutex, OnceLock};
-
-    use dsaudit_algebra::g1::G1Affine;
-    use dsaudit_algebra::Fr;
-    use dsaudit_crypto::prf::index_oracle;
-
-    /// Upper bound on resident entries (~100 bytes each). When the map
-    /// would grow past this it is cleared wholesale — simpler than an
-    /// eviction order, and the bound is far beyond any realistic audit
-    /// population (a million distinct `(file, chunk)` pairs).
-    const MAX_ENTRIES: usize = 1 << 20;
-
-    static HITS: AtomicU64 = AtomicU64::new(0);
-    static MISSES: AtomicU64 = AtomicU64::new(0);
-
-    fn map() -> &'static Mutex<HashMap<(Fr, u64), G1Affine>> {
-        static MAP: OnceLock<Mutex<HashMap<(Fr, u64), G1Affine>>> = OnceLock::new();
-        MAP.get_or_init(|| Mutex::new(HashMap::new()))
-    }
-
-    /// `H(name || i)`, served from the cache when warm. Misses compute
-    /// outside the lock (two racing verifiers may both compute a fresh
-    /// entry, which is benign — the oracle is deterministic).
-    pub fn index_oracle_cached(name: Fr, i: u64) -> G1Affine {
-        if let Some(p) = map().lock().expect("chi cache lock").get(&(name, i)) {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            return *p;
+impl FileMeta {
+    /// Rejects metadata no audit can run against.
+    ///
+    /// # Errors
+    /// [`DsAuditError::BadMeta`] on zero chunks or a zero challenge
+    /// count.
+    pub fn validate(&self) -> Result<(), DsAuditError> {
+        if self.num_chunks == 0 {
+            return Err(DsAuditError::BadMeta("file has zero chunks"));
         }
-        MISSES.fetch_add(1, Ordering::Relaxed);
-        let p = index_oracle(name, i);
-        let mut m = map().lock().expect("chi cache lock");
-        if m.len() >= MAX_ENTRIES {
-            m.clear();
+        if self.k == 0 {
+            return Err(DsAuditError::BadMeta("challenge count k is zero"));
         }
-        m.insert((name, i), p);
-        p
-    }
-
-    /// `(hits, misses)` counters since process start, for tests and the
-    /// bench harness.
-    pub fn stats() -> (u64, u64) {
-        (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+        Ok(())
     }
 }
 
 /// Computes `chi = prod_{(i, c_i)} H(name || i)^{c_i}` from public data,
-/// with the hash-to-curve points served from [`chi_cache`].
-pub fn compute_chi(name: Fr, set: &[(u64, Fr)]) -> G1Projective {
-    let hashes: Vec<G1Affine> =
-        par_map(set.len(), |j| chi_cache::index_oracle_cached(name, set[j].0));
+/// with the hash-to-curve points served from the given [`ChiCache`].
+pub fn compute_chi(cache: &ChiCache, name: Fr, set: &[(u64, Fr)]) -> G1Projective {
+    let hashes: Vec<G1Affine> = par_map(set.len(), |j| cache.index_oracle(name, set[j].0));
     let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
     msm_g1(&hashes, &coeffs)
 }
 
-/// Verifies the non-private response against Eq. (1).
-pub fn verify_plain(
+/// Eq. (1) against the caches of `auditor`.
+pub(crate) fn verify_plain_with(
+    auditor: &Auditor,
     pk: &PublicKey,
     meta: &FileMeta,
     challenge: &Challenge,
     proof: &PlainProof,
-) -> bool {
+) -> Result<Verdict, DsAuditError> {
+    meta.validate()?;
     let set = challenge.expand(meta.num_chunks, meta.k);
-    let chi = compute_chi(meta.name, &set);
+    let chi = compute_chi(auditor.chi_cache(), meta.name, &set);
     // g1^{-y} * chi^{-1} * psi^{r}, with the fixed-base term served from
     // the shared generator table
     let left_eps = G1Projective::generator_table()
@@ -119,26 +88,28 @@ pub fn verify_plain(
         .add(&proof.psi.mul(challenge.r))
         .to_affine();
     let psi_neg = proof.psi.neg();
-    let eps_p = prepared::prepared(&pk.eps);
-    let delta_p = prepared::prepared(&pk.delta);
-    multi_pairing_prepared(&[
+    let eps_p = auditor.g2_cache().prepared(&pk.eps);
+    let delta_p = auditor.g2_cache().prepared(&pk.delta);
+    let holds = multi_pairing_prepared(&[
         (&proof.sigma, G2Prepared::generator()),
         (&left_eps, eps_p.as_ref()),
         (&psi_neg, delta_p.as_ref()),
     ])
-    .is_identity()
+    .is_identity();
+    Ok(Verdict::from_equation(holds, RejectReason::Equation1))
 }
 
-/// Verifies the privacy-assured response against Eq. (2) — the on-chain
-/// check of the paper's main protocol.
-pub fn verify_private(
+/// Eq. (2) against the caches of `auditor`.
+pub(crate) fn verify_private_with(
+    auditor: &Auditor,
     pk: &PublicKey,
     meta: &FileMeta,
     challenge: &Challenge,
     proof: &PrivateProof,
-) -> bool {
+) -> Result<Verdict, DsAuditError> {
+    meta.validate()?;
     let set = challenge.expand(meta.num_chunks, meta.k);
-    let chi = compute_chi(meta.name, &set);
+    let chi = compute_chi(auditor.chi_cache(), meta.name, &set);
     let zeta = h_prime(&proof.r_commit);
     let sigma_zeta = proof.sigma.mul(zeta);
     // g1^{-y'} * chi^{-zeta} * psi^{zeta r}, fixed-base term off the
@@ -154,25 +125,59 @@ pub fn verify_private(
         left_eps,
         psi_neg_zeta,
     ]);
-    let eps_p = prepared::prepared(&pk.eps);
-    let delta_p = prepared::prepared(&pk.delta);
+    let eps_p = auditor.g2_cache().prepared(&pk.eps);
+    let delta_p = auditor.g2_cache().prepared(&pk.delta);
     let product = multi_pairing_prepared(&[
         (&affine[0], G2Prepared::generator()),
         (&affine[1], eps_p.as_ref()),
         (&affine[2], delta_p.as_ref()),
     ]);
-    product == proof.r_commit.invert()
+    let holds = product == proof.r_commit.invert();
+    Ok(Verdict::from_equation(holds, RejectReason::Equation2))
+}
+
+/// One-shot verification of the non-private response against Eq. (1),
+/// with cold caches. Prefer [`Auditor::verify_plain`] for repeated
+/// rounds — the handle keeps its hash-to-curve and prepared-G2 caches
+/// warm across audits.
+///
+/// # Errors
+/// [`DsAuditError::BadMeta`] on unusable metadata; a failing proof is
+/// `Ok(Verdict::Reject(..))`, not an error.
+pub fn verify_plain(
+    pk: &PublicKey,
+    meta: &FileMeta,
+    challenge: &Challenge,
+    proof: &PlainProof,
+) -> Result<Verdict, DsAuditError> {
+    Auditor::ephemeral().verify_plain(pk, meta, challenge, proof)
+}
+
+/// One-shot verification of the privacy-assured response against
+/// Eq. (2), with cold caches. Prefer [`Auditor::verify_private`] for
+/// repeated rounds.
+///
+/// # Errors
+/// [`DsAuditError::BadMeta`] on unusable metadata; a failing proof is
+/// `Ok(Verdict::Reject(..))`, not an error.
+pub fn verify_private(
+    pk: &PublicKey,
+    meta: &FileMeta,
+    challenge: &Challenge,
+    proof: &PrivateProof,
+) -> Result<Verdict, DsAuditError> {
+    Auditor::ephemeral().verify_private(pk, meta, challenge, proof)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::file::EncodedFile;
-    use dsaudit_algebra::field::Field;
     use crate::keys::keygen;
     use crate::params::AuditParams;
     use crate::prove::Prover;
     use crate::tag::generate_tags;
+    use dsaudit_algebra::field::Field;
     use rand::SeedableRng;
 
     fn rng() -> rand::rngs::StdRng {
@@ -206,15 +211,25 @@ mod tests {
         }
     }
 
+    fn accepts_private(env: &Env, ch: &Challenge, proof: &PrivateProof) -> bool {
+        verify_private(&env.pk, &env.meta, ch, proof)
+            .expect("valid meta")
+            .accepted()
+    }
+
     #[test]
     fn honest_plain_proof_verifies() {
         let env = setup(5, 4, 2000);
         let mut rng = rng();
-        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let prover = Prover::new(&env.pk, &env.file, &env.tags).unwrap();
+        let auditor = Auditor::new();
         for _ in 0..3 {
             let ch = Challenge::random(&mut rng);
             let proof = prover.prove_plain(&ch);
-            assert!(verify_plain(&env.pk, &env.meta, &ch, &proof));
+            assert!(auditor
+                .verify_plain(&env.pk, &env.meta, &ch, &proof)
+                .unwrap()
+                .accepted());
         }
     }
 
@@ -222,11 +237,15 @@ mod tests {
     fn honest_private_proof_verifies() {
         let env = setup(5, 4, 2000);
         let mut rng = rng();
-        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let prover = Prover::new(&env.pk, &env.file, &env.tags).unwrap();
+        let auditor = Auditor::new();
         for _ in 0..3 {
             let ch = Challenge::random(&mut rng);
             let proof = prover.prove_private(&mut rng, &ch);
-            assert!(verify_private(&env.pk, &env.meta, &ch, &proof));
+            assert!(auditor
+                .verify_private(&env.pk, &env.meta, &ch, &proof)
+                .unwrap()
+                .accepted());
         }
     }
 
@@ -236,7 +255,7 @@ mod tests {
         let mut rng = rng();
         let mut bad_file = env.file.clone();
         bad_file.corrupt_block(0, 0);
-        let prover = Prover::new(&env.pk, &bad_file, &env.tags);
+        let prover = Prover::new(&env.pk, &bad_file, &env.tags).unwrap();
         // challenge until chunk 0 is covered (k=4 of d; loop to be sure)
         let mut hit = false;
         for _ in 0..20 {
@@ -245,19 +264,31 @@ mod tests {
                 .expand(env.meta.num_chunks, env.meta.k)
                 .iter()
                 .any(|(i, _)| *i == 0);
-            let plain_ok = verify_plain(&env.pk, &env.meta, &ch, &prover.prove_plain(&ch));
-            let priv_ok = verify_private(
+            let plain = verify_plain(&env.pk, &env.meta, &ch, &prover.prove_plain(&ch)).unwrap();
+            let private = verify_private(
                 &env.pk,
                 &env.meta,
                 &ch,
                 &prover.prove_private(&mut rng, &ch),
-            );
+            )
+            .unwrap();
             if covers {
                 hit = true;
-                assert!(!plain_ok, "corrupted chunk must fail Eq.(1)");
-                assert!(!priv_ok, "corrupted chunk must fail Eq.(2)");
+                assert_eq!(
+                    plain,
+                    Verdict::Reject(RejectReason::Equation1),
+                    "corrupted chunk must fail Eq.(1) with its reason"
+                );
+                assert_eq!(
+                    private,
+                    Verdict::Reject(RejectReason::Equation2),
+                    "corrupted chunk must fail Eq.(2) with its reason"
+                );
             } else {
-                assert!(plain_ok && priv_ok, "untouched chunks must still verify");
+                assert!(
+                    plain.accepted() && private.accepted(),
+                    "untouched chunks must still verify"
+                );
             }
         }
         assert!(hit, "no challenge covered the corrupted chunk");
@@ -272,11 +303,10 @@ mod tests {
         let mut rng = rng();
         let mut bad_file = env.file.clone();
         bad_file.drop_chunk(1);
-        let prover = Prover::new(&env.pk, &bad_file, &env.tags);
+        let prover = Prover::new(&env.pk, &bad_file, &env.tags).unwrap();
         let ch = Challenge::random(&mut rng);
-        assert!(!verify_private(
-            &env.pk,
-            &env.meta,
+        assert!(!accepts_private(
+            &env,
             &ch,
             &prover.prove_private(&mut rng, &ch)
         ));
@@ -286,51 +316,76 @@ mod tests {
     fn wrong_challenge_rejected() {
         let env = setup(5, 4, 2000);
         let mut rng = rng();
-        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let prover = Prover::new(&env.pk, &env.file, &env.tags).unwrap();
         let ch1 = Challenge::random(&mut rng);
         let ch2 = Challenge::random(&mut rng);
         let proof = prover.prove_private(&mut rng, &ch1);
-        assert!(!verify_private(&env.pk, &env.meta, &ch2, &proof));
+        assert!(!accepts_private(&env, &ch2, &proof));
     }
 
     #[test]
     fn tampered_proof_fields_rejected() {
         let env = setup(5, 4, 2000);
         let mut rng = rng();
-        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let prover = Prover::new(&env.pk, &env.file, &env.tags).unwrap();
         let ch = Challenge::random(&mut rng);
         let good = prover.prove_private(&mut rng, &ch);
 
         let mut bad = good;
         bad.y_prime += Fr::one();
-        assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+        assert!(!accepts_private(&env, &ch, &bad));
 
         let mut bad = good;
         bad.sigma = bad.psi;
-        assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+        assert!(!accepts_private(&env, &ch, &bad));
 
         let mut bad = good;
         bad.r_commit = bad.r_commit.mul(&dsaudit_algebra::Gt::generator());
-        assert!(!verify_private(&env.pk, &env.meta, &ch, &bad));
+        assert!(!accepts_private(&env, &ch, &bad));
+    }
+
+    #[test]
+    fn bad_meta_is_an_error_not_a_reject() {
+        let env = setup(5, 4, 2000);
+        let mut rng = rng();
+        let prover = Prover::new(&env.pk, &env.file, &env.tags).unwrap();
+        let ch = Challenge::random(&mut rng);
+        let proof = prover.prove_private(&mut rng, &ch);
+        let mut bad_meta = env.meta;
+        bad_meta.num_chunks = 0;
+        assert!(matches!(
+            verify_private(&env.pk, &bad_meta, &ch, &proof),
+            Err(DsAuditError::BadMeta(_))
+        ));
+        let mut bad_meta = env.meta;
+        bad_meta.k = 0;
+        assert!(matches!(
+            verify_plain(&env.pk, &bad_meta, &ch, &prover.prove_plain(&ch)),
+            Err(DsAuditError::BadMeta(_))
+        ));
     }
 
     #[test]
     fn chi_cache_hits_on_repeated_rounds() {
         let mut rng = rng();
-        // a name no other test uses, so the first round may miss freely
-        let name = Fr::random(&mut rng) + Fr::from_u64(0xc4c4e);
+        let auditor = Auditor::new();
+        let name = Fr::random(&mut rng);
         let set: Vec<(u64, Fr)> = (0..6)
             .map(|i| (i as u64 * 3 + 1, Fr::random(&mut rng)))
             .collect();
-        let first = compute_chi(name, &set);
-        let (h1, _) = chi_cache::stats();
-        let second = compute_chi(name, &set);
-        let (h2, m2) = chi_cache::stats();
+        let first = compute_chi(auditor.chi_cache(), name, &set);
+        let s1 = auditor.chi_cache().stats();
+        let second = compute_chi(auditor.chi_cache(), name, &set);
+        let s2 = auditor.chi_cache().stats();
         assert_eq!(first, second, "cache must not change the result");
+        assert_eq!(s1.misses, set.len() as u64, "first round misses");
         assert!(
-            h2 - h1 >= set.len() as u64,
+            s2.hits - s1.hits >= set.len() as u64,
             "a repeated round must hit the cache for every challenged index \
-             (hits went {h1} -> {h2}, misses {m2})"
+             (hits went {} -> {}, misses {})",
+            s1.hits,
+            s2.hits,
+            s2.misses
         );
     }
 
@@ -339,12 +394,14 @@ mod tests {
         // A proof for round t must not satisfy round t+1 (fresh r).
         let env = setup(5, 4, 2000);
         let mut rng = rng();
-        let prover = Prover::new(&env.pk, &env.file, &env.tags);
+        let prover = Prover::new(&env.pk, &env.file, &env.tags).unwrap();
         let ch1 = Challenge::random(&mut rng);
         let proof = prover.prove_plain(&ch1);
         let mut beacon = [9u8; 48];
         beacon[47] ^= 0xff;
         let ch2 = Challenge::from_beacon(&beacon);
-        assert!(!verify_plain(&env.pk, &env.meta, &ch2, &proof));
+        assert!(!verify_plain(&env.pk, &env.meta, &ch2, &proof)
+            .unwrap()
+            .accepted());
     }
 }

@@ -1,13 +1,10 @@
-//! Property-based tests on the audit protocol's invariants.
+//! Property-based tests on the audit protocol's invariants, driven
+//! through the role-oriented API.
 
-use dsaudit_core::challenge::Challenge;
-use dsaudit_core::file::EncodedFile;
-use dsaudit_core::keys::keygen;
-use dsaudit_core::params::AuditParams;
-use dsaudit_core::proof::{PlainProof, PrivateProof};
-use dsaudit_core::prove::Prover;
-use dsaudit_core::tag::generate_tags;
-use dsaudit_core::verify::{verify_plain, verify_private, FileMeta};
+use dsaudit_core::{
+    AuditParams, Auditor, Challenge, DataOwner, EncodedFile, PlainProof, PrivateProof,
+    StorageProvider,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -25,24 +22,34 @@ proptest! {
     ) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let params = AuditParams::new(4, 3).expect("valid");
-        let (sk, pk) = keygen(&mut rng, &params);
-        let file = EncodedFile::encode(&mut rng, &data, params);
-        prop_assert_eq!(file.decode(), data, "encode/decode roundtrip");
-        let tags = generate_tags(&sk, &file);
-        let meta = FileMeta { name: file.name, num_chunks: file.num_chunks(), k: params.k };
-        let prover = Prover::new(&pk, &file, &tags);
-        let ch = Challenge::from_beacon(&beacon);
+        let owner = DataOwner::generate(&mut rng, params);
+        let bundle = owner.outsource(&mut rng, &data);
+        prop_assert_eq!(bundle.file.decode(), data, "encode/decode roundtrip");
+        let provider = StorageProvider::ingest(&mut rng, bundle)
+            .expect("honest bundle must ingest");
+        let meta = provider.meta();
+        let auditor = Auditor::new();
+        let ch = auditor.challenge_from_beacon(&beacon);
 
-        let plain = prover.prove_plain(&ch);
-        prop_assert!(verify_plain(&pk, &meta, &ch, &plain));
-        let private = prover.prove_private(&mut rng, &ch);
-        prop_assert!(verify_private(&pk, &meta, &ch, &private));
+        let plain = provider.respond_plain(&ch);
+        prop_assert!(auditor
+            .verify_plain(provider.public_key(), &meta, &ch, &plain)
+            .expect("valid meta")
+            .accepted());
+        let private = provider.respond(&mut rng, &ch);
+        prop_assert!(auditor
+            .verify_private(provider.public_key(), &meta, &ch, &private)
+            .expect("valid meta")
+            .accepted());
 
         // wire roundtrips
         let p2 = PlainProof::from_bytes(&plain.to_bytes()).expect("decode");
         prop_assert_eq!(p2, plain);
         let q2 = PrivateProof::from_bytes(&private.to_bytes()).expect("decode");
-        prop_assert!(verify_private(&pk, &meta, &ch, &q2));
+        prop_assert!(auditor
+            .verify_private(provider.public_key(), &meta, &ch, &q2)
+            .expect("valid meta")
+            .accepted());
     }
 
     /// Soundness probe: randomly corrupting any single block makes the
@@ -56,21 +63,27 @@ proptest! {
     ) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let params = AuditParams::new(4, 3).expect("valid");
-        let (sk, pk) = keygen(&mut rng, &params);
-        let file = EncodedFile::encode(&mut rng, &[7u8; 1200], params);
-        let tags = generate_tags(&sk, &file);
-        let meta = FileMeta { name: file.name, num_chunks: file.num_chunks(), k: params.k };
-        let mut bad = file.clone();
-        let target = chunk_sel as usize % file.num_chunks();
-        bad.corrupt_block(target, block_sel);
-        let prover = Prover::new(&pk, &bad, &tags);
+        let owner = DataOwner::generate(&mut rng, params);
+        let bundle = owner.outsource(&mut rng, &[7u8; 1200]);
+        let mut provider = StorageProvider::ingest(&mut rng, bundle).expect("honest");
+        let meta = provider.meta();
+        let target = chunk_sel as usize % meta.num_chunks;
+        provider.corrupt_block(target, block_sel);
+        let auditor = Auditor::new();
         let ch = Challenge::from_beacon(&beacon);
         let challenged = ch
             .expand(meta.num_chunks, meta.k)
             .iter()
             .any(|(i, _)| *i as usize == target);
-        let ok = verify_private(&pk, &meta, &ch, &prover.prove_private(&mut rng, &ch));
-        prop_assert_eq!(ok, !challenged);
+        let verdict = auditor
+            .verify_private(
+                provider.public_key(),
+                &meta,
+                &ch,
+                &provider.respond(&mut rng, &ch),
+            )
+            .expect("valid meta");
+        prop_assert_eq!(verdict.accepted(), !challenged);
     }
 }
 
@@ -90,7 +103,8 @@ proptest! {
         prop_assert!(idx.iter().all(|&i| (i as usize) < d));
     }
 
-    /// File encoding is injective and size-formula exact.
+    /// File encoding is injective and size-formula exact — and the
+    /// streaming path agrees with the in-memory path on every input.
     #[test]
     fn encoding_shape(data in prop::collection::vec(any::<u8>(), 0..4000), s in 1usize..32) {
         let params = AuditParams::new(s, 1).expect("valid");
@@ -98,6 +112,9 @@ proptest! {
         let f = EncodedFile::encode(&mut rng, &data, params);
         let n_blocks = data.len().div_ceil(31).max(1);
         prop_assert_eq!(f.num_chunks(), n_blocks.div_ceil(s));
-        prop_assert_eq!(f.decode(), data);
+        prop_assert_eq!(&f.decode(), &data);
+        let streamed = EncodedFile::encode_reader_with_name(f.name, &mut &data[..], params)
+            .expect("in-memory reader");
+        prop_assert_eq!(streamed, f, "streaming encode must match in-memory");
     }
 }

@@ -14,25 +14,20 @@
 use dsaudit::core::attack::{
     interpolate_pk_from_private, recover_blocks, PlainTrail, PrivateTrail,
 };
-use dsaudit::core::challenge::Challenge;
-use dsaudit::core::file::EncodedFile;
-use dsaudit::core::keys::keygen;
-use dsaudit::core::params::AuditParams;
-use dsaudit::core::prove::Prover;
-use dsaudit::core::tag::generate_tags;
+use dsaudit::prelude::*;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     let s = 8;
     let params = AuditParams::new(s, 64).expect("valid");
-    let (sk, pk) = keygen(&mut rng, &params);
+    let owner = DataOwner::generate(&mut rng, params);
 
     let secret = b"TOP SECRET: merger documents, Q3 financials, passport scans.....";
-    let file = EncodedFile::encode(&mut rng, secret, params);
+    let bundle = owner.outsource(&mut rng, secret);
+    let file = bundle.file.clone();
     let d = file.num_chunks();
-    let tags = generate_tags(&sk, &file);
-    let prover = Prover::new(&pk, &file, &tags);
+    let prover = StorageProvider::ingest(&mut rng, bundle).expect("honest bundle");
     println!(
         "victim stores {} bytes as {} chunks of s = {} blocks; contract audits daily\n",
         secret.len(),
@@ -52,7 +47,7 @@ fn main() {
             let ch = Challenge::from_beacon(&beacon);
             trails.push(PlainTrail {
                 challenge: ch,
-                proof: prover.prove_plain(&ch),
+                proof: prover.respond_plain(&ch),
             });
         }
         groups.push(trails);
@@ -89,7 +84,7 @@ fn main() {
         let ch = Challenge::from_beacon(&beacon);
         trails.push(PrivateTrail {
             challenge: ch,
-            proof: prover.prove_private(&mut rng, &ch),
+            proof: prover.respond(&mut rng, &ch),
         });
     }
     let garbage = interpolate_pk_from_private(&trails, s).expect("interpolates to *something*");

@@ -75,9 +75,9 @@ fn main() {
     // challenged chunks the detection probability per round is
     // 1 - (2/3)^40 > 99.9999% (this is the §VI-A confidence math: k
     // trades audit cost against detection probability).
-    let d = session.provider_state.file.num_chunks();
+    let d = session.provider_state.file().num_chunks();
     for i in (0..d).step_by(3) {
-        session.provider_state.file.drop_chunk(i);
+        session.provider_state.drop_chunk(i);
     }
     println!("\nprovider silently drops {} of {} chunks to reclaim space...", d.div_ceil(3), d);
 

@@ -1,58 +1,58 @@
-//! Quickstart: one complete audit round, end to end, in ~40 lines.
+//! Quickstart: one complete audit round through the three role handles.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use dsaudit::core::challenge::Challenge;
-use dsaudit::core::file::EncodedFile;
-use dsaudit::core::keys::keygen;
-use dsaudit::core::params::AuditParams;
-use dsaudit::core::prove::Prover;
-use dsaudit::core::tag::{generate_tags, verify_tags_batch};
-use dsaudit::core::verify::{verify_private, FileMeta};
+use dsaudit::prelude::*;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), DsAuditError> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
     // 1. The data owner picks parameters and generates keys.
     //    s = 50 blocks per chunk, k = 300 challenged chunks per audit
     //    (95% detection confidence at 1% corruption).
     let params = AuditParams::default();
-    let (sk, pk) = keygen(&mut rng, &params);
+    let owner = DataOwner::generate(&mut rng, params);
 
     // 2. Encode the (already encrypted) archive into auditable chunks
-    //    and compute one homomorphic authenticator per chunk.
+    //    and compute one homomorphic authenticator per chunk. The
+    //    archive streams through `encode_reader`, so a file handle of
+    //    any size works without buffering it in memory.
     let archive: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
-    let file = EncodedFile::encode(&mut rng, &archive, params);
-    let tags = generate_tags(&sk, &file);
+    let bundle = owner.outsource_reader(&mut rng, &mut &archive[..])?;
     println!(
         "encoded {} bytes into {} chunks; extra storage for tags: {:.1}% of the data",
         archive.len(),
-        file.num_chunks(),
+        bundle.file.num_chunks(),
         100.0 * 32.0 / params.chunk_bytes() as f64,
     );
 
     // 3. The storage provider validates the authenticators before
-    //    acknowledging the contract.
-    assert!(verify_tags_batch(&mut rng, &pk, &file, &tags));
+    //    acknowledging the contract — `ingest` refuses forged bundles
+    //    with a typed error.
+    let provider = StorageProvider::ingest(&mut rng, bundle)?;
     println!("provider validated all authenticators");
 
-    // 4. One audit round: the contract's beacon produces 48 bytes of
-    //    randomness; the provider answers with a 288-byte private proof.
-    let meta = FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: params.k,
-    };
-    let challenge = Challenge::random(&mut rng);
-    let prover = Prover::new(&pk, &file, &tags);
-    let proof = prover.prove_private(&mut rng, &challenge);
-    println!("proof posted on chain: {} bytes", proof.to_bytes().len());
+    // 4. One audit round through the typed session: the contract's
+    //    beacon produces 48 bytes of randomness; the provider answers
+    //    with a 288-byte private proof for exactly this round.
+    let auditor = Auditor::new();
+    let session = auditor.begin_session(provider.public_key(), provider.meta())?;
+    let round = session.challenge(&mut rng);
+    let response = provider.respond_round(&mut rng, &round.round_challenge());
+    println!(
+        "proof posted on chain: {} bytes (round {})",
+        response.proof.to_bytes().len(),
+        response.round
+    );
 
-    // 5. The smart contract verifies in constant time.
-    let ok = verify_private(&pk, &meta, &challenge, &proof);
-    println!("on-chain verification: {}", if ok { "PASS" } else { "FAIL" });
-    assert!(ok);
+    // 5. The smart contract verifies in constant time; the verdict
+    //    distinguishes a bad proof from bad input.
+    let (session, verdict) = round.submit(response).map_err(|(_, e)| e)?.verify()?;
+    println!("on-chain verification: {verdict}");
+    assert!(verdict.accepted());
+    assert_eq!(session.tally(), (1, 0));
+    Ok(())
 }

@@ -9,7 +9,8 @@
 //!
 //! * [`algebra`] — BN254 pairing curve, field tower, MSM, FFT, polynomials
 //! * [`crypto`] — SHA-256 / HMAC / ChaCha20 / PRF / PRP / MiMC / sloth VDF
-//! * [`core`] — the paper's audit protocol (HLA + KZG + Sigma masking)
+//! * [`core`] — the paper's audit protocol (HLA + KZG + Sigma masking),
+//!   exposed through the role handles re-exported in [`prelude`]
 //! * [`merkle`] — Merkle trees and the Siacoin-style audit baseline
 //! * [`snark`] — Groth16 with the MiMC Merkle circuit (the §IV strawman)
 //! * [`chain`] — Ethereum-like simulator: gas, beacons, scheduler, costs
@@ -18,23 +19,34 @@
 //!
 //! ## One audit round
 //!
+//! The protocol is a three-party interaction; the API hands you one
+//! handle per role and a typed session that makes out-of-order calls
+//! unrepresentable:
+//!
 //! ```
-//! use dsaudit::core::{challenge::Challenge, file::EncodedFile, keys::keygen,
-//!     params::AuditParams, prove::Prover, tag::generate_tags,
-//!     verify::{verify_private, FileMeta}};
+//! use dsaudit::prelude::*;
 //! use rand::SeedableRng;
 //!
+//! # fn main() -> Result<(), DsAuditError> {
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let params = AuditParams::new(8, 4)?;
-//! let (sk, pk) = keygen(&mut rng, &params);
-//! let file = EncodedFile::encode(&mut rng, b"archive bytes", params);
-//! let tags = generate_tags(&sk, &file);
-//! let meta = FileMeta { name: file.name, num_chunks: file.num_chunks(), k: params.k };
 //!
-//! let challenge = Challenge::random(&mut rng);              // from the beacon
-//! let proof = Prover::new(&pk, &file, &tags).prove_private(&mut rng, &challenge);
-//! assert!(verify_private(&pk, &meta, &challenge, &proof));  // on chain, 288 bytes
-//! # Ok::<(), dsaudit::core::params::ParamError>(())
+//! // data owner: keygen + encode + tag -> outsourcing bundle
+//! let owner = DataOwner::generate(&mut rng, params);
+//! let bundle = owner.outsource(&mut rng, b"archive bytes");
+//!
+//! // storage provider: validates the bundle before acknowledging
+//! let provider = StorageProvider::ingest(&mut rng, bundle)?;
+//!
+//! // auditor: challenge -> 288-byte private response -> verdict
+//! let auditor = Auditor::new();
+//! let session = auditor.begin_session(provider.public_key(), provider.meta())?;
+//! let round = session.challenge(&mut rng);               // from the beacon
+//! let response = provider.respond_round(&mut rng, &round.round_challenge());
+//! let (_, verdict) = round.submit(response).map_err(|(_, e)| e)?.verify()?;
+//! assert!(verdict.accepted());                           // on chain, 288 bytes
+//! # Ok(())
+//! # }
 //! ```
 
 pub use dsaudit_algebra as algebra;
@@ -45,3 +57,14 @@ pub use dsaudit_crypto as crypto;
 pub use dsaudit_merkle as merkle;
 pub use dsaudit_snark as snark;
 pub use dsaudit_storage as storage;
+
+/// The role-oriented protocol surface in one import: the three role
+/// handles, the typed session, the canonical codec, parameters, wire
+/// types, and the unified error/verdict pair.
+pub mod prelude {
+    pub use dsaudit_core::{
+        AuditParams, AuditSession, Auditor, Challenge, Codec, DataOwner, DsAuditError,
+        EncodedFile, FileMeta, Outsourcing, PlainProof, PrivateProof, PublicKey, RejectReason,
+        RoundChallenge, RoundResponse, SecretKey, StorageProvider, Verdict,
+    };
+}

@@ -1,10 +1,11 @@
 //! Cross-crate integration: the full pipeline from raw bytes through
-//! the storage network, the audit protocol and the on-chain contract.
+//! the storage network, the role-oriented audit protocol and the
+//! on-chain contract.
 
 use dsaudit::chain::beacon::TrustedBeacon;
 use dsaudit::chain::chain::Blockchain;
 use dsaudit::contract::harness::{run_round, setup_session, AgreementTerms};
-use dsaudit::core::params::AuditParams;
+use dsaudit::prelude::*;
 use dsaudit::storage::StorageNetwork;
 use rand::SeedableRng;
 
@@ -26,7 +27,7 @@ fn dsn_upload_then_audit_share() {
 
     // audit layer over one share's bytes (the provider's actual holdings)
     let params = AuditParams::new(8, 16).unwrap();
-    let (sk, pk) = dsaudit::core::keys::keygen(&mut rng, &params);
+    let owner = DataOwner::generate(&mut rng, params);
     let share_bytes: Vec<u8> = {
         // reconstruct what provider 0 stores via download of one share:
         // use the systematic share = first third of the ciphertext
@@ -34,17 +35,25 @@ fn dsn_upload_then_audit_share() {
         dsaudit::crypto::ChaCha20::new(key, manifest.nonce).encrypt(&mut ct);
         ct[..ct.len() / 3].to_vec()
     };
-    let file = dsaudit::core::file::EncodedFile::encode(&mut rng, &share_bytes, params);
-    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
-    let meta = dsaudit::core::verify::FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: params.k,
-    };
-    let prover = dsaudit::core::prove::Prover::new(&pk, &file, &tags);
-    let ch = dsaudit::core::challenge::Challenge::random(&mut rng);
-    let proof = prover.prove_private(&mut rng, &ch);
-    assert!(dsaudit::core::verify::verify_private(&pk, &meta, &ch, &proof));
+    // the share streams from the network: encode it through the reader
+    // path rather than an in-memory slice copy
+    let bundle = owner
+        .outsource_reader(&mut rng, &mut &share_bytes[..])
+        .expect("in-memory reader");
+    let provider = StorageProvider::ingest(&mut rng, bundle).expect("honest bundle");
+    let auditor = Auditor::new();
+    let session = auditor
+        .begin_session(provider.public_key(), provider.meta())
+        .unwrap();
+    let round = session.challenge(&mut rng);
+    let response = provider.respond_round(&mut rng, &round.round_challenge());
+    let (_, verdict) = round
+        .submit(response)
+        .map_err(|(_, e)| e)
+        .unwrap()
+        .verify()
+        .unwrap();
+    assert!(verdict.accepted());
 }
 
 /// The contract pays out correctly across a mixed honest/dishonest run.
@@ -68,8 +77,8 @@ fn contract_settles_mixed_run() {
     );
     assert!(run_round(&mut rng, &mut chain, &session, true));
     // drop everything -> guaranteed fail
-    for i in 0..session.provider_state.file.num_chunks() {
-        session.provider_state.file.drop_chunk(i);
+    for i in 0..session.provider_state.file().num_chunks() {
+        session.provider_state.drop_chunk(i);
     }
     assert!(!run_round(&mut rng, &mut chain, &session, true));
     assert!(!run_round(&mut rng, &mut chain, &session, false)); // timeout
@@ -89,21 +98,20 @@ fn contract_settles_mixed_run() {
 fn wire_roundtrip_preserves_verification() {
     let mut rng = rng();
     let params = AuditParams::new(6, 5).unwrap();
-    let (sk, pk) = dsaudit::core::keys::keygen(&mut rng, &params);
-    let file = dsaudit::core::file::EncodedFile::encode(&mut rng, &[5u8; 3000], params);
-    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
-    let meta = dsaudit::core::verify::FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: params.k,
-    };
-    let prover = dsaudit::core::prove::Prover::new(&pk, &file, &tags);
-    let ch = dsaudit::core::challenge::Challenge::random(&mut rng);
-    let proof = prover.prove_private(&mut rng, &ch);
-    let bytes = proof.to_bytes();
+    let owner = DataOwner::generate(&mut rng, params);
+    let bundle = owner.outsource(&mut rng, &[5u8; 3000]);
+    let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
+    let meta = provider.meta();
+    let auditor = Auditor::new();
+    let ch = auditor.issue_challenge(&mut rng);
+    let proof = provider.respond(&mut rng, &ch);
+    let bytes = proof.encode();
     assert_eq!(bytes.len(), 288);
-    let decoded = dsaudit::core::proof::PrivateProof::from_bytes(&bytes).unwrap();
-    assert!(dsaudit::core::verify::verify_private(&pk, &meta, &ch, &decoded));
+    let decoded = PrivateProof::decode(&bytes).unwrap();
+    assert!(auditor
+        .verify_private(provider.public_key(), &meta, &ch, &decoded)
+        .unwrap()
+        .accepted());
 }
 
 /// Beacon-driven challenges from the chain expand identically for
@@ -113,7 +121,7 @@ fn challenge_determinism_across_actors() {
     let mut beacon = TrustedBeacon::new(b"shared");
     use dsaudit::chain::beacon::Beacon;
     let bytes = beacon.randomness(5);
-    let c1 = dsaudit::core::challenge::Challenge::from_beacon(&bytes);
-    let c2 = dsaudit::core::challenge::Challenge::from_beacon(&bytes);
+    let c1 = Challenge::from_beacon(&bytes);
+    let c2 = Challenge::from_beacon(&bytes);
     assert_eq!(c1.expand(1000, 300), c2.expand(1000, 300));
 }

@@ -1,17 +1,12 @@
 //! The paper's headline constants, checked against reality: serialized
 //! proof sizes must equal `PLAIN_PROOF_BYTES` / `PRIVATE_PROOF_BYTES`
-//! exactly, and `verify_private` must reject a proof tampered in *each*
+//! exactly, and verification must reject a proof tampered in *each*
 //! individual component, both in memory and on the wire.
 
 use dsaudit::algebra::field::Field;
 use dsaudit::algebra::{Fr, Gt};
-use dsaudit::core::challenge::Challenge;
-use dsaudit::core::file::EncodedFile;
-use dsaudit::core::keys::{keygen, PublicKey};
-use dsaudit::core::params::AuditParams;
-use dsaudit::core::proof::{PlainProof, PrivateProof, PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
-use dsaudit::core::prove::Prover;
-use dsaudit::core::verify::{verify_plain, verify_private, FileMeta};
+use dsaudit::core::{PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
+use dsaudit::prelude::*;
 use rand::SeedableRng;
 
 fn rng() -> rand::rngs::StdRng {
@@ -29,25 +24,26 @@ struct Session {
 fn session() -> Session {
     let mut rng = rng();
     let params = AuditParams::new(6, 5).unwrap();
-    let (sk, pk) = keygen(&mut rng, &params);
-    let file = EncodedFile::encode(&mut rng, &[0xabu8; 2500], params);
-    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
-    let meta = FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: params.k,
-    };
-    let prover = Prover::new(&pk, &file, &tags);
+    let owner = DataOwner::generate(&mut rng, params);
+    let bundle = owner.outsource(&mut rng, &[0xabu8; 2500]);
+    let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
+    let meta = provider.meta();
     let ch = Challenge::random(&mut rng);
-    let proof = prover.prove_private(&mut rng, &ch);
-    let plain = prover.prove_plain(&ch);
+    let proof = provider.respond(&mut rng, &ch);
+    let plain = provider.respond_plain(&ch);
     Session {
-        pk,
+        pk: provider.public_key().clone(),
         meta,
         ch,
         proof,
         plain,
     }
+}
+
+fn accepts(s: &Session, proof: &PrivateProof) -> bool {
+    dsaudit::core::verify_private(&s.pk, &s.meta, &s.ch, proof)
+        .expect("valid meta")
+        .accepted()
 }
 
 /// `PLAIN_PROOF_BYTES` and `PRIVATE_PROOF_BYTES` are not aspirational:
@@ -59,20 +55,22 @@ fn headline_constants_match_serialized_sizes() {
 
     assert_eq!(s.plain.to_bytes().len(), PLAIN_PROOF_BYTES);
     assert_eq!(PLAIN_PROOF_BYTES, 96);
-    assert!(verify_plain(&s.pk, &s.meta, &s.ch, &s.plain));
+    assert!(dsaudit::core::verify_plain(&s.pk, &s.meta, &s.ch, &s.plain)
+        .unwrap()
+        .accepted());
 
     assert_eq!(s.proof.to_bytes().len(), PRIVATE_PROOF_BYTES);
     assert_eq!(PRIVATE_PROOF_BYTES, 288);
-    assert!(verify_private(&s.pk, &s.meta, &s.ch, &s.proof));
+    assert!(accepts(&s, &s.proof));
 }
 
 #[test]
 fn tampered_sigma_rejected() {
     let s = session();
-    assert!(verify_private(&s.pk, &s.meta, &s.ch, &s.proof), "sanity");
+    assert!(accepts(&s, &s.proof), "sanity");
     let mut bad = s.proof;
     bad.sigma = bad.sigma.mul(Fr::from_u64(2)).to_affine();
-    assert!(!verify_private(&s.pk, &s.meta, &s.ch, &bad));
+    assert!(!accepts(&s, &bad));
 }
 
 #[test]
@@ -80,7 +78,7 @@ fn tampered_y_prime_rejected() {
     let s = session();
     let mut bad = s.proof;
     bad.y_prime += Fr::one();
-    assert!(!verify_private(&s.pk, &s.meta, &s.ch, &bad));
+    assert!(!accepts(&s, &bad));
 }
 
 #[test]
@@ -88,7 +86,7 @@ fn tampered_psi_rejected() {
     let s = session();
     let mut bad = s.proof;
     bad.psi = bad.psi.mul(Fr::from_u64(3)).to_affine();
-    assert!(!verify_private(&s.pk, &s.meta, &s.ch, &bad));
+    assert!(!accepts(&s, &bad));
 }
 
 #[test]
@@ -96,11 +94,13 @@ fn tampered_r_commit_rejected() {
     let s = session();
     let mut bad = s.proof;
     bad.r_commit = bad.r_commit.mul(&Gt::generator());
-    assert!(!verify_private(&s.pk, &s.meta, &s.ch, &bad));
+    assert!(!accepts(&s, &bad));
 }
 
 /// Wire-level tampering: flipping a byte in each component's range of
-/// the 288-byte encoding either fails to decode or fails to verify.
+/// the 288-byte encoding either fails to decode (with a typed error)
+/// or fails to verify — the documented error-path behavior of the
+/// public API on malformed external input.
 #[test]
 fn wire_tampering_in_each_component_rejected() {
     let s = session();
@@ -109,10 +109,19 @@ fn wire_tampering_in_each_component_rejected() {
     for offset in [5usize, 40, 70, 150] {
         let mut bytes = good;
         bytes[offset] ^= 0x01;
-        match PrivateProof::from_bytes(&bytes) {
-            Err(_) => {} // malformed encoding: rejected at decode
+        match PrivateProof::decode(&bytes) {
+            Err(e) => {
+                // malformed encoding: rejected at decode, with context
+                assert!(matches!(
+                    e,
+                    DsAuditError::Malformed {
+                        ty: "PrivateProof",
+                        ..
+                    }
+                ));
+            }
             Ok(p) => assert!(
-                !verify_private(&s.pk, &s.meta, &s.ch, &p),
+                !accepts(&s, &p),
                 "byte {offset} flipped but proof still verified"
             ),
         }

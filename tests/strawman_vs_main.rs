@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use dsaudit::core::params::AuditParams;
+use dsaudit::prelude::*;
 use dsaudit::snark::strawman::StrawmanAudit;
 use rand::SeedableRng;
 
@@ -22,22 +22,22 @@ fn both_schemes_audit_the_same_1kb_file() {
     let (sproof, stats) = strawman.respond(&mut rng, 1, None).unwrap();
     assert!(strawman.verify_response(&sproof));
 
-    // main protocol
+    // main protocol, through the role handles
     let params = AuditParams::new(8, 16).unwrap();
-    let (sk, pk) = dsaudit::core::keys::keygen(&mut rng, &params);
-    let file = dsaudit::core::file::EncodedFile::encode(&mut rng, &data, params);
-    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
-    let meta = dsaudit::core::verify::FileMeta {
-        name: file.name,
-        num_chunks: file.num_chunks(),
-        k: params.k,
-    };
-    let prover = dsaudit::core::prove::Prover::new(&pk, &file, &tags);
-    let ch = dsaudit::core::challenge::Challenge::random(&mut rng);
+    let owner = DataOwner::generate(&mut rng, params);
+    let pk = owner.public_key().clone();
+    let bundle = owner.outsource(&mut rng, &data);
+    let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
+    let meta = provider.meta();
+    let auditor = Auditor::new();
+    let ch = auditor.issue_challenge(&mut rng);
     let t0 = Instant::now();
-    let mproof = prover.prove_private(&mut rng, &ch);
+    let mproof = provider.respond(&mut rng, &ch);
     let main_prove = t0.elapsed();
-    assert!(dsaudit::core::verify::verify_private(&pk, &meta, &ch, &mproof));
+    assert!(auditor
+        .verify_private(&pk, &meta, &ch, &mproof)
+        .unwrap()
+        .accepted());
 
     // Table II's orderings hold on this machine:
     // 1. proof sizes: 288 B (main) < 384 B (strawman)
@@ -72,12 +72,11 @@ fn merkle_baseline_leaks_but_main_does_not() {
     // main protocol proof bytes share no 8-byte window with the data
     let mut rng = rng();
     let params = AuditParams::new(4, 8).unwrap();
-    let (sk, pk) = dsaudit::core::keys::keygen(&mut rng, &params);
-    let file = dsaudit::core::file::EncodedFile::encode(&mut rng, data, params);
-    let tags = dsaudit::core::tag::generate_tags(&sk, &file);
-    let prover = dsaudit::core::prove::Prover::new(&pk, &file, &tags);
-    let ch = dsaudit::core::challenge::Challenge::random(&mut rng);
-    let proof_bytes = prover.prove_private(&mut rng, &ch).to_bytes();
+    let owner = DataOwner::generate(&mut rng, params);
+    let bundle = owner.outsource(&mut rng, data);
+    let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
+    let ch = Challenge::random(&mut rng);
+    let proof_bytes = provider.respond(&mut rng, &ch).to_bytes();
     assert!(!data
         .windows(8)
         .any(|w| proof_bytes.windows(8).any(|p| p == w)));

@@ -53,6 +53,75 @@ fn check_json() {
     }
 }
 
+/// Runs the fixed-seed network simulation and prints its report: the
+/// scale scenario (erasure-coded multi-provider audits under churn and
+/// faults) as one reproducible experiment.
+fn run_sim(args: &[String]) {
+    const KNOWN: &[&str] = &[
+        "--seed", "--epochs", "--providers", "--owners", "--files", "--k", "--n", "--shards",
+    ];
+    // strict flag parsing: an unknown flag, a missing value, or an
+    // unparsable value is an error, not a silent fallback — CI must
+    // never green-light a scenario it did not ask for
+    let mut i = 1;
+    while i < args.len() {
+        if !KNOWN.contains(&args[i].as_str()) {
+            eprintln!("sim: unknown flag '{}' (known: {})", args[i], KNOWN.join(" "));
+            std::process::exit(2);
+        }
+        // every field narrower than u64 fits in u32, so bound-check
+        // here — otherwise flag()'s typed re-parse would silently fall
+        // back to the default on overflow
+        let fits = match args.get(i + 1).map(|v| v.parse::<u64>()) {
+            Some(Ok(v)) => args[i] == "--seed" || v <= u32::MAX as u64,
+            _ => false,
+        };
+        if !fits {
+            eprintln!(
+                "sim: flag '{}' needs an unsigned integer value{}",
+                args[i],
+                if args[i] == "--seed" { "" } else { " (at most 2^32-1)" }
+            );
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+    let cfg = dsaudit_sim::SimConfig {
+        seed: flag(args, "--seed", 0xd5a_517),
+        epochs: flag(args, "--epochs", 20),
+        providers: flag(args, "--providers", 32),
+        owners: flag(args, "--owners", 4),
+        files_per_owner: flag(args, "--files", 1),
+        erasure_k: flag(args, "--k", 3),
+        erasure_n: flag(args, "--n", 6),
+        shards: flag(args, "--shards", 4),
+        ..dsaudit_sim::SimConfig::default()
+    };
+    println!(
+        "running {} epochs over {} providers / {} owners (seed {:#x})...\n",
+        cfg.epochs, cfg.providers, cfg.owners, cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let report = dsaudit_sim::Simulation::new(cfg).run();
+    let secs = t0.elapsed().as_secs_f64();
+    print!("{}", report.to_text());
+    println!(
+        "\nwall clock: {secs:.2} s ({:.1} rounds/s end-to-end)",
+        report.audits as f64 / secs
+    );
+    if report.false_accepts + report.false_rejects > 0 {
+        eprintln!("AUDIT ACCURACY VIOLATION — see report above");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -81,6 +150,7 @@ fn main() {
         "baseline" => figures::baseline(),
         "json" => emit_json(),
         "check" => check_json(),
+        "sim" => run_sim(&args),
         "all" => {
             tables::table1();
             divider();
@@ -112,7 +182,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|json|check|all] [--full] [--mb N]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N]");
             std::process::exit(2);
         }
     }

@@ -153,6 +153,49 @@ pub fn collect_pairing_metrics() -> Vec<Metric> {
     out
 }
 
+/// The fixed-seed benchmark simulation: honest steady state, sized so
+/// a release build settles it in a couple of seconds. Round throughput
+/// is end-to-end — churnless epochs of challenge triggers, proof
+/// generation over stored share bytes, per-shard batched settlement and
+/// on-chain verdict mining.
+fn bench_sim_config() -> dsaudit_sim::SimConfig {
+    dsaudit_sim::SimConfig {
+        seed: 0xbe_c4a5,
+        epochs: 8,
+        providers: 10,
+        owners: 2,
+        file_bytes: 300,
+        erasure_k: 2,
+        erasure_n: 4,
+        shards: 2,
+        churn: dsaudit_sim::ChurnRates::none(),
+        faults: dsaudit_sim::FaultRates::none(),
+        ..dsaudit_sim::SimConfig::default()
+    }
+}
+
+/// Measures the `sim` metric group: end-to-end audit-round throughput
+/// of the network simulator (storage → contract → chain per round) and
+/// the deterministic gas cost per settled round.
+pub fn collect_sim_metrics() -> Vec<Metric> {
+    let t0 = Instant::now();
+    let report = dsaudit_sim::Simulation::new(bench_sim_config()).run();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.passes, report.audits, "benchmark network is honest");
+    vec![
+        Metric {
+            name: "sim_round_throughput",
+            unit: "rounds/s",
+            value: report.audits as f64 / secs,
+        },
+        Metric {
+            name: "sim_gas_per_round",
+            unit: "gas",
+            value: (report.total_gas - report.setup_gas) as f64 / report.audits as f64,
+        },
+    ]
+}
+
 /// Runs the compact benchmark set the JSON snapshot reports.
 pub fn collect_metrics() -> Vec<Metric> {
     let mut out = Vec::new();
@@ -240,6 +283,10 @@ pub fn collect_metrics() -> Vec<Metric> {
     });
     assert_eq!(tags.len(), env.file.num_chunks());
 
+    // Hot path 5: the whole network under load (storage -> contract ->
+    // chain), measured end to end by the simulator.
+    out.extend(collect_sim_metrics());
+
     out
 }
 
@@ -278,6 +325,7 @@ pub const GUARDED_METRICS: &[(&str, bool)] = &[
     ("prove_private_1mib", false),
     ("msm_g1_n1024", false),
     ("encode_stream_1mib", false),
+    ("sim_round_throughput", true),
 ];
 
 /// Relative regression allowed against the committed snapshot.
@@ -349,6 +397,15 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
             * 1e3
     });
     let stream_ms = best_of_3(&mut || measure_encode_stream_ms(1024 * 1024, 3));
+    let sim_throughput = (0..2)
+        .map(|_| {
+            collect_sim_metrics()
+                .into_iter()
+                .find(|m| m.name == "sim_round_throughput")
+                .expect("sim group measures throughput")
+                .value
+        })
+        .fold(0.0f64, f64::max);
     vec![
         Metric {
             name: "preprocess_s50_throughput",
@@ -379,6 +436,11 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
             name: "encode_stream_1mib",
             unit: "ms",
             value: stream_ms,
+        },
+        Metric {
+            name: "sim_round_throughput",
+            unit: "rounds/s",
+            value: sim_throughput,
         },
     ]
 }

@@ -282,6 +282,42 @@ impl Blockchain {
         self.blocks.iter().map(|b| b.size_bytes).sum()
     }
 
+    /// Number of blocks mined so far. An epoch driver snapshots this
+    /// before a span of activity and feeds it to
+    /// [`gas_used_since`](Self::gas_used_since) /
+    /// [`bytes_since`](Self::bytes_since) /
+    /// [`events_since`](Self::events_since) afterwards — the per-epoch
+    /// accounting behind measured (not analytical) chain utilization.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Gas consumed by every receipt in blocks `from_block..`.
+    pub fn gas_used_since(&self, from_block: usize) -> u64 {
+        self.blocks[from_block.min(self.blocks.len())..]
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|(_, r)| r.gas_used)
+            .sum()
+    }
+
+    /// Bytes of the blocks mined at index `from_block` onward.
+    pub fn bytes_since(&self, from_block: usize) -> usize {
+        self.blocks[from_block.min(self.blocks.len())..]
+            .iter()
+            .map(|b| b.size_bytes)
+            .sum()
+    }
+
+    /// Events emitted in blocks `from_block..`, oldest first.
+    pub fn events_since(&self, from_block: usize) -> Vec<&Event> {
+        self.blocks[from_block.min(self.blocks.len())..]
+            .iter()
+            .flat_map(|b| &b.txs)
+            .flat_map(|(_, r)| &r.logs)
+            .collect()
+    }
+
     /// Total gas consumed across all receipts.
     pub fn total_gas_used(&self) -> u64 {
         self.blocks
@@ -463,6 +499,36 @@ mod tests {
         assert_eq!(b.txs.len(), 1);
         assert_eq!(b.txs[0].1.logs[0].name, "triggered");
         assert_eq!(c.pending_triggers(), 0);
+    }
+
+    #[test]
+    fn epoch_accounting_windows_are_exact() {
+        let mut c = chain();
+        let user = Address::from_label("user");
+        c.fund_account(user, eth(1));
+        let addr = c.deploy("counter", Box::new(Counter { count: 0 }));
+        // epoch 1: two calls
+        c.submit(call(user, addr, "inc"));
+        c.submit(call(user, addr, "inc"));
+        c.mine_block();
+        let mark = c.block_count();
+        let gas_before = c.total_gas_used();
+        let bytes_before = c.total_size_bytes();
+        // epoch 2: one call
+        c.submit(call(user, addr, "inc"));
+        c.mine_block();
+        assert_eq!(c.gas_used_since(mark), c.total_gas_used() - gas_before);
+        assert_eq!(c.bytes_since(mark), c.total_size_bytes() - bytes_before);
+        let events = c.events_since(mark);
+        assert_eq!(events.len(), 1, "only epoch 2's event in the window");
+        assert_eq!(events[0].name, "incremented");
+        // an out-of-range mark yields empty windows, not a panic
+        assert_eq!(c.gas_used_since(99), 0);
+        assert_eq!(c.bytes_since(99), 0);
+        assert!(c.events_since(99).is_empty());
+        // the full window matches the totals
+        assert_eq!(c.gas_used_since(0), c.total_gas_used());
+        assert_eq!(c.bytes_since(0), c.total_size_bytes());
     }
 
     #[test]

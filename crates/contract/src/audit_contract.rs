@@ -125,6 +125,10 @@ pub struct AuditContract {
     /// `verify_private_batch` for the whole round and posts per-contract
     /// verdicts. `None` keeps the classic per-contract verification.
     batch_auditor: Option<Address>,
+    /// Provider migration in flight: the owner named this address as the
+    /// share's next holder; it becomes the provider once it posts the
+    /// takeover deposit.
+    pending_migration: Option<Address>,
     /// Completed round log (public audit trail).
     pub history: Vec<RoundOutcome>,
 }
@@ -154,6 +158,7 @@ impl AuditContract {
             current_challenge: None,
             pending_proof: None,
             batch_auditor: None,
+            pending_migration: None,
             history: Vec::new(),
         })
     }
@@ -185,6 +190,19 @@ impl AuditContract {
     /// Rounds completed so far.
     pub fn rounds_done(&self) -> u64 {
         self.cnt
+    }
+
+    /// The provider currently bound to the contract (changes when a
+    /// `migrate`/`takeover` pair re-homes the share).
+    pub fn provider(&self) -> Address {
+        self.agreement.provider
+    }
+
+    /// The takeover deposit a migration candidate must attach: the
+    /// remaining rounds' worth of penalties, mirroring the original
+    /// provider-deposit sizing rule.
+    pub fn takeover_deposit(&self) -> Wei {
+        self.agreement.penalty_per_fail * (self.agreement.num_audits - self.cnt) as Wei
     }
 
     /// The challenge of the in-flight round, if any.
@@ -357,6 +375,65 @@ impl ContractBehavior for AuditContract {
                     );
                 }
                 self.settle_round(env, passed, false);
+                Ok(())
+            }
+            // --- provider migration (multi-provider settlement) -------
+            //
+            // When repair re-places a share on a different provider (DHT
+            // churn, a failed audit), the contract follows the share
+            // instead of being torn down: the owner names the new holder,
+            // the new holder posts a deposit covering the remaining
+            // penalties, the old holder is refunded its remaining pool,
+            // and the round schedule continues uninterrupted — one
+            // contract's history then spans multiple providers.
+            //
+            // D names the share's next holder; calldata = 20-byte address
+            "migrate" => {
+                if self.phase != Phase::Audit {
+                    return Err(VmError::BadState(
+                        "can only migrate between rounds".into(),
+                    ));
+                }
+                if env.caller != self.agreement.owner {
+                    return Err(VmError::Unauthorized);
+                }
+                let addr: [u8; 20] = data.try_into().map_err(|_| {
+                    VmError::BadCalldata("migrate calldata is a 20-byte address".into())
+                })?;
+                let candidate = Address(addr);
+                if candidate == self.agreement.provider {
+                    return Err(VmError::BadValue(
+                        "candidate already holds the slot".into(),
+                    ));
+                }
+                self.pending_migration = Some(candidate);
+                env.emit("migrationproposed", addr.to_vec());
+                Ok(())
+            }
+            // the named candidate takes the slot by posting its deposit
+            "takeover" => {
+                if self.phase != Phase::Audit {
+                    return Err(VmError::BadState(
+                        "can only take over between rounds".into(),
+                    ));
+                }
+                if Some(env.caller) != self.pending_migration {
+                    return Err(VmError::Unauthorized);
+                }
+                let required = self.takeover_deposit();
+                if env.value != required {
+                    return Err(VmError::BadValue(
+                        "takeover deposit must cover the remaining penalties".into(),
+                    ));
+                }
+                // refund the outgoing provider's remaining pool
+                if self.provider_pool > 0 {
+                    env.pay(self.agreement.provider, self.provider_pool);
+                }
+                self.provider_pool = env.value;
+                self.agreement.provider = env.caller;
+                self.pending_migration = None;
+                env.emit("migrated", env.caller.0.to_vec());
                 Ok(())
             }
             other => Err(VmError::UnknownMethod(other.into())),

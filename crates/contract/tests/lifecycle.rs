@@ -247,3 +247,114 @@ fn value_conservation_across_full_contract() {
     assert_eq!(total_before, total_after, "wei must be conserved");
     assert_eq!(chain.balance(session.contract), 0, "contract drained at completion");
 }
+
+#[test]
+fn migration_rehomes_the_share_and_settles_across_providers() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 3,
+        ..AgreementTerms::default()
+    };
+    // k >= d so a corrupted chunk is challenged every round
+    let params = AuditParams::new(4, 8).unwrap();
+    let mut session =
+        setup_session(&mut rng, &mut chain, "migrating", &[6u8; 900], params, None, terms);
+    let pristine = session.provider_state.clone();
+
+    // round 0: the original provider serves corrupted data and fails
+    session.provider_state.corrupt_block(0, 0);
+    let old_provider = session.provider;
+    let old_balance_before_round = chain.balance(old_provider);
+    assert!(!run_round(&mut rng, &mut chain, &session, true), "corruption must fail");
+
+    // repair re-placed the share; the owner names the successor, which
+    // posts a deposit covering the remaining two rounds' penalties
+    let successor = dsaudit_chain::types::Address::from_label("migrating/successor");
+    let takeover_deposit = 2 * terms.penalty_per_fail;
+    chain.fund_account(successor, takeover_deposit + eth(1));
+    submit_ok(
+        &mut chain,
+        session.owner,
+        session.contract,
+        "migrate",
+        successor.0.to_vec(),
+        0,
+    );
+    // only the named candidate may take over
+    chain.submit(Transaction {
+        from: old_provider,
+        to: session.contract,
+        value: takeover_deposit,
+        kind: TxKind::Call { method: "takeover".into(), data: Vec::new() },
+    });
+    let block = chain.mine_block();
+    assert_eq!(block.txs[0].1.status, TxStatus::Reverted, "imposter takeover must revert");
+    submit_ok(
+        &mut chain,
+        successor,
+        session.contract,
+        "takeover",
+        Vec::new(),
+        takeover_deposit,
+    );
+    // the outgoing provider got its remaining pool back: its locked
+    // deposit minus exactly one round's penalty
+    assert_eq!(
+        chain.balance(old_provider) - old_balance_before_round,
+        terms.provider_deposit - terms.penalty_per_fail,
+        "old provider is refunded its deposit minus one penalty"
+    );
+
+    // the successor holds the (repaired) share and serves the last rounds
+    session.provider = successor;
+    session.provider_state = pristine;
+    let successor_before = chain.balance(successor);
+    assert!(run_round(&mut rng, &mut chain, &session, true), "round 1 passes post-migration");
+    assert!(run_round(&mut rng, &mut chain, &session, true), "round 2 passes post-migration");
+    // contract completed: successor got deposit back plus two rewards
+    assert_eq!(
+        chain.balance(successor) - successor_before,
+        takeover_deposit + 2 * terms.reward_per_audit
+    );
+    let events = chain.all_events();
+    assert!(events.iter().any(|e| e.name == "migrationproposed"));
+    assert!(events.iter().any(|e| e.name == "migrated" && e.data == successor.0.to_vec()));
+    assert!(events.iter().any(|e| e.name == "completed"));
+    assert_eq!(chain.balance(session.contract), 0, "contract drained at completion");
+}
+
+#[test]
+fn migration_is_rejected_outside_audit_phase_and_mid_round() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 2,
+        ..AgreementTerms::default()
+    };
+    let session =
+        setup_session(&mut rng, &mut chain, "nomigrate", &[2u8; 600], params(), None, terms);
+    let successor = dsaudit_chain::types::Address::from_label("nomigrate/successor");
+    // open a round: contract is in Prove phase -> migrate must revert
+    chain.advance_time(terms.audit_interval_secs + 1);
+    chain.mine_block();
+    chain.submit(Transaction {
+        from: session.owner,
+        to: session.contract,
+        value: 0,
+        kind: TxKind::Call { method: "migrate".into(), data: successor.0.to_vec() },
+    });
+    let block = chain.mine_block();
+    assert_eq!(block.txs[0].1.status, TxStatus::Reverted, "mid-round migration must revert");
+    // malformed calldata also reverts (back in Audit after a timeout)
+    chain.advance_time(terms.prove_deadline_secs + 1);
+    chain.mine_block();
+    chain.submit(Transaction {
+        from: session.owner,
+        to: session.contract,
+        value: 0,
+        kind: TxKind::Call { method: "migrate".into(), data: vec![1, 2, 3] },
+    });
+    let block = chain.mine_block();
+    assert_eq!(block.txs[0].1.status, TxStatus::Reverted, "bad calldata must revert");
+}

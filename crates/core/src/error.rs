@@ -75,6 +75,16 @@ pub enum DsAuditError {
         /// Human-readable detail from the underlying error.
         detail: String,
     },
+    /// A storage-layer failure surfaced through the audit pipeline —
+    /// share reconstruction or provider placement failed underneath an
+    /// audit operation. Raised via the `dsaudit-storage` crate's
+    /// `From<StorageError>` conversion (reconstruction shortfalls map to
+    /// [`DsAuditError::DimensionMismatch`] instead, which carries the
+    /// exact share counts).
+    Storage {
+        /// Human-readable detail from the storage layer.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DsAuditError {
@@ -107,6 +117,9 @@ impl std::fmt::Display for DsAuditError {
             }
             DsAuditError::Io { kind, detail } => {
                 write!(f, "i/o error while streaming ({kind:?}): {detail}")
+            }
+            DsAuditError::Storage { detail } => {
+                write!(f, "storage layer failure: {detail}")
             }
         }
     }

@@ -105,7 +105,7 @@ pub use codec::{ByteReader, Codec};
 pub use error::{DsAuditError, RejectReason, Verdict};
 pub use file::EncodedFile;
 pub use keys::{keygen, PublicKey, SecretKey};
-pub use owner::{DataOwner, Outsourcing};
+pub use owner::{share_name, DataOwner, Outsourcing};
 pub use params::{chunks_for_confidence, confidence_for_chunks, AuditParams};
 pub use proof::{PlainProof, PrivateProof, PLAIN_PROOF_BYTES, PRIVATE_PROOF_BYTES};
 pub use prove::{Prover, ProveTimings};

@@ -9,6 +9,8 @@
 #![deny(missing_docs)]
 
 use dsaudit_algebra::g1::G1Affine;
+use dsaudit_algebra::Fr;
+use dsaudit_crypto::prf::prf_fr;
 
 use crate::error::DsAuditError;
 use crate::file::EncodedFile;
@@ -120,6 +122,50 @@ impl DataOwner {
         }
     }
 
+    /// Outsources with a caller-chosen on-chain `name` (deterministic:
+    /// same name + same bytes reproduce the same bundle). This is the
+    /// building block of per-share outsourcing, where the name must be
+    /// re-derivable after an erasure share is reconstructed.
+    pub fn outsource_with_name(&self, name: Fr, data: &[u8]) -> Outsourcing {
+        let file = EncodedFile::encode_with_name(name, data, self.params);
+        let tags = self.tag(&file);
+        Outsourcing {
+            pk: self.pk.clone(),
+            file,
+            tags,
+        }
+    }
+
+    /// Per-share outsourcing for erasure-coded placement (§III-A meets
+    /// §V-B): one share of a `k`-of-`n` coded file becomes its own
+    /// auditable unit — its own `name`, encoded chunks, and tag vector —
+    /// so each share-holding provider can be challenged and settled
+    /// independently. The name is derived from the file's 32-byte
+    /// content address and the share index via [`share_name`], so a
+    /// share reconstructed during repair re-tags to the **same**
+    /// registered name and the audit contract survives the migration.
+    pub fn outsource_share(
+        &self,
+        content_address: &[u8; 32],
+        index: u64,
+        data: &[u8],
+    ) -> Outsourcing {
+        self.outsource_with_name(share_name(content_address, index), data)
+    }
+
+    /// [`DataOwner::outsource_share`] over a whole share vector, in
+    /// index order (index `i` is position `i`).
+    pub fn outsource_shares<'a, I>(&self, content_address: &[u8; 32], shares: I) -> Vec<Outsourcing>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        shares
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| self.outsource_share(content_address, i as u64, data))
+            .collect()
+    }
+
     /// Streaming variant of [`DataOwner::outsource`]: encode from a
     /// reader, then tag chunk by chunk.
     ///
@@ -138,6 +184,18 @@ impl DataOwner {
             tags,
         })
     }
+}
+
+/// The deterministic on-chain name of erasure share `index` of the file
+/// at `content_address`: a domain-separated PRF into `Z_p`. Owner,
+/// repair agent, and contract all re-derive the same name from public
+/// data, which is what lets an audit contract follow a share across
+/// provider migrations.
+pub fn share_name(content_address: &[u8; 32], index: u64) -> Fr {
+    let mut seed = Vec::with_capacity(32 + 19);
+    seed.extend_from_slice(b"dsaudit/share-name/");
+    seed.extend_from_slice(content_address);
+    prf_fr(&seed, index)
 }
 
 #[cfg(test)]
@@ -180,6 +238,29 @@ mod tests {
         // and the owner's tags over equal content with equal names agree
         let renamed = EncodedFile::encode_with_name(streamed.name, &data, params);
         assert_eq!(owner.tag(&streamed), owner.tag(&renamed));
+    }
+
+    #[test]
+    fn per_share_outsourcing_is_deterministic_and_independent() {
+        let mut rng = rng();
+        let params = AuditParams::new(4, 3).unwrap();
+        let owner = DataOwner::generate(&mut rng, params);
+        let content = [0xabu8; 32];
+        let shares: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 200]).collect();
+        let bundles = owner.outsource_shares(&content, shares.iter().map(Vec::as_slice));
+        assert_eq!(bundles.len(), 3);
+        // distinct names per share, all re-derivable from public data
+        for (i, b) in bundles.iter().enumerate() {
+            assert_eq!(b.file.name, share_name(&content, i as u64));
+            assert_eq!(b.tags.len(), b.file.num_chunks());
+        }
+        assert_ne!(bundles[0].file.name, bundles[1].file.name);
+        // a reconstructed share re-tags to the identical bundle
+        let again = owner.outsource_share(&content, 1, &shares[1]);
+        assert_eq!(again.file, bundles[1].file);
+        assert_eq!(again.tags, bundles[1].tags);
+        // a different file's share 1 gets a different name
+        assert_ne!(share_name(&[0xcd; 32], 1), share_name(&content, 1));
     }
 
     #[test]

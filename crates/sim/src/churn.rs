@@ -1,0 +1,117 @@
+//! Pluggable provider-churn models: who joins, who leaves gracefully,
+//! who crashes, epoch by epoch.
+
+use rand::RngCore;
+
+/// Draws a Bernoulli with probability `p` from the top 53 bits of one
+/// RNG word (deterministic given the RNG state).
+pub(crate) fn chance<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    u < p
+}
+
+/// A churn model decides, each epoch, how the provider population
+/// changes. Implementations must be deterministic functions of the RNG
+/// stream and their own state — the simulator's reproducibility
+/// guarantee extends through them.
+pub trait ChurnModel {
+    /// Number of fresh providers joining at the start of `epoch`.
+    fn joins(&mut self, rng: &mut dyn RngCore, epoch: u32) -> usize;
+
+    /// Whether one (online) provider announces a graceful departure
+    /// this epoch. Called once per provider, in roster order.
+    fn leaves(&mut self, rng: &mut dyn RngCore, epoch: u32) -> bool;
+
+    /// Whether one (online) provider crashes abruptly this epoch.
+    /// Called for providers that did not leave.
+    fn crashes(&mut self, rng: &mut dyn RngCore, epoch: u32) -> bool;
+}
+
+/// Stationary rates: the default churn model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnRates {
+    /// Expected joins per epoch (fractional part drawn as a Bernoulli).
+    pub join_rate: f64,
+    /// Per-provider probability of a graceful departure per epoch.
+    pub leave_prob: f64,
+    /// Per-provider probability of an abrupt crash per epoch.
+    pub crash_prob: f64,
+}
+
+impl Default for ChurnRates {
+    fn default() -> Self {
+        Self {
+            join_rate: 0.5,
+            leave_prob: 0.01,
+            crash_prob: 0.01,
+        }
+    }
+}
+
+impl ChurnRates {
+    /// A population with no churn at all.
+    pub fn none() -> Self {
+        Self {
+            join_rate: 0.0,
+            leave_prob: 0.0,
+            crash_prob: 0.0,
+        }
+    }
+}
+
+impl ChurnModel for ChurnRates {
+    fn joins(&mut self, rng: &mut dyn RngCore, _epoch: u32) -> usize {
+        let base = self.join_rate.floor();
+        base as usize + usize::from(chance(rng, self.join_rate - base))
+    }
+
+    fn leaves(&mut self, rng: &mut dyn RngCore, _epoch: u32) -> bool {
+        chance(rng, self.leave_prob)
+    }
+
+    fn crashes(&mut self, rng: &mut dyn RngCore, _epoch: u32) -> bool {
+        chance(rng, self.crash_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rates_are_deterministic_given_the_rng() {
+        let sample = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = ChurnRates {
+                join_rate: 1.4,
+                leave_prob: 0.3,
+                crash_prob: 0.3,
+            };
+            (0..20)
+                .map(|e| (m.joins(&mut rng, e), m.leaves(&mut rng, e), m.crashes(&mut rng, e)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8), "different seeds must differ");
+        // expected joins per epoch is 1.4: always at least 1
+        assert!(sample(7).iter().all(|(j, _, _)| *j >= 1));
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut m = ChurnRates::none();
+        for e in 0..50 {
+            assert_eq!(m.joins(&mut rng, e), 0);
+            assert!(!m.leaves(&mut rng, e));
+            assert!(!m.crashes(&mut rng, e));
+        }
+    }
+}

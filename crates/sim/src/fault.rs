@@ -1,0 +1,131 @@
+//! Pluggable share-fault models: bit rot, silent deletion, and proof
+//! withholding, injected per stored share per epoch.
+
+use rand::RngCore;
+
+use crate::churn::chance;
+
+/// What a faulty provider does to one stored share this epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A byte of the stored blob flips (bit rot / tampering). The
+    /// provider keeps responding — with proofs over corrupted data that
+    /// the pairing check must reject.
+    Corrupt,
+    /// The blob is silently deleted (space reclamation). The provider
+    /// cannot respond; the round times out.
+    Drop,
+    /// The data is intact but the provider withholds its proof this
+    /// epoch (griefing / outage). The round times out.
+    Withhold,
+}
+
+impl FaultKind {
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Drop => "drop",
+            FaultKind::Withhold => "withhold",
+        }
+    }
+}
+
+/// A fault model decides, per healthy stored share per epoch, whether
+/// (and how) the share misbehaves. Implementations must be
+/// deterministic functions of the RNG stream and their own state.
+pub trait FaultModel {
+    /// Samples a fault for one healthy share. Called once per stored
+    /// share per epoch, in placement order.
+    fn sample(&mut self, rng: &mut dyn RngCore, epoch: u32) -> Option<FaultKind>;
+}
+
+/// Stationary per-share rates: the default fault model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRates {
+    /// Per-share corruption probability per epoch.
+    pub corrupt: f64,
+    /// Per-share silent-deletion probability per epoch.
+    pub drop: f64,
+    /// Per-share withholding probability per epoch.
+    pub withhold: f64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self {
+            corrupt: 0.01,
+            drop: 0.005,
+            withhold: 0.005,
+        }
+    }
+}
+
+impl FaultRates {
+    /// Fully honest providers.
+    pub fn none() -> Self {
+        Self {
+            corrupt: 0.0,
+            drop: 0.0,
+            withhold: 0.0,
+        }
+    }
+}
+
+impl FaultModel for FaultRates {
+    fn sample(&mut self, rng: &mut dyn RngCore, _epoch: u32) -> Option<FaultKind> {
+        // one draw per class keeps the RNG consumption per share fixed,
+        // which makes fault traces easy to reason about across configs
+        let corrupt = chance(rng, self.corrupt);
+        let drop = chance(rng, self.drop);
+        let withhold = chance(rng, self.withhold);
+        if corrupt {
+            Some(FaultKind::Corrupt)
+        } else if drop {
+            Some(FaultKind::Drop)
+        } else if withhold {
+            Some(FaultKind::Withhold)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rates_hit_roughly_their_frequencies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut m = FaultRates {
+            corrupt: 0.2,
+            drop: 0.1,
+            withhold: 0.1,
+        };
+        let mut counts = [0usize; 3];
+        let trials = 5_000;
+        for _ in 0..trials {
+            match m.sample(&mut rng, 0) {
+                Some(FaultKind::Corrupt) => counts[0] += 1,
+                Some(FaultKind::Drop) => counts[1] += 1,
+                Some(FaultKind::Withhold) => counts[2] += 1,
+                None => {}
+            }
+        }
+        // corrupt ~ 20%, drop ~ 8% (masked by corrupt), withhold ~ 7.2%
+        assert!((800..=1200).contains(&counts[0]), "corrupt = {}", counts[0]);
+        assert!((250..=550).contains(&counts[1]), "drop = {}", counts[1]);
+        assert!((200..=500).contains(&counts[2]), "withhold = {}", counts[2]);
+    }
+
+    #[test]
+    fn none_is_silent_and_deterministic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut m = FaultRates::none();
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng, 3), None);
+        }
+    }
+}

@@ -93,12 +93,31 @@ impl RoutingTable {
         all.truncate(count);
         all
     }
+
+    /// Forgets a peer (a departure announcement or an observed timeout).
+    /// Returns whether the peer was known.
+    pub fn remove(&mut self, peer: &NodeId) -> bool {
+        let Some(idx) = self.id.bucket_index(peer) else {
+            return false;
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.iter().position(|p| p == peer) {
+            bucket.remove(pos);
+            return true;
+        }
+        false
+    }
 }
 
 /// The simulated network: all routing tables, addressable by id.
+///
+/// Node storage is a `BTreeMap` so that every operation that iterates
+/// the population (bootstrap selection, candidate lookup) is
+/// deterministic — a requirement of the `dsaudit-sim` reproducibility
+/// guarantee, which replays whole network lifecycles from a seed.
 #[derive(Default, Debug)]
 pub struct DhtNetwork {
-    nodes: std::collections::HashMap<NodeId, RoutingTable>,
+    nodes: std::collections::BTreeMap<NodeId, RoutingTable>,
 }
 
 impl DhtNetwork {
@@ -139,7 +158,12 @@ impl DhtNetwork {
                 if hop == id {
                     continue;
                 }
-                self.nodes.get_mut(&hop).expect("hop exists").observe(id);
+                // a queried hop may be a stale reference to a crashed
+                // node (see `fail`): the RPC timed out, nobody learns
+                let Some(hop_table) = self.nodes.get_mut(&hop) else {
+                    continue;
+                };
+                hop_table.observe(id);
                 self.nodes.get_mut(&id).expect("just inserted").observe(hop);
             }
         }
@@ -149,10 +173,20 @@ impl DhtNetwork {
     /// query the closest not-yet-queried candidates for *their* closest
     /// known nodes, until no unqueried candidate improves on the best
     /// queried node. Returns `(queried, closest)` — the nodes contacted
-    /// (network cost of the lookup) and the closest node found.
+    /// (network cost of the lookup) and the closest *live* node found.
+    ///
+    /// Stale routing entries pointing at nodes that [`fail`]ed are
+    /// tolerated: querying one costs a hop (the RPC times out) but
+    /// contributes no candidates and can never be the result — exactly
+    /// the behavior of a real Kademlia network after an abrupt crash.
+    ///
+    /// [`fail`]: DhtNetwork::fail
     pub fn lookup_from(&self, origin: NodeId, target: &NodeId) -> (Vec<NodeId>, NodeId) {
         const ALPHA: usize = 3;
-        let mut shortlist: Vec<NodeId> = self.nodes[&origin].closest(target, BUCKET_SIZE);
+        let Some(origin_table) = self.nodes.get(&origin) else {
+            return (Vec::new(), origin);
+        };
+        let mut shortlist: Vec<NodeId> = origin_table.closest(target, BUCKET_SIZE);
         let mut queried: Vec<NodeId> = Vec::new();
         loop {
             shortlist.sort_by_key(|p| p.distance(target));
@@ -171,15 +205,40 @@ impl DhtNetwork {
             }
             for c in next {
                 queried.push(c);
-                shortlist.extend(self.nodes[&c].closest(target, BUCKET_SIZE));
+                if let Some(table) = self.nodes.get(&c) {
+                    shortlist.extend(table.closest(target, BUCKET_SIZE));
+                }
             }
         }
         let closest = queried
             .iter()
+            .filter(|q| self.nodes.contains_key(q))
             .min_by_key(|q| q.distance(target))
             .copied()
             .unwrap_or(origin);
         (queried, closest)
+    }
+
+    /// Graceful departure: the node announces it is leaving, so every
+    /// other routing table drops it immediately (the cleanup a real node
+    /// performs by notifying its neighbors). Returns whether the node
+    /// was a member.
+    pub fn leave(&mut self, id: &NodeId) -> bool {
+        if self.nodes.remove(id).is_none() {
+            return false;
+        }
+        for table in self.nodes.values_mut() {
+            table.remove(id);
+        }
+        true
+    }
+
+    /// Abrupt crash: the node vanishes without notice. Peers keep stale
+    /// routing entries until they observe the timeout themselves —
+    /// lookups tolerate (and route around) the dead references. Returns
+    /// whether the node was a member.
+    pub fn fail(&mut self, id: &NodeId) -> bool {
+        self.nodes.remove(id).is_some()
     }
 
     /// Finds the `count` nodes whose ids are closest to a content key —
@@ -257,6 +316,78 @@ mod tests {
         assert_eq!(p1, p2);
         let set: std::collections::HashSet<_> = p1.iter().collect();
         assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn lookup_consistent_after_leave() {
+        let mut net = build_network(64);
+        let target = NodeId::from_label("replaced blob");
+        // ten nodes scattered across the id space leave gracefully,
+        // including the one nearest the target
+        let mut leavers = vec![net.providers_for(&target, 1)[0]];
+        leavers.extend(net.node_ids().into_iter().step_by(7).take(9));
+        let departed: std::collections::HashSet<NodeId> = leavers.into_iter().collect();
+        for id in &departed {
+            assert!(net.leave(id));
+        }
+        assert_eq!(net.len(), 64 - departed.len());
+        // no routing table still references a departed node
+        for table in net.nodes.values() {
+            for peer in table.buckets.iter().flatten() {
+                assert!(!departed.contains(peer), "stale entry for {peer:?}");
+            }
+        }
+        // lookups from surviving nodes land in the *new* nearest
+        // neighborhood (the departed neighborhood is thinner, so a few
+        // lookups stop at a near-but-not-nearest live node — Kademlia's
+        // documented behavior), and never on a departed node
+        let nearest = net.providers_for(&target, 4);
+        let mut exact = 0;
+        for origin in net.node_ids().into_iter().take(20) {
+            let (queried, found) = net.lookup_from(origin, &target);
+            assert!(queried.iter().all(|q| !departed.contains(q)));
+            assert!(
+                nearest.contains(&found),
+                "lookup landed outside the new nearest neighborhood"
+            );
+            if found == nearest[0] {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 10, "only {exact}/20 lookups found the new nearest");
+    }
+
+    #[test]
+    fn lookup_routes_around_crashed_nodes() {
+        let mut net = build_network(64);
+        let target = NodeId::from_label("orphaned blob");
+        let crashed: Vec<NodeId> = net.providers_for(&target, 5);
+        for id in &crashed {
+            assert!(net.fail(id));
+        }
+        // stale entries remain, but lookups never *return* a dead node
+        let expected = net.providers_for(&target, 1)[0];
+        let mut exact = 0;
+        for origin in net.node_ids().into_iter().take(20) {
+            let (_, found) = net.lookup_from(origin, &target);
+            assert!(!crashed.contains(&found), "returned a crashed node");
+            if found == expected {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 12, "only {exact}/20 lookups routed around the crash");
+    }
+
+    #[test]
+    fn leave_and_fail_report_membership() {
+        let mut net = build_network(8);
+        let member = net.node_ids()[0];
+        let stranger = NodeId::from_label("never joined");
+        assert!(!net.leave(&stranger));
+        assert!(!net.fail(&stranger));
+        assert!(net.leave(&member));
+        assert!(!net.fail(&member), "already gone");
+        assert_eq!(net.len(), 7);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod dht;
 pub mod erasure;
 pub mod gf256;
 pub mod network;
+pub mod wire;
 
 pub use dht::{DhtNetwork, NodeId, RoutingTable};
 pub use erasure::{ErasureCode, ErasureError, Share};

@@ -60,19 +60,25 @@ pub struct FileManifest {
 }
 
 /// Errors from the storage network.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StorageError {
     /// Too few live shares to reconstruct.
     Erasure(ErasureError),
-    /// A provider in the manifest no longer exists.
-    UnknownProvider(NodeId),
+    /// Repair could not find any eligible provider for a restored share
+    /// (every live node already holds one of the file's shares).
+    NoEligibleProvider {
+        /// The share index that could not be re-placed.
+        share: usize,
+    },
 }
 
 impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StorageError::Erasure(e) => write!(f, "erasure decode failed: {e}"),
-            StorageError::UnknownProvider(id) => write!(f, "unknown provider {id:?}"),
+            StorageError::NoEligibleProvider { share } => {
+                write!(f, "no eligible provider to re-place share {share}")
+            }
         }
     }
 }
@@ -116,6 +122,42 @@ impl StorageNetwork {
         self.providers.get_mut(id)
     }
 
+    /// Read access to a provider node's share store.
+    pub fn provider(&self, id: &NodeId) -> Option<&ProviderNode> {
+        self.providers.get(id)
+    }
+
+    /// The erasure code in force.
+    pub fn code(&self) -> &ErasureCode {
+        &self.code
+    }
+
+    /// Churn hook: a fresh provider joins the DHT with an empty store.
+    /// Returns `false` (and changes nothing) when the id is taken.
+    pub fn add_provider(&mut self, id: NodeId) -> bool {
+        if self.providers.contains_key(&id) {
+            return false;
+        }
+        self.dht.join(id);
+        self.providers.insert(id, ProviderNode::default());
+        true
+    }
+
+    /// Churn hook: a provider departs. `graceful` announces the
+    /// departure (routing tables are scrubbed — [`DhtNetwork::leave`]);
+    /// otherwise the node crashes abruptly ([`DhtNetwork::fail`]).
+    /// Returns the departing node's share store so a graceful caller can
+    /// migrate the blobs elsewhere; a crash loses them.
+    pub fn remove_provider(&mut self, id: &NodeId, graceful: bool) -> Option<ProviderNode> {
+        let node = self.providers.remove(id)?;
+        if graceful {
+            self.dht.leave(id);
+        } else {
+            self.dht.fail(id);
+        }
+        Some(node)
+    }
+
     /// Owner-side upload: encrypt, erasure-code, place shares on the
     /// `n` providers closest to the content id.
     pub fn upload(&mut self, key: [u8; 32], nonce: [u8; 12], plaintext: &[u8]) -> FileManifest {
@@ -144,17 +186,18 @@ impl StorageNetwork {
         }
     }
 
-    /// Owner-side download: gather any `k` live shares, decode, decrypt.
-    ///
-    /// # Errors
-    /// Fails when fewer than `k` shares survive.
-    pub fn download(&self, manifest: &FileManifest, key: [u8; 32]) -> Result<Vec<u8>, StorageError> {
+    /// Gathers up to `k` live, trusted shares of a manifest, skipping
+    /// providers that departed, blobs that were dropped, and any share
+    /// index the caller knows to be bad (the audit layer's verdicts).
+    fn gather_shares(&self, manifest: &FileManifest, known_bad: &[usize]) -> Vec<Share> {
         let mut shares = Vec::new();
         for (index, provider, share_key) in &manifest.placements {
-            let node = self
-                .providers
-                .get(provider)
-                .ok_or(StorageError::UnknownProvider(*provider))?;
+            if known_bad.contains(index) {
+                continue;
+            }
+            let Some(node) = self.providers.get(provider) else {
+                continue; // provider churned away; its share is lost
+            };
             if let Some(data) = node.get(share_key) {
                 shares.push(Share {
                     index: *index,
@@ -165,33 +208,102 @@ impl StorageNetwork {
                 }
             }
         }
+        shares
+    }
+
+    /// Owner-side download: gather any `k` live shares, decode, decrypt.
+    /// Shares on departed providers are treated as lost, not as errors.
+    ///
+    /// # Errors
+    /// Fails when fewer than `k` shares survive.
+    pub fn download(&self, manifest: &FileManifest, key: [u8; 32]) -> Result<Vec<u8>, StorageError> {
+        let shares = self.gather_shares(manifest, &[]);
         let mut ciphertext = self.code.decode(&shares, manifest.ciphertext_len)?;
         ChaCha20::new(key, manifest.nonce).decrypt(&mut ciphertext);
         Ok(ciphertext)
     }
 
-    /// Repair: re-generate and re-place any missing shares from the
-    /// survivors (requires `k` live shares).
+    /// Repair: reconstruct every lost share — a blob that is missing,
+    /// sits on a departed provider, or is in `known_bad` (shares the
+    /// audit layer proved corrupt; erasure coding alone cannot tell) —
+    /// and re-place each on the live provider *closest to the content id
+    /// by DHT distance* that does not already hold one of the file's
+    /// shares ([`DhtNetwork::providers_for`]), never back on the slot
+    /// that lost it. The manifest is updated in place.
+    ///
+    /// Returns the new placements as `(share_index, provider)` pairs so
+    /// the audit layer can migrate the corresponding contracts. Repair
+    /// operates entirely on ciphertext shares — no decryption key is
+    /// required, so any party holding the manifest can run it.
     ///
     /// # Errors
-    /// Fails when reconstruction is impossible.
-    pub fn repair(&mut self, manifest: &FileManifest, key: [u8; 32]) -> Result<usize, StorageError> {
-        let plaintext = self.download(manifest, key)?;
-        let mut ciphertext = plaintext;
-        ChaCha20::new(key, manifest.nonce).encrypt(&mut ciphertext);
+    /// [`StorageError::Erasure`] when fewer than `k` trusted shares
+    /// survive, [`StorageError::NoEligibleProvider`] when the network
+    /// has no free node left for a restored share.
+    pub fn repair(
+        &mut self,
+        manifest: &mut FileManifest,
+        known_bad: &[usize],
+    ) -> Result<Vec<(usize, NodeId)>, StorageError> {
+        let survivors = self.gather_shares(manifest, known_bad);
+        let ciphertext = self.code.decode(&survivors, manifest.ciphertext_len)?;
         let shares = self.code.encode(&ciphertext);
-        let mut repaired = 0;
-        for (index, provider, share_key) in &manifest.placements {
-            let node = self
-                .providers
-                .get_mut(provider)
-                .ok_or(StorageError::UnknownProvider(*provider))?;
-            if node.get(share_key).is_none() {
-                node.put(*share_key, shares[*index].data.clone());
-                repaired += 1;
+
+        // which placements are lost, and who currently holds a healthy share
+        let mut lost: Vec<usize> = Vec::new(); // positions in manifest.placements
+        let mut holders: Vec<NodeId> = Vec::new();
+        for (pos, (index, provider, share_key)) in manifest.placements.iter().enumerate() {
+            let healthy = !known_bad.contains(index)
+                && self
+                    .providers
+                    .get(provider)
+                    .is_some_and(|node| node.get(share_key).is_some());
+            if healthy {
+                holders.push(*provider);
+            } else {
+                lost.push(pos);
             }
         }
+
+        let mut repaired = Vec::with_capacity(lost.len());
+        for pos in lost {
+            let (index, old_provider, share_key) = manifest.placements[pos];
+            let mut unavailable = holders.clone();
+            unavailable.push(old_provider);
+            let target = self
+                .eligible_provider(&manifest.content_id, &unavailable)
+                .ok_or(StorageError::NoEligibleProvider { share: index })?;
+            // reclaim whatever the failed slot still stores (a corrupt
+            // blob must not resurface as a "live" share)
+            if let Some(node) = self.providers.get_mut(&old_provider) {
+                node.drop_share(&share_key);
+            }
+            self.providers
+                .get_mut(&target)
+                .expect("candidates come from live providers")
+                .put(share_key, shares[index].data.clone());
+            manifest.placements[pos] = (index, target, share_key);
+            holders.push(target);
+            repaired.push((index, target));
+        }
         Ok(repaired)
+    }
+
+    /// The single placement policy of the network: the live provider
+    /// closest to `content_id` by DHT distance that is not in
+    /// `unavailable` (current share holders, failed slots, departing
+    /// nodes). Used by [`StorageNetwork::repair`] and by any layer that
+    /// migrates shares proactively, so re-placement decisions never
+    /// diverge between repair paths.
+    pub fn eligible_provider(
+        &self,
+        content_id: &NodeId,
+        unavailable: &[NodeId],
+    ) -> Option<NodeId> {
+        self.dht
+            .providers_for(content_id, self.dht.len())
+            .into_iter()
+            .find(|c| !unavailable.contains(c))
     }
 
     /// How many of the manifest's shares are currently retrievable.
@@ -271,15 +383,81 @@ mod tests {
     fn repair_restores_redundancy() {
         let mut net = net();
         let data = vec![7u8; 2222];
-        let manifest = net.upload([8u8; 32], [9u8; 12], &data);
-        for (_, provider, share_key) in manifest.placements.iter().take(6) {
-            net.provider_mut(provider).unwrap().drop_share(share_key);
-        }
+        let mut manifest = net.upload([8u8; 32], [9u8; 12], &data);
+        let dropped: Vec<(usize, NodeId)> = manifest
+            .placements
+            .iter()
+            .take(6)
+            .map(|(i, p, k)| {
+                assert!(net.provider_mut(p).unwrap().drop_share(k));
+                (*i, *p)
+            })
+            .collect();
         assert_eq!(net.live_shares(&manifest), 4);
-        let repaired = net.repair(&manifest, [8u8; 32]).unwrap();
-        assert_eq!(repaired, 6);
+        let repaired = net.repair(&mut manifest, &[]).unwrap();
+        assert_eq!(repaired.len(), 6);
         assert_eq!(net.live_shares(&manifest), 10);
         assert_eq!(net.download(&manifest, [8u8; 32]).unwrap(), data);
+        // restored shares moved off the slots that lost them
+        for ((idx, new_provider), (old_idx, old_provider)) in repaired.iter().zip(&dropped) {
+            assert_eq!(idx, old_idx);
+            assert_ne!(new_provider, old_provider, "share {idx} re-placed on the failed slot");
+        }
+    }
+
+    #[test]
+    fn repair_places_by_dht_proximity_and_reclaims_corrupt_blobs() {
+        let mut net = StorageNetwork::new(30, 3, 6);
+        let data: Vec<u8> = (0..1500).map(|i| (i % 239) as u8).collect();
+        let mut manifest = net.upload([4u8; 32], [5u8; 12], &data);
+        // the audit layer found share 2 corrupt (the blob itself is
+        // intact here; erasure coding cannot tell, only the tags can)
+        let (bad_index, bad_provider, bad_key) = manifest.placements[2];
+        let repaired = net.repair(&mut manifest, &[bad_index]).unwrap();
+        assert_eq!(repaired.len(), 1);
+        let (idx, new_provider) = repaired[0];
+        assert_eq!(idx, bad_index);
+        assert_ne!(new_provider, bad_provider);
+        // the corrupt blob was reclaimed from the failed slot
+        assert!(net.provider(&bad_provider).unwrap().get(&bad_key).is_none());
+        // the target is the nearest live node (by XOR distance to the
+        // content id) that holds none of the file's shares
+        let holders: Vec<NodeId> = manifest
+            .placements
+            .iter()
+            .filter(|(i, _, _)| *i != bad_index)
+            .map(|(_, p, _)| *p)
+            .collect();
+        let expected = net
+            .dht
+            .providers_for(&manifest.content_id, net.dht.len())
+            .into_iter()
+            .find(|c| *c != bad_provider && !holders.contains(c))
+            .unwrap();
+        assert_eq!(new_provider, expected);
+        assert_eq!(net.download(&manifest, [4u8; 32]).unwrap(), data);
+    }
+
+    #[test]
+    fn repair_recovers_from_provider_churn() {
+        let mut net = StorageNetwork::new(25, 3, 8);
+        let data = vec![0x42u8; 900];
+        let mut manifest = net.upload([6u8; 32], [7u8; 12], &data);
+        // two share holders crash, one leaves gracefully without migration
+        let crashed: Vec<NodeId> = manifest.placements[..2].iter().map(|(_, p, _)| *p).collect();
+        for id in &crashed {
+            assert!(net.remove_provider(id, false).is_some());
+        }
+        let left = manifest.placements[2].1;
+        net.remove_provider(&left, true);
+        assert_eq!(net.live_shares(&manifest), 5);
+        let repaired = net.repair(&mut manifest, &[]).unwrap();
+        assert_eq!(repaired.len(), 3);
+        assert_eq!(net.live_shares(&manifest), 8);
+        for (_, provider) in &repaired {
+            assert!(!crashed.contains(provider) && *provider != left);
+        }
+        assert_eq!(net.download(&manifest, [6u8; 32]).unwrap(), data);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Adversarial wire-format tests for the storage-layer [`Codec`] types
+//! ([`NodeId`], [`FileManifest`]), mirroring the core suite:
+//!
+//! 1. **Round-trip**: `decode(encode(x)) == x` for generated values.
+//! 2. **Truncation**: every strict prefix decodes to a typed
+//!    [`DsAuditError`] — never a panic, never a value.
+//! 3. **Bit-flip**: flipping any single bit either decodes to a typed
+//!    error or to a value whose re-encoding *is* the flipped bytes
+//!    (canonicality) — never a panic, never the original value.
+
+use dsaudit_core::{Codec, DsAuditError};
+use dsaudit_storage::{FileManifest, NodeId, StorageNetwork};
+use proptest::prelude::*;
+
+/// Checks the three adversarial properties for one encodable value.
+/// Value comparisons go through the canonical encoding (injective), so
+/// types without `PartialEq` are covered too.
+fn check_wire_hardness<T: Codec>(value: &T) {
+    let bytes = value.encode();
+    assert_eq!(bytes.len(), value.encoded_len(), "encoded_len must be exact");
+    let decoded = T::decode(&bytes).expect("canonical encoding must decode");
+    assert_eq!(decoded.encode(), bytes, "round-trip through the codec");
+
+    // truncation at every prefix length (including empty)
+    for cut in 0..bytes.len() {
+        match T::decode(&bytes[..cut]) {
+            Err(DsAuditError::Truncated { .. } | DsAuditError::Malformed { .. }) => {}
+            Err(other) => panic!("{}: unexpected error {other}", T::TYPE_NAME),
+            Ok(_) => panic!(
+                "{}: truncation to {cut}/{} bytes decoded to a value",
+                T::TYPE_NAME,
+                bytes.len()
+            ),
+        }
+    }
+
+    // single-bit flip at every byte offset: either a typed rejection or
+    // a canonical decode of the flipped bytes — never the original
+    for offset in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[offset] ^= 1 << (offset % 8);
+        match T::decode(&flipped) {
+            Err(_) => {}
+            Ok(v) => {
+                let re = v.encode();
+                assert_eq!(
+                    re, flipped,
+                    "{}: accepted non-canonical bytes at offset {offset}",
+                    T::TYPE_NAME
+                );
+                assert_ne!(
+                    re, bytes,
+                    "{}: bit flip at byte {offset} decoded back to the original",
+                    T::TYPE_NAME
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn node_id_wire_hardness(label in 0u64..1_000_000, raw in any::<[u8; 32]>()) {
+        check_wire_hardness(&NodeId::from_label(&format!("node-{label}")));
+        check_wire_hardness(&NodeId(raw));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn manifest_wire_hardness(
+        data in prop::collection::vec(any::<u8>(), 1..600),
+        key in any::<[u8; 32]>(),
+        k in 2usize..4,
+        extra in 1usize..5,
+        providers in 8usize..16,
+    ) {
+        let n = k + extra;
+        let mut net = StorageNetwork::new(providers.max(n), k, n);
+        let manifest = net.upload(key, [3u8; 12], &data);
+        check_wire_hardness(&manifest);
+    }
+
+    #[test]
+    fn manifest_survives_repair_roundtrip(
+        data in prop::collection::vec(any::<u8>(), 1..400),
+        kill in 0usize..3,
+    ) {
+        // the codec must stay canonical for manifests whose placements
+        // were rewritten by DHT-proximity repair
+        let mut net = StorageNetwork::new(14, 2, 5);
+        let mut manifest = net.upload([7u8; 32], [1u8; 12], &data);
+        for (_, provider, share_key) in manifest.placements.iter().take(kill) {
+            net.provider_mut(provider).unwrap().drop_share(share_key);
+        }
+        let repaired = net.repair(&mut manifest, &[]).expect("k shares survive");
+        prop_assert_eq!(repaired.len(), kill);
+        check_wire_hardness(&manifest);
+        let decoded = FileManifest::decode(&manifest.encode()).unwrap();
+        prop_assert_eq!(decoded.placements, manifest.placements.clone());
+    }
+}

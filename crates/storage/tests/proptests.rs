@@ -2,7 +2,7 @@
 //! Reed–Solomon any-k-of-n reconstruction, and end-to-end network
 //! roundtrips under random loss patterns.
 
-use dsaudit_storage::erasure::ErasureCode;
+use dsaudit_storage::erasure::{ErasureCode, ErasureError};
 use dsaudit_storage::gf256;
 use dsaudit_storage::StorageNetwork;
 use proptest::prelude::*;
@@ -71,5 +71,65 @@ proptest! {
         }
         prop_assert!(net.live_shares(&manifest) >= 3);
         prop_assert_eq!(net.download(&manifest, key).expect("recoverable"), data);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exhaustive erasure-pattern sweep: for random data and a random
+    /// small `(k, n)` code, *every* pattern of up to `n - k` lost shares
+    /// round-trips exactly (decoding from each surviving k-subset), and
+    /// *every* pattern past the threshold fails with the typed error.
+    #[test]
+    fn every_erasure_pattern_up_to_threshold_roundtrips(
+        data in prop::collection::vec(any::<u8>(), 1..300),
+        k in 2usize..5,
+        extra in 1usize..5,
+    ) {
+        let n = k + extra; // n <= 8 -> at most 2^8 survivor masks
+        let code = ErasureCode::new(k, n);
+        let shares = code.encode(&data);
+        for mask in 0u32..(1 << n) {
+            let survivors: Vec<_> = (0..n)
+                .filter(|i| (mask >> i) & 1 == 1)
+                .map(|i| shares[i].clone())
+                .collect();
+            if survivors.len() >= k {
+                // losing the complement (<= n - k shares) must decode
+                prop_assert_eq!(
+                    code.decode(&survivors, data.len()).expect("within threshold"),
+                    data.clone(),
+                    "survivor mask {:#b} failed", mask
+                );
+            } else {
+                // one share past the threshold must fail, with counts
+                match code.decode(&survivors, data.len()) {
+                    Err(ErasureError::NotEnoughShares { have, need }) => {
+                        prop_assert_eq!(have, survivors.len());
+                        prop_assert_eq!(need, k);
+                    }
+                    other => panic!("mask {mask:#b}: expected NotEnoughShares, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// GF(256) exponentiation/inversion laws backing the Vandermonde
+    /// construction: `pow` is a homomorphism, `inv` is the (254)-power
+    /// inverse, and division is multiplication by the inverse.
+    #[test]
+    fn gf256_pow_inv_laws(a in 1u8..=255, e1 in 0u32..300, e2 in 0u32..300) {
+        prop_assert_eq!(
+            gf256::pow(a, e1 + e2),
+            gf256::mul(gf256::pow(a, e1), gf256::pow(a, e2))
+        );
+        prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+        prop_assert_eq!(gf256::inv(a), gf256::pow(a, 254));
+        prop_assert_eq!(gf256::div(1, a), gf256::inv(a));
+        prop_assert_eq!(gf256::pow(0, e1 + 1), 0);
+        prop_assert_eq!(gf256::pow(a, 0), 1);
+        // multiplicative group order 255: a^255 = 1 for nonzero a
+        prop_assert_eq!(gf256::pow(a, 255), 1);
     }
 }

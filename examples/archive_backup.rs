@@ -25,7 +25,7 @@ fn main() {
     let photos: Vec<u8> = (0..150_000).map(|i| ((i * 31) % 251) as u8).collect();
     let mut dsn = StorageNetwork::new(20, 3, 10); // 20 providers, 3-of-10 code
     let key = [7u8; 32];
-    let manifest = dsn.upload(key, [1u8; 12], &photos);
+    let mut manifest = dsn.upload(key, [1u8; 12], &photos);
     println!(
         "uploaded {} bytes as {} shares across the DHT (content id {:?})",
         photos.len(),
@@ -42,9 +42,14 @@ fn main() {
         "5 of 10 shares lost to churn; live = {}; repairing...",
         dsn.live_shares(&manifest)
     );
-    let repaired = dsn.repair(&manifest, key).expect("enough shares survive");
-    println!("repair re-placed {repaired} shares; download intact: {}",
-        dsn.download(&manifest, key).expect("decodable") == photos);
+    let repaired = dsn
+        .repair(&mut manifest, &[])
+        .expect("enough shares survive");
+    println!(
+        "repair re-placed {} shares on DHT-nearest free providers; download intact: {}",
+        repaired.len(),
+        dsn.download(&manifest, key).expect("decodable") == photos
+    );
 
     // --- audit layer: contract + periodic auditing of one provider ---
     let mut chain = Blockchain::new(Box::new(TrustedBeacon::new(b"archive")));

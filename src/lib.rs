@@ -16,6 +16,8 @@
 //! * [`chain`] — Ethereum-like simulator: gas, beacons, scheduler, costs
 //! * [`contract`] — the Fig. 2 audit smart contract and multi-user harness
 //! * [`storage`] — erasure-coded, DHT-routed decentralized storage network
+//! * [`sim`] — discrete-event network simulator driving all of the above
+//!   through churn, faults, repair and on-chain settlement
 //!
 //! ## One audit round
 //!
@@ -55,6 +57,7 @@ pub use dsaudit_contract as contract;
 pub use dsaudit_core as core;
 pub use dsaudit_crypto as crypto;
 pub use dsaudit_merkle as merkle;
+pub use dsaudit_sim as sim;
 pub use dsaudit_snark as snark;
 pub use dsaudit_storage as storage;
 

@@ -54,6 +54,16 @@ impl<P: FieldParams> Fp<P> {
         P::MODULUS
     }
 
+    /// Best-effort zeroization: overwrites the limbs with zeros, routed
+    /// through [`core::hint::black_box`] so the dead-store elimination
+    /// pass is unlikely to drop the write. Used by the `Drop` impls of
+    /// secret-holding types (`SecretKey`); a guarantee-grade wipe would
+    /// need `write_volatile`, which the workspace-wide
+    /// `forbid(unsafe_code)` deliberately rules out.
+    pub fn zeroize(&mut self) {
+        self.0 = core::hint::black_box([0u64; 4]);
+    }
+
     /// Montgomery multiplication (CIOS), returning `a * b * R^{-1} mod p`.
     #[inline]
     fn mont_mul(a: &Limbs, b: &Limbs) -> Limbs {

@@ -8,6 +8,8 @@
 //! Nothing in this crate depends on external cryptography; the only
 //! dependency is `rand` for sampling.
 
+#![forbid(unsafe_code)]
+
 pub mod bigint;
 pub mod biguint;
 pub mod endo;

@@ -181,14 +181,22 @@ impl From<&G2Affine> for G2Prepared {
 /// the identity are skipped (their pairing factor is 1). Line values of
 /// distinct pairs are folded two at a time through the sparse-by-sparse
 /// kernel before touching the full accumulator.
+///
+/// Constant-time contract: the loop structure depends only on public
+/// data — the compile-time ATE loop constant and the shape (count,
+/// identity-ness) of the input pairs, which in this protocol are public
+/// keys, tags and proof elements. Each such branch carries an audited
+/// `ct-branch` allow; nothing branches on field-element *values*.
+// lint:ct
 pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> Fq12 {
     let active: Vec<(&G1Affine, &G2Prepared)> = pairs
         .iter()
-        .filter(|(p, q)| !p.infinity && !q.infinity)
+        .filter(|(p, q)| !p.infinity && !q.infinity) // lint:allow(ct-branch) — identity-ness of pairing inputs (public keys/proof points) is public
         .copied()
         .collect();
+    // lint:allow(ct-branch) — the number of non-identity pairs is public structure
     if active.is_empty() {
-        return Fq12::one();
+        return Fq12::one(); // lint:allow(ct-branch) — early exit on a publicly empty input
     }
     let mut f = Fq12::one();
     let mut idx = 0usize;
@@ -203,6 +211,7 @@ pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> Fq12 {
         for pair in &mut chunks {
             *f *= Fq12::mul_034_by_034(pair[0], pair[1]);
         }
+        // lint:allow(ct-branch) — odd/even pair count is public structure
         if let [l] = chunks.remainder() {
             *f = f.mul_by_034(l.0, l.1, l.2);
         }
@@ -212,6 +221,7 @@ pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> Fq12 {
         f = f.square();
         step(&mut f, idx, &mut lines);
         idx += 1;
+        // lint:allow(ct-branch) — bit scan of the compile-time public ATE loop constant
         if (ATE_LOOP_COUNT >> i) & 1 == 1 {
             step(&mut f, idx, &mut lines);
             idx += 1;

@@ -196,6 +196,30 @@ pub fn collect_sim_metrics() -> Vec<Metric> {
     ]
 }
 
+/// Static-analysis coverage of the workspace: how many files the
+/// `dsaudit-lint` pass scans and how many rules it enforces. The CI
+/// gate requires zero unsuppressed findings, so the snapshot records
+/// *coverage* (which only grows with the codebase), not problem counts.
+pub fn collect_lint_metrics() -> Vec<Metric> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match dsaudit_lint::analyze_workspace(&root) {
+        Ok(report) => vec![
+            Metric {
+                name: "lint_files_scanned",
+                unit: "files",
+                value: report.files_scanned as f64,
+            },
+            Metric {
+                name: "lint_rules",
+                unit: "rules",
+                value: report.rules_enforced() as f64,
+            },
+        ],
+        // a bench binary copied outside the workspace has nothing to scan
+        Err(_) => Vec::new(),
+    }
+}
+
 /// Runs the compact benchmark set the JSON snapshot reports.
 pub fn collect_metrics() -> Vec<Metric> {
     let mut out = Vec::new();
@@ -286,6 +310,10 @@ pub fn collect_metrics() -> Vec<Metric> {
     // Hot path 5: the whole network under load (storage -> contract ->
     // chain), measured end to end by the simulator.
     out.extend(collect_sim_metrics());
+
+    // Not a hot path: static-analysis coverage, recorded so the
+    // snapshot shows the lint gate's reach growing with the codebase.
+    out.extend(collect_lint_metrics());
 
     out
 }

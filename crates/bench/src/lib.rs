@@ -5,6 +5,8 @@
 //! Criterion benches. Each function *measures* the relevant pipeline on
 //! this machine and prints the same rows/series the paper reports.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 pub mod json;
 pub mod tables;

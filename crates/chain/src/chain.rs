@@ -7,7 +7,7 @@
 //! reproduces the observable behavior (state machine, gas, events,
 //! payments, chain growth) with a deterministic clock.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::beacon::Beacon;
 use crate::gas::GasSchedule;
@@ -17,10 +17,10 @@ use crate::types::{Account, Address, Block, Event, Receipt, Transaction, TxKind,
 /// The simulated chain.
 pub struct Blockchain {
     /// All accounts (EOAs and contracts).
-    accounts: HashMap<Address, Account>,
+    accounts: BTreeMap<Address, Account>,
     /// Mined blocks.
     pub blocks: Vec<Block>,
-    contracts: HashMap<Address, Box<dyn ContractBehavior>>,
+    contracts: BTreeMap<Address, Box<dyn ContractBehavior>>,
     pending: Vec<Transaction>,
     schedule: BTreeMap<(u64, u64), (Address, String)>,
     beacon: Box<dyn Beacon>,
@@ -38,9 +38,9 @@ impl Blockchain {
     /// A fresh chain with the given randomness beacon.
     pub fn new(beacon: Box<dyn Beacon>) -> Self {
         Self {
-            accounts: HashMap::new(),
+            accounts: BTreeMap::new(),
             blocks: Vec::new(),
-            contracts: HashMap::new(),
+            contracts: BTreeMap::new(),
             pending: Vec::new(),
             schedule: BTreeMap::new(),
             beacon,

@@ -6,6 +6,8 @@
 //! beacons (trusted / commit-reveal / VDF-hardened), and the paper's gas
 //! and fiat cost models (Fig. 5, Fig. 6, Fig. 10, §VII-B).
 
+#![forbid(unsafe_code)]
+
 pub mod beacon;
 pub mod chain;
 pub mod cost;

@@ -6,6 +6,8 @@
 //! settlement and dispute handling, plus a multi-user network harness
 //! for the scalability experiments (§VII-D).
 
+#![forbid(unsafe_code)]
+
 pub mod audit_contract;
 pub mod harness;
 pub mod merkle_contract;

@@ -131,29 +131,31 @@ impl MerkleAuditContract {
 
     /// Decodes the wire form `leaf_len (4 B) || leaf || index (8 B) ||
     /// sibling count (4 B) || 32 B siblings`.
+    ///
+    /// Calldata is attacker-controlled, so every read is bounds-checked
+    /// and shortfalls surface as [`VmError::BadCalldata`] — a contract
+    /// entry point must never panic the VM.
     fn decode_proof(data: &[u8]) -> Result<MerkleAuditProof, VmError> {
         let err = |m: &str| VmError::BadCalldata(m.to_string());
-        if data.len() < 16 {
-            return Err(err("short proof"));
-        }
-        let leaf_len = u32::from_le_bytes(data[..4].try_into().expect("sliced")) as usize;
-        let mut off = 4;
-        if data.len() < off + leaf_len + 12 {
-            return Err(err("truncated leaf"));
-        }
-        let leaf_data = data[off..off + leaf_len].to_vec();
+        let leaf_len = read_u32_le(data, 0).ok_or_else(|| err("short proof"))? as usize;
+        let mut off = 4usize;
+        let leaf_data = data
+            .get(off..off.saturating_add(leaf_len))
+            .ok_or_else(|| err("truncated leaf"))?
+            .to_vec();
         off += leaf_len;
-        let index = u64::from_le_bytes(data[off..off + 8].try_into().expect("sliced")) as usize;
+        let index = read_u64_le(data, off).ok_or_else(|| err("truncated leaf"))? as usize;
         off += 8;
-        let n_sib = u32::from_le_bytes(data[off..off + 4].try_into().expect("sliced")) as usize;
+        let n_sib = read_u32_le(data, off).ok_or_else(|| err("truncated leaf"))? as usize;
         off += 4;
-        if data.len() != off + 32 * n_sib || n_sib > 64 {
+        if n_sib > 64 || data.len() != off + 32 * n_sib {
             return Err(err("bad sibling section"));
         }
+        let sib_bytes = data.get(off..).ok_or_else(|| err("bad sibling section"))?;
         let mut siblings = Vec::with_capacity(n_sib);
-        for i in 0..n_sib {
+        for chunk in sib_bytes.chunks_exact(32) {
             let mut node = [0u8; 32];
-            node.copy_from_slice(&data[off + i * 32..off + (i + 1) * 32]);
+            node.copy_from_slice(chunk);
             siblings.push(node);
         }
         Ok(MerkleAuditProof {
@@ -174,6 +176,18 @@ impl MerkleAuditContract {
         }
         out
     }
+}
+
+/// Bounds-checked little-endian `u32` read at `off`.
+fn read_u32_le(data: &[u8], off: usize) -> Option<u32> {
+    let bytes: [u8; 4] = data.get(off..off.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+/// Bounds-checked little-endian `u64` read at `off`.
+fn read_u64_le(data: &[u8], off: usize) -> Option<u64> {
+    let bytes: [u8; 8] = data.get(off..off.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
 }
 
 impl ContractBehavior for MerkleAuditContract {
@@ -244,7 +258,9 @@ impl ContractBehavior for MerkleAuditContract {
                 if self.phase != MerklePhase::Prove {
                     return Err(VmError::BadState("no round".into()));
                 }
-                let rand = self.challenge_rand.expect("prove phase has challenge");
+                let Some(rand) = self.challenge_rand else {
+                    return Err(VmError::BadState("prove phase without challenge".into()));
+                };
                 let passed = match self.pending.take() {
                     Some(proof) => {
                         let t0 = std::time::Instant::now();

@@ -129,10 +129,16 @@ impl AuditNetwork {
         // fire all Chal triggers
         chain.advance_time(interval + 1);
         chain.mine_block();
-        // providers respond; keep the parsed proofs for the batch check
-        let mut round: Vec<(Challenge, PrivateProof)> = Vec::with_capacity(self.sessions.len());
-        for session in &self.sessions {
-            let challenge = latest_challenge(chain, session.contract).expect("challenge event");
+        // providers respond; keep the parsed proofs for the batch check,
+        // tagged with the session index so a contract that emitted no
+        // challenge this round (already settled, out of funds) sits the
+        // batch out without misaligning the verdict submission below
+        let mut round: Vec<(usize, Challenge, PrivateProof)> =
+            Vec::with_capacity(self.sessions.len());
+        for (i, session) in self.sessions.iter().enumerate() {
+            let Some(challenge) = latest_challenge(chain, session.contract) else {
+                continue;
+            };
             let proof = session.provider_state.respond(rng, &challenge);
             submit_ok(
                 chain,
@@ -142,29 +148,31 @@ impl AuditNetwork {
                 proof.encode(),
                 0,
             );
-            round.push((challenge, proof));
+            round.push((i, challenge, proof));
+        }
+        if round.is_empty() {
+            return Vec::new();
         }
         // deadline passes: contracts park in AwaitVerdict ("needsverdict")
         chain.advance_time(deadline + 1);
         chain.mine_block();
         // one pairing product for the whole round
-        let items: Vec<BatchItem<'_>> = self
-            .sessions
+        let items: Vec<BatchItem<'_>> = round
             .iter()
-            .zip(&round)
-            .map(|(s, (challenge, proof))| BatchItem {
-                pk: s.provider_state.public_key(),
-                meta: s.provider_state.meta(),
+            .map(|&(i, ref challenge, ref proof)| BatchItem {
+                pk: self.sessions[i].provider_state.public_key(),
+                meta: self.sessions[i].provider_state.meta(),
                 challenge: *challenge,
                 proof: *proof,
             })
             .collect();
         let t0 = Instant::now();
+        // a proof the auditor cannot even check (metadata mismatch) is
+        // rejected, exactly as the contract would reject it
         let batch_accepts = self
             .auditor
             .verify_private_batch(rng, &items)
-            .expect("metadata validated at session setup")
-            .accepted();
+            .is_ok_and(|v| v.accepted());
         let verdicts: Vec<bool> = if batch_accepts {
             vec![true; items.len()]
         } else {
@@ -173,18 +181,17 @@ impl AuditNetwork {
                 .map(|it| {
                     self.auditor
                         .verify_private(it.pk, &it.meta, &it.challenge, &it.proof)
-                        .expect("metadata validated at session setup")
-                        .accepted()
+                        .is_ok_and(|v| v.accepted())
                 })
                 .collect()
         };
         // amortized per-user verification time, metered by each contract
         let ms = t0.elapsed().as_secs_f64() * 1e3 / items.len() as f64;
         drop(items);
-        for (session, verdict) in self.sessions.iter().zip(&verdicts) {
+        for (&(i, _, _), verdict) in round.iter().zip(&verdicts) {
             let mut data = vec![u8::from(*verdict)];
             data.extend_from_slice(&ms.to_le_bytes());
-            submit_ok(chain, auditor, session.contract, "verdict", data, 0);
+            submit_ok(chain, auditor, self.sessions[i].contract, "verdict", data, 0);
         }
         verdicts
     }

@@ -62,6 +62,12 @@ impl Challenge {
     ///
     /// When `k >= d` every chunk is challenged (small files), matching
     /// the protocol's behavior of clamping rather than repeating indices.
+    ///
+    /// Constant-time contract: expansion is branch-free in the seeds —
+    /// which chunks an audit samples must not leak before settlement, so
+    /// no control flow here may depend on `c1`/`c2`-derived values.
+    /// Enforced by the `ct-branch` lint via the annotation below.
+    // lint:ct
     pub fn expand(&self, d: usize, k: usize) -> Vec<(u64, Fr)> {
         let k_eff = k.min(d);
         let prp = SmallDomainPrp::new(&self.c1, d as u64);

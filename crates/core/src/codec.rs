@@ -83,17 +83,18 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// [`DsAuditError::Truncated`] when fewer than `n` bytes remain.
     pub fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], DsAuditError> {
-        if self.remaining() < n {
-            return Err(DsAuditError::Truncated {
+        match self.bytes.get(self.pos..self.pos.saturating_add(n)) {
+            Some(out) => {
+                self.pos += n;
+                Ok(out)
+            }
+            None => Err(DsAuditError::Truncated {
                 ty: self.ty,
                 field,
                 expected: n,
                 got: self.remaining(),
-            });
+            }),
         }
-        let out = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
     }
 
     /// Takes a fixed-size array, attributing a shortfall to `field`.

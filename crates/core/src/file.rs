@@ -175,6 +175,7 @@ impl EncodedFile {
 
     /// Decodes back to the original bytes (inverse of `encode`).
     pub fn decode(&self) -> Vec<u8> {
+        // lint:allow(decode-bounds) — `byte_len` is this struct's own in-memory field, not attacker-controlled wire input
         let mut out = Vec::with_capacity(self.byte_len);
         'outer: for chunk in &self.blocks {
             for block in chunk {

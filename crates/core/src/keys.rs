@@ -16,7 +16,11 @@ use crate::error::DsAuditError;
 use crate::params::AuditParams;
 
 /// The data owner's secret key `(x, alpha)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Deliberately neither `Copy` nor `Debug`: dropping a key zeroizes it
+/// (so stray copies must be explicit `clone()`s), and the secret-hygiene
+/// lint (`secret-debug` in `docs/LINTS.md`) forbids formatting it.
+#[derive(Clone, PartialEq, Eq)]
 pub struct SecretKey {
     /// HLA signing exponent.
     pub x: Fr,
@@ -24,7 +28,22 @@ pub struct SecretKey {
     pub alpha: Fr,
 }
 
+/// Best-effort zeroize-on-drop: see [`SecretKey::wipe`].
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        self.wipe();
+    }
+}
+
 impl SecretKey {
+    /// Overwrites both exponents with zeros (best-effort — the stores go
+    /// through `black_box`, but without `unsafe` there is no volatile
+    /// guarantee). Called automatically on drop.
+    pub fn wipe(&mut self) {
+        self.x.zeroize();
+        self.alpha.zeroize();
+    }
+
     /// Samples a fresh secret key.
     pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
         loop {
@@ -191,6 +210,16 @@ impl Codec for PublicKey {
         let delta_bytes = r.array::<64>("delta")?;
         let delta =
             G2Affine::from_compressed(&delta_bytes).ok_or_else(|| r.malformed("delta"))?;
+        // the announced count must be consistent with the bytes actually
+        // present, so a forged prefix cannot trigger a huge allocation
+        if r.remaining() < 32 * s {
+            return Err(DsAuditError::Truncated {
+                ty: Self::TYPE_NAME,
+                field: "alpha_powers_g1",
+                expected: 32 * s,
+                got: r.remaining(),
+            });
+        }
         let mut alpha_powers_g1 = Vec::with_capacity(s);
         for _ in 0..s {
             let p_bytes = r.array::<32>("alpha_powers_g1")?;
@@ -344,12 +373,22 @@ mod tests {
     }
 
     #[test]
+    fn secret_key_wipe_zeroizes_both_exponents() {
+        let mut rng = rng();
+        let mut sk = SecretKey::random(&mut rng);
+        assert!(!sk.x.is_zero() && !sk.alpha.is_zero());
+        sk.wipe(); // what Drop runs
+        assert!(sk.x.is_zero());
+        assert!(sk.alpha.is_zero());
+    }
+
+    #[test]
     fn secret_key_codec_roundtrip_and_typed_errors() {
         let mut rng = rng();
         let sk = SecretKey::random(&mut rng);
         let bytes = sk.to_bytes();
         assert_eq!(bytes.len(), 64);
-        assert_eq!(SecretKey::from_bytes(&bytes).unwrap(), sk);
+        assert!(SecretKey::from_bytes(&bytes).unwrap() == sk);
         // truncation is a typed error, not a silent None
         assert!(matches!(
             SecretKey::from_bytes(&bytes[..63]),

@@ -79,6 +79,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attack;
 pub mod auditor;
 pub mod batch;

@@ -268,7 +268,7 @@ mod tests {
         let mut rng = rng();
         let params = AuditParams::new(6, 4).unwrap();
         let owner = DataOwner::generate(&mut rng, params);
-        let rebuilt = DataOwner::from_secret(*owner.secret_key(), params);
+        let rebuilt = DataOwner::from_secret(owner.secret_key().clone(), params);
         assert_eq!(owner.public_key(), rebuilt.public_key());
     }
 }

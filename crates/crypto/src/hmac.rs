@@ -9,10 +9,21 @@ const BLOCK: usize = 64;
 /// key (Feistel rounds of the index PRP, one PRF call per coefficient);
 /// reusing the midstates halves the SHA-256 compressions of every call —
 /// two per short-message MAC instead of four.
-#[derive(Clone, Debug)]
+/// Not `Debug`: the pad midstates are key-equivalent material, and the
+/// secret-hygiene lint (`secret-debug`) forbids formatting them.
+#[derive(Clone)]
 pub struct HmacKey {
     inner: Sha256,
     outer: Sha256,
+}
+
+/// Best-effort zeroize-on-drop: both pad midstates are wiped, so a
+/// dropped challenge-expansion key does not linger on the heap/stack.
+impl Drop for HmacKey {
+    fn drop(&mut self) {
+        self.inner.wipe();
+        self.outer.wipe();
+    }
 }
 
 impl HmacKey {
@@ -40,6 +51,10 @@ impl HmacKey {
     }
 
     /// `HMAC-SHA256(key, message)` from the cached midstates.
+    ///
+    /// Constant-time contract: branch-free — no control flow depends on
+    /// the key midstates (enforced by the `ct-branch` lint).
+    // lint:ct
     pub fn mac(&self, message: &[u8]) -> [u8; 32] {
         let mut h = self.inner.clone();
         h.update(message);

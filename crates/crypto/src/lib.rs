@@ -6,6 +6,8 @@
 //! (`H`, `H'`, PRF `f`, PRP `pi`), the circuit-friendly MiMC hash used by
 //! the SNARK strawman, and a sloth-style VDF for beacon hardening.
 
+#![forbid(unsafe_code)]
+
 pub mod chacha20;
 pub mod hmac;
 pub mod mimc;

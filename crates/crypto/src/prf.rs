@@ -24,6 +24,12 @@ pub fn prf_fr(seed: &[u8], index: u64) -> Fr {
 /// [`prf_fr`] against a prepared [`HmacKey`] — challenge expansion
 /// derives `k` coefficients from one seed, and the cached pad midstates
 /// halve the SHA-256 compressions of each derivation.
+///
+/// Constant-time contract: the body is branch-free — no control flow
+/// depends on the key or the derived coefficient, so the evaluation
+/// leaks nothing about either through timing. Enforced by the
+/// `ct-branch` lint via the annotation below.
+// lint:ct
 pub fn prf_fr_keyed(key: &HmacKey, index: u64) -> Fr {
     let mut msg = Vec::with_capacity(21);
     msg.extend_from_slice(b"dsaudit/prf/");

@@ -142,6 +142,19 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+
+    /// Best-effort wipe of the hasher state and buffered input.
+    ///
+    /// Used by key types (HMAC pad midstates) on drop. `black_box`
+    /// discourages the optimizer from eliding the stores, but without
+    /// volatile writes (the workspace forbids `unsafe`) this is a
+    /// hardening measure, not a guarantee.
+    pub fn wipe(&mut self) {
+        self.state = core::hint::black_box([0u32; 8]);
+        self.buffer = core::hint::black_box([0u8; 64]);
+        self.buffer_len = 0;
+        self.total_len = 0;
+    }
 }
 
 /// One-shot SHA-256 of a byte slice.
@@ -223,6 +236,17 @@ mod tests {
             h.update(&data[..len / 2]).update(&data[len / 2..]);
             assert_eq!(h.finalize(), d1, "mismatch at len {len}");
         }
+    }
+
+    #[test]
+    fn wipe_clears_state_and_buffer() {
+        let mut h = Sha256::new();
+        h.update(b"sensitive key material");
+        h.wipe();
+        assert_eq!(h.state, [0u32; 8]);
+        assert_eq!(h.buffer, [0u8; 64]);
+        assert_eq!(h.buffer_len, 0);
+        assert_eq!(h.total_len, 0);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! The `dsaudit-lint` binary: run from anywhere in the workspace with
+//! `cargo run -p dsaudit-lint`. Exits nonzero when unsuppressed findings
+//! exist; `--json` switches to the machine-readable report.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: dsaudit-lint [--json] [WORKSPACE_ROOT]");
+        println!("  exits 0 when the workspace has zero unsuppressed findings");
+        return ExitCode::SUCCESS;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    // explicit root > the workspace this binary was built from > cwd
+    let root: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+        });
+    match dsaudit_lint::analyze_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dsaudit-lint: cannot analyze {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

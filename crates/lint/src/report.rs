@@ -1,0 +1,181 @@
+//! Finding and report types, plus the text and JSON renderers.
+//!
+//! JSON is hand-rolled (the workspace has no serde) with full string
+//! escaping, matching the style of `dsaudit-bench`'s metrics emitter.
+
+use crate::rules::RULES;
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule id (see [`RULES`]).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — hint: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// A parsed, well-formed `lint:allow` comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// The code line the suppression covers.
+    pub line: u32,
+    /// The line the comment itself sits on.
+    pub comment_line: u32,
+    /// Rule id being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// Per-file analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed (live) findings.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an audited `lint:allow`, with the matching
+    /// suppression so reports can show the recorded reason.
+    pub suppressed: Vec<(Finding, Suppression)>,
+}
+
+/// Whole-workspace analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Live findings across all files, in path order.
+    pub findings: Vec<Finding>,
+    /// Audited suppressions across all files, in path order.
+    pub suppressed: Vec<(Finding, Suppression)>,
+}
+
+impl WorkspaceReport {
+    /// Number of rules the analyzer enforces.
+    pub fn rules_enforced(&self) -> usize {
+        RULES.len()
+    }
+
+    /// Human-readable report (one line per finding, then a summary).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "dsaudit-lint: {} file(s) scanned, {} rule(s), {} finding(s), {} audited suppression(s)\n",
+            self.files_scanned,
+            RULES.len(),
+            self.findings.len(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(r.id));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&finding_json(f, None));
+            out.push_str(if i + 1 < self.findings.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressed\": [\n");
+        for (i, (f, s)) in self.suppressed.iter().enumerate() {
+            out.push_str(&finding_json(f, Some(&s.reason)));
+            out.push_str(if i + 1 < self.suppressed.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn finding_json(f: &Finding, reason: Option<&str>) -> String {
+    let mut s = format!(
+        "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}",
+        json_str(&f.file),
+        f.line,
+        json_str(f.rule),
+        json_str(&f.message),
+        json_str(f.hint)
+    );
+    if let Some(r) = reason {
+        s.push_str(&format!(", \"reason\": {}", json_str(r)));
+    }
+    s.push('}');
+    s
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_ish() {
+        let rep = WorkspaceReport {
+            files_scanned: 2,
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "no-panic",
+                message: "x".into(),
+                hint: "h",
+            }],
+            suppressed: vec![],
+        };
+        let j = rep.render_json();
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"rule\": \"no-panic\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

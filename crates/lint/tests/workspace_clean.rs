@@ -1,0 +1,32 @@
+//! The gate: the workspace itself must be lint-clean. This is the same
+//! check CI runs via `cargo run -p dsaudit-lint`, wired into `cargo
+//! test` so a plain test run also refuses unsuppressed findings.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = dsaudit_lint::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings:\n{}",
+        report.render_text()
+    );
+    // every suppression names a known rule and carries a reason — the
+    // parser enforces this, so here we only assert the invariant held
+    for (f, s) in &report.suppressed {
+        assert!(
+            !s.reason.is_empty(),
+            "reason-less suppression survived at {}:{}",
+            f.file,
+            f.line
+        );
+        assert_eq!(f.rule, s.rule, "suppression/rule mismatch at {}:{}", f.file, f.line);
+    }
+}

@@ -8,6 +8,8 @@
 //! demonstrates its weakness — with low-entropy challenges a provider
 //! can cache past responses, discard the file and keep passing audits.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod tree;
 

@@ -27,7 +27,7 @@
 //! [`nominal_verify_ms`](crate::SimConfig::nominal_verify_ms). Two runs
 //! of the same config yield byte-for-byte identical reports.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dsaudit_chain::beacon::TrustedBeacon;
 use dsaudit_chain::chain::Blockchain;
@@ -105,7 +105,7 @@ pub struct Simulation {
     churn: Box<dyn ChurnModel>,
     faults: Box<dyn FaultModel>,
     roster: Vec<Slot>,
-    slot_by_id: HashMap<NodeId, usize>,
+    slot_by_id: BTreeMap<NodeId, usize>,
     owners: Vec<OwnerEntry>,
     auditors: Vec<Auditor>,
     auditor_addrs: Vec<Address>,
@@ -144,7 +144,7 @@ impl Simulation {
 
         // provider roster: ids match StorageNetwork::new's labels
         let mut roster = Vec::with_capacity(cfg.providers);
-        let mut slot_by_id = HashMap::new();
+        let mut slot_by_id = BTreeMap::new();
         for i in 0..cfg.providers {
             let id = NodeId::from_label(&format!("provider-{i}"));
             let addr = Address::from_label(&format!("sim/provider-{i}"));
@@ -227,7 +227,10 @@ impl Simulation {
                 for (j, b) in nonce.iter_mut().enumerate() {
                     *b = (o * 3 + fi * 5 + j) as u8;
                 }
-                let manifest = self.net.upload(key, nonce, &data);
+                let manifest = self
+                    .net
+                    .upload(key, nonce, &data)
+                    .expect("sim networks are provisioned with providers");
                 let f = self.files.len();
                 let mut metas = Vec::with_capacity(cfg.erasure_n);
                 let mut tags = Vec::with_capacity(cfg.erasure_n);
@@ -596,7 +599,7 @@ impl Simulation {
         self.mine_ok("challenge triggers");
 
         // collect each contract's challenge from the event log
-        let mut challenges: HashMap<Address, Challenge> = HashMap::new();
+        let mut challenges: BTreeMap<Address, Challenge> = BTreeMap::new();
         for ev in self.chain.events_since(audit_mark) {
             if ev.name == "challenged" {
                 let beacon: [u8; 48] = ev.data[..48].try_into().expect("48-byte beacon");
@@ -696,7 +699,7 @@ impl Simulation {
         self.mine_ok("verdict submissions");
 
         // read back the settled verdicts
-        let mut settled: HashMap<Address, bool> = HashMap::new();
+        let mut settled: BTreeMap<Address, bool> = BTreeMap::new();
         for ev in self.chain.events_since(audit_mark) {
             match ev.name.as_str() {
                 "pass" => {

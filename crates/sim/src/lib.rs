@@ -36,6 +36,8 @@
 //! assert_eq!(report.files_intact, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod churn;
 pub mod config;
 pub mod engine;

@@ -7,6 +7,8 @@
 //! constraint-padding knob to reproduce the paper's 3x10^5-constraint
 //! circuit profile (Table II).
 
+#![forbid(unsafe_code)]
+
 pub mod gadgets;
 pub mod groth16;
 pub mod r1cs;

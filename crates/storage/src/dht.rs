@@ -164,7 +164,9 @@ impl DhtNetwork {
                     continue;
                 };
                 hop_table.observe(id);
-                self.nodes.get_mut(&id).expect("just inserted").observe(hop);
+                if let Some(own_table) = self.nodes.get_mut(&id) {
+                    own_table.observe(hop);
+                }
             }
         }
     }

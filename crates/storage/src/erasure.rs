@@ -70,6 +70,7 @@ impl ErasureCode {
             .map(|r| (0..k).map(|c| gf256::pow((r + 1) as u8, c as u32)).collect())
             .collect();
         let top: Vec<Vec<u8>> = vand[..k].to_vec();
+        // lint:allow(no-panic) — the top k x k Vandermonde block over distinct nonzero points is always invertible for 0 < k <= n <= 255; `new` is documented to panic on bad parameters (the assert above)
         let top_inv = invert_matrix(top).expect("Vandermonde top block invertible");
         let matrix: Vec<Vec<u8>> = (0..n)
             .map(|r| {
@@ -139,13 +140,16 @@ impl ErasureCode {
         }
         let use_shares = &shares[..self.k];
         let share_len = use_shares[0].data.len();
-        let mut seen = std::collections::HashSet::new();
+        // n <= 255, so a fixed bitmap replaces the hash set (and keeps
+        // this crate free of nondeterministic collections)
+        let mut seen = [false; 256];
         for s in use_shares {
             if s.data.len() != share_len {
                 return Err(ErasureError::ShapeMismatch);
             }
-            if s.index >= self.n || !seen.insert(s.index) {
-                return Err(ErasureError::BadShareIndex(s.index));
+            match seen.get_mut(s.index) {
+                Some(slot) if s.index < self.n && !*slot => *slot = true,
+                _ => return Err(ErasureError::BadShareIndex(s.index)),
             }
         }
         // invert the k x k submatrix of selected rows

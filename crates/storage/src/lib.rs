@@ -6,6 +6,8 @@
 //! lookup and a simulated provider network with upload / download /
 //! repair — the substrate the auditing protocol plugs into.
 
+#![forbid(unsafe_code)]
+
 pub mod dht;
 pub mod erasure;
 pub mod gf256;

@@ -6,7 +6,7 @@
 //! setting), erasure-coded `k`-of-`n`, and each share is placed on the
 //! provider whose DHT id is closest to the share's content address.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dsaudit_crypto::chacha20::ChaCha20;
 use dsaudit_crypto::sha256::sha256;
@@ -17,7 +17,7 @@ use crate::erasure::{ErasureCode, ErasureError, Share};
 /// A storage provider node: DHT member plus a share store.
 #[derive(Debug, Default)]
 pub struct ProviderNode {
-    shares: HashMap<[u8; 32], Vec<u8>>,
+    shares: BTreeMap<[u8; 32], Vec<u8>>,
 }
 
 impl ProviderNode {
@@ -95,7 +95,7 @@ impl From<ErasureError> for StorageError {
 pub struct StorageNetwork {
     /// DHT routing layer.
     pub dht: DhtNetwork,
-    providers: HashMap<NodeId, ProviderNode>,
+    providers: BTreeMap<NodeId, ProviderNode>,
     code: ErasureCode,
 }
 
@@ -104,7 +104,7 @@ impl StorageNetwork {
     /// code (paper example: 3-of-10).
     pub fn new(n_providers: usize, k: usize, n: usize) -> Self {
         let mut dht = DhtNetwork::new();
-        let mut providers = HashMap::new();
+        let mut providers = BTreeMap::new();
         for i in 0..n_providers {
             let id = NodeId::from_label(&format!("provider-{i}"));
             dht.join(id);
@@ -160,7 +160,16 @@ impl StorageNetwork {
 
     /// Owner-side upload: encrypt, erasure-code, place shares on the
     /// `n` providers closest to the content id.
-    pub fn upload(&mut self, key: [u8; 32], nonce: [u8; 12], plaintext: &[u8]) -> FileManifest {
+    ///
+    /// # Errors
+    /// [`StorageError::NoEligibleProvider`] when the network has no live
+    /// provider to place a share on (e.g. an empty DHT).
+    pub fn upload(
+        &mut self,
+        key: [u8; 32],
+        nonce: [u8; 12],
+        plaintext: &[u8],
+    ) -> Result<FileManifest, StorageError> {
         let mut ciphertext = plaintext.to_vec();
         ChaCha20::new(key, nonce).encrypt(&mut ciphertext);
         let content_id = NodeId::from_content(&ciphertext);
@@ -168,22 +177,25 @@ impl StorageNetwork {
         let candidates = self.dht.providers_for(&content_id, self.code.n());
         let mut placements = Vec::with_capacity(shares.len());
         for share in &shares {
-            let provider = candidates[share.index % candidates.len()];
+            let provider = candidates
+                .get(share.index % candidates.len().max(1))
+                .copied()
+                .ok_or(StorageError::NoEligibleProvider { share: share.index })?;
             let share_key = share_key(&content_id, share.index);
             self.providers
                 .get_mut(&provider)
-                .expect("candidate providers exist")
+                .ok_or(StorageError::NoEligibleProvider { share: share.index })?
                 .put(share_key, share.data.clone());
             placements.push((share.index, provider, share_key));
         }
-        FileManifest {
+        Ok(FileManifest {
             content_id,
             plaintext_len: plaintext.len(),
             ciphertext_len: ciphertext.len(),
             placements,
             code: (self.code.k(), self.code.n()),
             nonce,
-        }
+        })
     }
 
     /// Gathers up to `k` live, trusted shares of a manifest, skipping
@@ -280,7 +292,7 @@ impl StorageNetwork {
             }
             self.providers
                 .get_mut(&target)
-                .expect("candidates come from live providers")
+                .ok_or(StorageError::NoEligibleProvider { share: index })?
                 .put(share_key, shares[index].data.clone());
             manifest.placements[pos] = (index, target, share_key);
             holders.push(target);
@@ -340,7 +352,7 @@ mod tests {
     fn upload_download_roundtrip() {
         let mut net = net();
         let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
-        let manifest = net.upload([1u8; 32], [2u8; 12], &data);
+        let manifest = net.upload([1u8; 32], [2u8; 12], &data).expect("upload succeeds");
         assert_eq!(net.live_shares(&manifest), 10);
         let back = net.download(&manifest, [1u8; 32]).unwrap();
         assert_eq!(back, data);
@@ -350,7 +362,7 @@ mod tests {
     fn wrong_key_garbles_plaintext() {
         let mut net = net();
         let data = b"secret archive".to_vec();
-        let manifest = net.upload([1u8; 32], [0u8; 12], &data);
+        let manifest = net.upload([1u8; 32], [0u8; 12], &data).expect("upload succeeds");
         let wrong = net.download(&manifest, [9u8; 32]).unwrap();
         assert_ne!(wrong, data);
     }
@@ -359,7 +371,7 @@ mod tests {
     fn survives_n_minus_k_losses() {
         let mut net = net();
         let data = vec![0x5au8; 3000];
-        let manifest = net.upload([3u8; 32], [4u8; 12], &data);
+        let manifest = net.upload([3u8; 32], [4u8; 12], &data).expect("upload succeeds");
         // kill 7 of 10 shares (k = 3 survive)
         for (_, provider, share_key) in manifest.placements.iter().take(7) {
             assert!(net.provider_mut(provider).unwrap().drop_share(share_key));
@@ -372,7 +384,7 @@ mod tests {
     fn too_many_losses_fail() {
         let mut net = net();
         let data = vec![1u8; 100];
-        let manifest = net.upload([3u8; 32], [4u8; 12], &data);
+        let manifest = net.upload([3u8; 32], [4u8; 12], &data).expect("upload succeeds");
         for (_, provider, share_key) in manifest.placements.iter().take(8) {
             net.provider_mut(provider).unwrap().drop_share(share_key);
         }
@@ -383,7 +395,7 @@ mod tests {
     fn repair_restores_redundancy() {
         let mut net = net();
         let data = vec![7u8; 2222];
-        let mut manifest = net.upload([8u8; 32], [9u8; 12], &data);
+        let mut manifest = net.upload([8u8; 32], [9u8; 12], &data).expect("upload succeeds");
         let dropped: Vec<(usize, NodeId)> = manifest
             .placements
             .iter()
@@ -409,7 +421,7 @@ mod tests {
     fn repair_places_by_dht_proximity_and_reclaims_corrupt_blobs() {
         let mut net = StorageNetwork::new(30, 3, 6);
         let data: Vec<u8> = (0..1500).map(|i| (i % 239) as u8).collect();
-        let mut manifest = net.upload([4u8; 32], [5u8; 12], &data);
+        let mut manifest = net.upload([4u8; 32], [5u8; 12], &data).expect("upload succeeds");
         // the audit layer found share 2 corrupt (the blob itself is
         // intact here; erasure coding cannot tell, only the tags can)
         let (bad_index, bad_provider, bad_key) = manifest.placements[2];
@@ -442,7 +454,7 @@ mod tests {
     fn repair_recovers_from_provider_churn() {
         let mut net = StorageNetwork::new(25, 3, 8);
         let data = vec![0x42u8; 900];
-        let mut manifest = net.upload([6u8; 32], [7u8; 12], &data);
+        let mut manifest = net.upload([6u8; 32], [7u8; 12], &data).expect("upload succeeds");
         // two share holders crash, one leaves gracefully without migration
         let crashed: Vec<NodeId> = manifest.placements[..2].iter().map(|(_, p, _)| *p).collect();
         for id in &crashed {
@@ -466,7 +478,7 @@ mod tests {
         // ever sees plaintext bytes
         let mut net = net();
         let data = b"plaintext must never leave the owner".to_vec();
-        let manifest = net.upload([5u8; 32], [6u8; 12], &data);
+        let manifest = net.upload([5u8; 32], [6u8; 12], &data).expect("upload succeeds");
         // systematic share 0 holds the first ciphertext bytes
         let (_, provider, share_key) = &manifest.placements[0];
         let stored = net.providers[provider].get(share_key).unwrap();

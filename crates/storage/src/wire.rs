@@ -121,10 +121,10 @@ impl Codec for FileManifest {
         let mut seen = [false; 256];
         for _ in 0..count {
             let index = u16::from_le_bytes(r.array::<2>("share index")?) as usize;
-            if index >= n || seen[index] {
-                return Err(r.malformed("share index"));
+            match seen.get_mut(index) {
+                Some(slot) if index < n && !*slot => *slot = true,
+                _ => return Err(r.malformed("share index")),
             }
-            seen[index] = true;
             let provider = NodeId(r.array::<32>("placement provider")?);
             let share_key = r.array::<32>("share key")?;
             placements.push((index, provider, share_key));
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn manifest_roundtrips_through_the_codec() {
         let mut net = crate::StorageNetwork::new(12, 2, 5);
-        let manifest = net.upload([1u8; 32], [2u8; 12], &[9u8; 700]);
+        let manifest = net.upload([1u8; 32], [2u8; 12], &[9u8; 700]).expect("upload succeeds");
         let bytes = manifest.encode();
         assert_eq!(bytes.len(), manifest.encoded_len());
         let back = FileManifest::decode(&bytes).unwrap();
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn manifest_rejects_inconsistent_codes_and_duplicate_indices() {
         let mut net = crate::StorageNetwork::new(12, 2, 5);
-        let manifest = net.upload([1u8; 32], [2u8; 12], &[9u8; 100]);
+        let manifest = net.upload([1u8; 32], [2u8; 12], &[9u8; 100]).expect("upload succeeds");
         let bytes = manifest.encode();
         // k > n
         let mut bad = bytes.clone();

@@ -81,7 +81,7 @@ proptest! {
     ) {
         let n = k + extra;
         let mut net = StorageNetwork::new(providers.max(n), k, n);
-        let manifest = net.upload(key, [3u8; 12], &data);
+        let manifest = net.upload(key, [3u8; 12], &data).expect("upload succeeds");
         check_wire_hardness(&manifest);
     }
 
@@ -93,7 +93,7 @@ proptest! {
         // the codec must stay canonical for manifests whose placements
         // were rewritten by DHT-proximity repair
         let mut net = StorageNetwork::new(14, 2, 5);
-        let mut manifest = net.upload([7u8; 32], [1u8; 12], &data);
+        let mut manifest = net.upload([7u8; 32], [1u8; 12], &data).expect("upload succeeds");
         for (_, provider, share_key) in manifest.placements.iter().take(kill) {
             net.provider_mut(provider).unwrap().drop_share(share_key);
         }

@@ -61,7 +61,7 @@ proptest! {
         key in any::<[u8; 32]>(),
     ) {
         let mut net = StorageNetwork::new(15, 3, 10);
-        let manifest = net.upload(key, [0u8; 12], &data);
+        let manifest = net.upload(key, [0u8; 12], &data).expect("upload succeeds");
         let mut killed = 0;
         for (bit, (_, provider, share_key)) in manifest.placements.iter().enumerate() {
             if killed < 7 && (kill_mask >> bit) & 1 == 1 {

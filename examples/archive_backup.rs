@@ -25,7 +25,7 @@ fn main() {
     let photos: Vec<u8> = (0..150_000).map(|i| ((i * 31) % 251) as u8).collect();
     let mut dsn = StorageNetwork::new(20, 3, 10); // 20 providers, 3-of-10 code
     let key = [7u8; 32];
-    let mut manifest = dsn.upload(key, [1u8; 12], &photos);
+    let mut manifest = dsn.upload(key, [1u8; 12], &photos).expect("upload succeeds");
     println!(
         "uploaded {} bytes as {} shares across the DHT (content id {:?})",
         photos.len(),

@@ -51,6 +51,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dsaudit_algebra as algebra;
 pub use dsaudit_chain as chain;
 pub use dsaudit_contract as contract;

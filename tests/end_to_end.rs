@@ -22,7 +22,7 @@ fn dsn_upload_then_audit_share() {
     let mut dsn = StorageNetwork::new(12, 3, 10);
     let data: Vec<u8> = (0..40_000).map(|i| (i * 7 % 251) as u8).collect();
     let key = [9u8; 32];
-    let manifest = dsn.upload(key, [2u8; 12], &data);
+    let manifest = dsn.upload(key, [2u8; 12], &data).expect("upload succeeds");
     assert_eq!(dsn.download(&manifest, key).unwrap(), data);
 
     // audit layer over one share's bytes (the provider's actual holdings)

@@ -214,6 +214,21 @@ pub fn collect_lint_metrics() -> Vec<Metric> {
                 unit: "rules",
                 value: report.rules_enforced() as f64,
             },
+            Metric {
+                name: "lint_callgraph_fns",
+                unit: "fns",
+                value: report.callgraph_fns as f64,
+            },
+            Metric {
+                name: "lint_panic_audits",
+                unit: "audits",
+                value: report.count_suppressed("panic-reachability") as f64,
+            },
+            Metric {
+                name: "lint_taint_audits",
+                unit: "audits",
+                value: report.count_suppressed("secret-taint") as f64,
+            },
         ],
         // a bench binary copied outside the workspace has nothing to scan
         Err(_) => Vec::new(),
@@ -354,6 +369,12 @@ pub const GUARDED_METRICS: &[(&str, bool)] = &[
     ("msm_g1_n1024", false),
     ("encode_stream_1mib", false),
     ("sim_round_throughput", true),
+    // Static-analysis coverage: these only grow with the codebase, so a
+    // drop beyond tolerance means the parser or a pass silently lost
+    // sight of code, not that the code got faster.
+    ("lint_callgraph_fns", true),
+    ("lint_panic_audits", true),
+    ("lint_taint_audits", true),
 ];
 
 /// Relative regression allowed against the committed snapshot.
@@ -471,6 +492,16 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
             value: sim_throughput,
         },
     ]
+    .into_iter()
+    // coverage metrics (call-graph size, audited pass counts) are
+    // deterministic — one run, no best-of-three; only the guarded
+    // subset participates in the gate
+    .chain(
+        collect_lint_metrics()
+            .into_iter()
+            .filter(|m| GUARDED_METRICS.iter().any(|(n, _)| *n == m.name)),
+    )
+    .collect()
 }
 
 /// Compares fresh guarded measurements against the committed snapshot at

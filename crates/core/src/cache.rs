@@ -50,6 +50,17 @@ struct BoundedMap<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
+    /// Locks the map, recovering from poisoning: entries are
+    /// deterministic values keyed by their inputs, so a map observed
+    /// mid-panic of another thread is still internally consistent
+    /// (worst case a concurrent insert is missing, which is the same
+    /// as a benign racing miss). Verifier paths stay panic-free.
+    fn locked(&self) -> std::sync::MutexGuard<'_, BoundedMap<K, V>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         Self {
@@ -64,13 +75,13 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
     }
 
     fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.inner.lock().expect("cache lock").map.get(&key) {
+        if let Some(v) = self.locked().map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = compute();
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.locked();
         if inner.map.insert(key.clone(), v.clone()).is_none() {
             inner.order.push_back(key);
             while inner.map.len() > self.capacity {
@@ -85,7 +96,7 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.locked().map.len()
     }
 
     fn stats(&self) -> CacheStats {

@@ -346,21 +346,39 @@ pub fn lex(src: &str) -> Lexed {
 
         // -- numbers ------------------------------------------------------
         if c.is_ascii_digit() {
+            // After a `.` token this number is a tuple-field index
+            // (`x.0`, `x.0.1`): scan digits only, so the second `.` in
+            // `x.0.1` stays a field separator instead of turning the
+            // index into the float `0.1`.
+            let field_position = out
+                .tokens
+                .last()
+                .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".");
+            let start = i;
             while i < chars.len() {
                 let d = chars[i];
                 if is_ident_continue(d) {
                     i += 1;
-                } else if d == '.' && chars.get(i + 1).copied().is_some_and(|n| n.is_ascii_digit())
-                {
-                    // float like 1.5 — but stop before a range `0..n`
-                    i += 1;
+                } else if d == '.' && !field_position {
+                    let after = chars.get(i + 1).copied();
+                    if after.is_some_and(|n| n.is_ascii_digit()) {
+                        // float like 1.5
+                        i += 1;
+                    } else if after != Some('.') && !after.is_some_and(is_ident_start) {
+                        // trailing-dot float like `0.` — but not a range
+                        // `0..n` and not a method call `0.max(x)`
+                        i += 1;
+                        break;
+                    } else {
+                        break;
+                    }
                 } else {
                     break;
                 }
             }
             out.tokens.push(Token {
                 kind: TokenKind::Num,
-                text: String::new(),
+                text: chars[start..i].iter().collect(),
                 line,
             });
             continue;
@@ -460,6 +478,70 @@ mod tests {
     #[test]
     fn raw_identifiers() {
         assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn raw_identifiers_with_keyword_names() {
+        // every raw-identifier shape the workspace could plausibly use
+        assert_eq!(idents("let r#type = 1; let r#impl = r#fn;"),
+                   vec!["let", "type", "let", "impl", "fn"]);
+        // an `r` variable on its own is a plain identifier, not a raw prefix
+        assert_eq!(idents("let r = 1; r.abs()"), vec!["let", "r", "r", "abs"]);
+        // `br` with no quote is an ordinary identifier too
+        assert_eq!(idents("let br = broken;"), vec!["let", "br", "broken"]);
+    }
+
+    #[test]
+    fn byte_string_variants() {
+        // b"..." with escapes, br"..." with fences, b'..' byte chars
+        let src = r####"let a = b"\x00.unwrap()"; let b2 = br##"has "# inside"##; let c = b'\\';"####;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "let", "c"]);
+        let l = lex(src);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_vs_tuple_field_access() {
+        // `x.0.1` is two tuple-field accesses, never the float `0.1`
+        let l = lex("x.0.1");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "1"]);
+        // `0.` with nothing after the dot is one (trailing-dot) float
+        let l = lex("let x = 0.;");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0."]);
+        // `0.5` stays one float; `0..n` stays a range; `0.max(x)` keeps
+        // the dot as a method-call separator
+        assert_eq!(lex("0.5").tokens.len(), 1);
+        let range = lex("0..9");
+        assert_eq!(
+            range.tokens.iter().filter(|t| t.kind == TokenKind::Num).count(),
+            2
+        );
+        assert_eq!(
+            range.tokens.iter().filter(|t| t.text == ".").count(),
+            2
+        );
+        let m = lex("0.max(x)");
+        assert_eq!(m.tokens[0].text, "0");
+        assert!(m.tokens.iter().any(|t| t.text == "max"));
     }
 
     #[test]

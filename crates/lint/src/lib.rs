@@ -27,9 +27,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod callgraph;
+pub mod config;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use std::path::{Path, PathBuf};
 
@@ -63,16 +69,14 @@ fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Analyzes every workspace `.rs` file under `root`.
-///
-/// `root` should be the workspace root (the directory holding the
-/// top-level `Cargo.toml`); paths in findings are reported relative to
-/// it with `/` separators, which is also what zone membership keys on.
+/// Loads every workspace `.rs` file under `root` as
+/// `(relative_path, lexed, ast)` triples — the shared input of the
+/// token rules, the call graph, and the differential parser gate.
 ///
 /// # Errors
 /// Propagates I/O errors from the directory walk or file reads.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
-    let mut report = WorkspaceReport::default();
+pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<(String, lexer::Lexed, ast::Ast)>> {
+    let mut out = Vec::new();
     for path in rust_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -82,10 +86,55 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
             .collect::<Vec<_>>()
             .join("/");
         let src = std::fs::read_to_string(&path)?;
-        let file_report = analyze_source(&rel, &src);
+        let lexed = lexer::lex(&src);
+        let ast = parser::parse(&lexed);
+        out.push((rel, lexed, ast));
+    }
+    Ok(out)
+}
+
+/// Analyzes every workspace `.rs` file under `root`: the per-file
+/// token rules, then the workspace call graph and the three
+/// interprocedural passes (panic-reachability, secret-taint,
+/// ct-closure) with `lint.toml` suppressions applied.
+///
+/// `root` should be the workspace root (the directory holding the
+/// top-level `Cargo.toml`); paths in findings are reported relative to
+/// it with `/` separators, which is also what zone membership keys on.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    let files = parse_workspace(root)?;
+
+    // Per-file token rules (re-lexes via analyze_source to keep its
+    // signature; lexing is a few ms for the whole tree).
+    for (rel, _, _) in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let file_report = analyze_source(rel, &src);
         report.files_scanned += 1;
         report.findings.extend(file_report.findings);
         report.suppressed.extend(file_report.suppressed);
     }
+
+    // Interprocedural passes over the workspace call graph.
+    let graph = callgraph::CallGraph::build(&files);
+    report.callgraph_fns = graph.fns.len();
+    let (cfg, mut cfg_findings) = config::LintConfig::load(root);
+    for pass in [
+        passes::panic_reachability(&graph, &cfg),
+        passes::secret_taint(&graph, &cfg),
+        passes::ct_closure(&graph, &cfg),
+    ] {
+        report.findings.extend(pass.findings);
+        report.suppressed.extend(pass.suppressed);
+    }
+    report.findings.append(&mut cfg_findings);
+    report.findings.extend(cfg.unused_findings());
+
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(report)
 }

@@ -58,6 +58,9 @@ pub struct FileReport {
 pub struct WorkspaceReport {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Number of functions in the workspace call graph (0 when the
+    /// interprocedural passes were not run).
+    pub callgraph_fns: usize,
     /// Live findings across all files, in path order.
     pub findings: Vec<Finding>,
     /// Audited suppressions across all files, in path order.
@@ -70,6 +73,24 @@ impl WorkspaceReport {
         RULES.len()
     }
 
+    /// Live findings under `rule`.
+    pub fn count_findings(&self, rule: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Audited (suppressed) findings under `rule`.
+    pub fn count_suppressed(&self, rule: &str) -> usize {
+        self.suppressed.iter().filter(|(f, _)| f.rule == rule).count()
+    }
+
+    /// Restricts the report to a single rule (for `--only`).
+    #[must_use]
+    pub fn only_rule(mut self, rule: &str) -> WorkspaceReport {
+        self.findings.retain(|f| f.rule == rule);
+        self.suppressed.retain(|(f, _)| f.rule == rule);
+        self
+    }
+
     /// Human-readable report (one line per finding, then a summary).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -78,8 +99,9 @@ impl WorkspaceReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "dsaudit-lint: {} file(s) scanned, {} rule(s), {} finding(s), {} audited suppression(s)\n",
+            "dsaudit-lint: {} file(s) scanned, {} fn(s) in call graph, {} rule(s), {} finding(s), {} audited suppression(s)\n",
             self.files_scanned,
+            self.callgraph_fns,
             RULES.len(),
             self.findings.len(),
             self.suppressed.len()
@@ -87,10 +109,29 @@ impl WorkspaceReport {
         out
     }
 
-    /// Machine-readable report.
+    /// Machine-readable report. The schema is stable (snapshot-tested
+    /// in `tests/json_schema.rs`): top-level keys `files_scanned`,
+    /// `callgraph_fns`, `rules`, `counts`, `findings`, `suppressed`;
+    /// findings carry `file`/`line`/`rule`/`message`/`hint` (+`reason`
+    /// when suppressed). New keys may be added; none are removed or
+    /// renamed.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"callgraph_fns\": {},\n", self.callgraph_fns));
+        out.push_str("  \"counts\": {");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{}: {{\"findings\": {}, \"suppressed\": {}}}",
+                json_str(r.id),
+                self.count_findings(r.id),
+                self.count_suppressed(r.id)
+            ));
+        }
+        out.push_str("},\n");
         out.push_str("  \"rules\": [");
         for (i, r) in RULES.iter().enumerate() {
             if i > 0 {
@@ -172,6 +213,7 @@ mod tests {
                 hint: "h",
             }],
             suppressed: vec![],
+            ..WorkspaceReport::default()
         };
         let j = rep.render_json();
         assert!(j.contains("\"files_scanned\": 2"));

@@ -53,6 +53,22 @@ pub const RULES: &[RuleInfo] = &[
         id: "suppression",
         summary: "every lint:allow must name a known rule and carry a non-empty reason",
     },
+    RuleInfo {
+        id: "panic-reachability",
+        summary: "interprocedural: no panic site (panic!/unwrap/indexing/div) may be \
+                  reachable through the call graph from a Codec::decode impl or verify_* \
+                  entry point",
+    },
+    RuleInfo {
+        id: "secret-taint",
+        summary: "interprocedural: SecretKey/HmacKey/PRF-derived values may not flow into \
+                  Debug/format!-family/log/wire-encode sinks, across function boundaries",
+    },
+    RuleInfo {
+        id: "ct-closure",
+        summary: "interprocedural: lint:ct functions may only call other ct-annotated or \
+                  lint.toml-allowlisted functions",
+    },
 ];
 
 /// Types whose in-memory representation is secret material.

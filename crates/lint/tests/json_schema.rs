@@ -1,0 +1,96 @@
+//! Snapshot of the `--json` schema. Downstream consumers (CI artifact
+//! scrapers, the bench harness) key on these exact names; renaming or
+//! removing any of them is a breaking change this test makes loud.
+//! Adding keys is allowed.
+
+use dsaudit_lint::report::{Finding, Suppression, WorkspaceReport};
+
+fn sample_report() -> WorkspaceReport {
+    WorkspaceReport {
+        files_scanned: 3,
+        callgraph_fns: 42,
+        findings: vec![Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "no-panic",
+            message: "panic! in non-test code".into(),
+            hint: "return a typed error",
+        }],
+        suppressed: vec![(
+            Finding {
+                file: "crates/y/src/lib.rs".into(),
+                line: 11,
+                rule: "panic-reachability",
+                message: "2 panic site(s) in `Fq::mul` audited".into(),
+                hint: "audit it in lint.toml",
+            },
+            Suppression {
+                line: 3,
+                comment_line: 3,
+                rule: "panic-reachability".into(),
+                reason: "fixed-limb arrays".into(),
+            },
+        )],
+    }
+}
+
+#[test]
+fn json_top_level_keys_are_stable() {
+    let j = sample_report().render_json();
+    for key in [
+        "\"files_scanned\"",
+        "\"callgraph_fns\"",
+        "\"counts\"",
+        "\"rules\"",
+        "\"findings\"",
+        "\"suppressed\"",
+    ] {
+        assert!(j.contains(key), "missing top-level key {key} in:\n{j}");
+    }
+}
+
+#[test]
+fn json_finding_shape_is_stable() {
+    let j = sample_report().render_json();
+    assert!(j.contains(
+        "{\"file\": \"crates/x/src/lib.rs\", \"line\": 7, \"rule\": \"no-panic\", \
+         \"message\": \"panic! in non-test code\", \"hint\": \"return a typed error\"}"
+    ));
+    // suppressed findings additionally carry the audit reason
+    assert!(j.contains("\"reason\": \"fixed-limb arrays\""));
+}
+
+#[test]
+fn json_counts_cover_every_rule() {
+    let rep = sample_report();
+    let j = rep.render_json();
+    for rule in [
+        "no-panic",
+        "no-index",
+        "determinism",
+        "secret-debug",
+        "ct-branch",
+        "decode-bounds",
+        "suppression",
+        "panic-reachability",
+        "secret-taint",
+        "ct-closure",
+    ] {
+        assert!(
+            j.contains(&format!("\"{rule}\": {{\"findings\":")),
+            "no counts entry for {rule} in:\n{j}"
+        );
+    }
+    assert!(j.contains("\"panic-reachability\": {\"findings\": 0, \"suppressed\": 1}"));
+    assert!(j.contains("\"no-panic\": {\"findings\": 1, \"suppressed\": 0}"));
+}
+
+#[test]
+fn json_is_balanced_and_escaped() {
+    let mut rep = sample_report();
+    rep.findings[0].message = "quote \" backslash \\ newline \n".into();
+    let j = rep.render_json();
+    assert_eq!(j.matches('{').count(), j.matches('}').count());
+    assert_eq!(j.matches('[').count(), j.matches(']').count());
+    assert!(j.contains("quote \\\" backslash \\\\ newline \\n"));
+}

@@ -1,0 +1,112 @@
+//! Differential parser gate: every workspace `.rs` file must parse
+//! with the item tree tiling the token stream *exactly* — each token
+//! consumed by exactly one top-level item, children nested inside
+//! their parents — and with zero opaque (unrecognized) items.
+//!
+//! This is the guarantee the interprocedural passes stand on: a parser
+//! that silently dropped a function or a call site would turn the
+//! panic-reachability and taint analyses into false negatives. Any new
+//! syntax the parser cannot model fails here first, loudly.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn every_workspace_file_parses_with_exact_tiling() {
+    let files = dsaudit_lint::parse_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        files.len() >= 100,
+        "workspace walk found only {} files — wrong root?",
+        files.len()
+    );
+    let mut bad = Vec::new();
+    for (rel, lexed, ast) in &files {
+        if let Err(e) = ast.check_span_tiling(&lexed.tokens) {
+            bad.push(format!("{rel}: {e}"));
+        }
+    }
+    assert!(bad.is_empty(), "span tiling violated:\n{}", bad.join("\n"));
+}
+
+#[test]
+fn no_opaque_items_anywhere() {
+    let files = dsaudit_lint::parse_workspace(&workspace_root()).expect("workspace walk");
+    let mut bad = Vec::new();
+    for (rel, lexed, ast) in &files {
+        let opaque = ast.opaque_tokens();
+        if opaque > 0 {
+            // locate the first opaque span for the error message
+            let mut detail = String::new();
+            find_opaque(&ast.items, &lexed.tokens, &mut detail);
+            bad.push(format!("{rel}: {opaque} opaque token(s): {detail}"));
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "parser fell back to Opaque on:\n{}",
+        bad.join("\n")
+    );
+}
+
+fn find_opaque(
+    items: &[dsaudit_lint::ast::Item],
+    tokens: &[dsaudit_lint::lexer::Token],
+    out: &mut String,
+) {
+    use dsaudit_lint::ast::ItemKind;
+    for item in items {
+        match &item.kind {
+            ItemKind::Opaque if out.len() < 200 => {
+                let (a, b) = item.span;
+                let text: Vec<&str> = tokens[a..b.min(a + 6).min(tokens.len())]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
+                let line = tokens.get(a).map_or(0, |t| t.line);
+                out.push_str(&format!("[line {line}: {}] ", text.join(" ")));
+            }
+            ItemKind::Mod { items, .. } | ItemKind::Trait { items, .. } => {
+                find_opaque(items, tokens, out);
+            }
+            ItemKind::Impl(imp) => find_opaque(&imp.items, tokens, out),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn every_workspace_fn_is_in_the_call_graph() {
+    // cross-check the graph against an independent token-level count
+    // of `fn` keywords followed by a name (skipping `fn` in type
+    // position is the parser's job; this bounds it from below)
+    let files = dsaudit_lint::parse_workspace(&workspace_root()).expect("workspace walk");
+    let graph = dsaudit_lint::callgraph::CallGraph::build(&files);
+    let mut token_fns = 0usize;
+    for (_, lexed, _) in &files {
+        let toks = &lexed.tokens;
+        for i in 0..toks.len() {
+            use dsaudit_lint::lexer::TokenKind;
+            if toks[i].kind == TokenKind::Ident
+                && toks[i].text == "fn"
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                // `fn` pointer types (`fn(` / `fn() ->`) have no name after
+                && (i == 0
+                    || !(toks[i - 1].kind == TokenKind::Punct
+                        && matches!(toks[i - 1].text.as_str(), ":" | "(" | "," | "<" | "&")))
+            {
+                token_fns += 1;
+            }
+        }
+    }
+    assert_eq!(
+        graph.fns.len(),
+        token_fns,
+        "call graph has {} fns but the token stream shows {} `fn name` sites",
+        graph.fns.len(),
+        token_fns
+    );
+    assert!(graph.fns.len() > 500, "implausibly small graph");
+}

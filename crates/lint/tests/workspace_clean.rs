@@ -30,3 +30,34 @@ fn workspace_has_zero_unsuppressed_findings() {
         assert_eq!(f.rule, s.rule, "suppression/rule mismatch at {}:{}", f.file, f.line);
     }
 }
+
+#[test]
+fn interprocedural_passes_ran_over_the_whole_graph() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = dsaudit_lint::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.callgraph_fns > 500,
+        "call graph looks truncated: {} fns",
+        report.callgraph_fns
+    );
+    // The kernels carry real (audited) panic sites; if the
+    // panic-reachability pass stopped seeing them this gate must fail
+    // rather than report a vacuous clean bill.
+    assert!(
+        report.count_suppressed("panic-reachability") > 20,
+        "panic-reachability audited only {} site group(s) — pass degraded?",
+        report.count_suppressed("panic-reachability")
+    );
+    assert!(
+        report.count_suppressed("secret-taint") > 0,
+        "secret-taint found nothing, not even the audited harness flows"
+    );
+    for rule in ["panic-reachability", "secret-taint", "ct-closure"] {
+        assert_eq!(
+            report.count_findings(rule),
+            0,
+            "unsuppressed {rule} findings:\n{}",
+            report.render_text()
+        );
+    }
+}

@@ -120,6 +120,101 @@ fn run_sim(args: &[String]) {
         eprintln!("AUDIT ACCURACY VIOLATION — see report above");
         std::process::exit(1);
     }
+    if report.transport_false_rejects > 0 {
+        eprintln!(
+            "TRANSPORT MISATTRIBUTION — {} healthy share(s) failed a round because \
+             the network lost a frame; a dropped frame is a retry, not a verdict",
+            report.transport_false_rejects
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Runs the deterministic node soak (fault-injected audit daemons, three
+/// fault schedules) and writes its JSON report; exits nonzero when any
+/// challenge is lost, double-settled, or otherwise violates the
+/// termination invariant — the CI `node-soak` step.
+fn run_node_soak(args: &[String]) {
+    const KNOWN: &[&str] = &["--seed", "--sessions", "--providers", "--ttl-ms", "--out"];
+    let mut i = 1;
+    while i < args.len() {
+        if !KNOWN.contains(&args[i].as_str()) {
+            eprintln!(
+                "node-soak: unknown flag '{}' (known: {})",
+                args[i],
+                KNOWN.join(" ")
+            );
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("node-soak: flag '{}' needs a value", args[i]);
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+    let defaults = dsaudit_node::SoakConfig::default();
+    let cfg = dsaudit_node::SoakConfig {
+        seed: flag(args, "--seed", defaults.seed),
+        sessions: flag(args, "--sessions", defaults.sessions),
+        providers: flag(args, "--providers", defaults.providers),
+        ttl_ms: flag(args, "--ttl-ms", defaults.ttl_ms),
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../NODE_SOAK_repro.json").to_string()
+        });
+
+    println!(
+        "node soak: {} sessions over {} providers per schedule set (seed {:#x}, ttl {} ms)...\n",
+        cfg.sessions, cfg.providers, cfg.seed, cfg.ttl_ms
+    );
+    let t0 = std::time::Instant::now();
+    let report = dsaudit_node::run_soak(&cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    for s in &report.schedules {
+        println!(
+            "  {:<12} {:>4} sessions: {:>4} accept / {:>3} reject / {:>3} expired; \
+             {} retries, {} corrupt frames, {} shed, {} virtual ms",
+            s.name,
+            s.sessions,
+            s.settled_accept,
+            s.settled_reject,
+            s.expired,
+            s.retries,
+            s.corrupt_frames,
+            s.overloaded,
+            s.virtual_ms,
+        );
+    }
+    println!(
+        "\n{} sessions settled in {secs:.2} s wall clock ({:.1} sessions/s)",
+        report.total_sessions(),
+        report.total_sessions() as f64 / secs
+    );
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !report.ok() {
+        eprintln!("CHALLENGE LIFECYCLE VIOLATION:");
+        for v in report.violations() {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("every challenge terminated in exactly one of Settled/Expired");
 }
 
 fn main() {
@@ -151,6 +246,7 @@ fn main() {
         "json" => emit_json(),
         "check" => check_json(),
         "sim" => run_sim(&args),
+        "node-soak" => run_node_soak(&args),
         "all" => {
             tables::table1();
             divider();
@@ -182,7 +278,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|node-soak|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N] [node-soak: --sessions N --providers N --ttl-ms N --seed N --out PATH]");
             std::process::exit(2);
         }
     }

@@ -169,19 +169,34 @@ fn bench_sim_config() -> dsaudit_sim::SimConfig {
         erasure_n: 4,
         shards: 2,
         churn: dsaudit_sim::ChurnRates::none(),
-        faults: dsaudit_sim::FaultRates::none(),
+        // honest providers on a lossy network: a tenth of all proof
+        // frames are lost in flight and recovered by node-layer
+        // retries, so the run doubles as the transport-recovery gate
+        faults: dsaudit_sim::FaultRates {
+            corrupt: 0.0,
+            drop: 0.0,
+            withhold: 0.0,
+            transport: 0.1,
+        },
         ..dsaudit_sim::SimConfig::default()
     }
 }
 
 /// Measures the `sim` metric group: end-to-end audit-round throughput
-/// of the network simulator (storage → contract → chain per round) and
-/// the deterministic gas cost per settled round.
+/// of the network simulator (storage → contract → chain per round),
+/// the deterministic gas cost per settled round, and the
+/// transport-recovery fraction (lost frames that were retried without
+/// ever reaching a verdict; anything below 1.0 is a protocol bug).
 pub fn collect_sim_metrics() -> Vec<Metric> {
     let t0 = Instant::now();
     let report = dsaudit_sim::Simulation::new(bench_sim_config()).run();
     let secs = t0.elapsed().as_secs_f64();
     assert_eq!(report.passes, report.audits, "benchmark network is honest");
+    assert!(report.transport_faults > 0, "the lossy-link model must fire");
+    assert_eq!(
+        report.transport_false_rejects, 0,
+        "a dropped frame is a retry, not a verdict"
+    );
     vec![
         Metric {
             name: "sim_round_throughput",
@@ -193,7 +208,39 @@ pub fn collect_sim_metrics() -> Vec<Metric> {
             unit: "gas",
             value: (report.total_gas - report.setup_gas) as f64 / report.audits as f64,
         },
+        Metric {
+            name: "sim_transport_recovery",
+            unit: "fraction",
+            value: (report.transport_faults - report.transport_false_rejects) as f64
+                / report.transport_faults as f64,
+        },
     ]
+}
+
+/// The fixed-seed node soak driven for throughput measurement: smaller
+/// than the CI soak (which proves the termination invariant at ≥500
+/// sessions) but the same three fault schedules end to end.
+fn bench_node_config() -> dsaudit_node::SoakConfig {
+    dsaudit_node::SoakConfig {
+        sessions: 120,
+        ..dsaudit_node::SoakConfig::default()
+    }
+}
+
+/// Measures the `node` metric group: challenge sessions settled per
+/// wall-clock second by the fault-injected daemons (issue → deliver →
+/// prove → settle/expire, across the baseline/lossy/partitioned
+/// schedules), asserting the termination invariant holds.
+pub fn collect_node_metrics() -> Vec<Metric> {
+    let t0 = Instant::now();
+    let report = dsaudit_node::run_soak(&bench_node_config());
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(report.ok(), "soak invariant violated: {:?}", report.violations());
+    vec![Metric {
+        name: "node_sessions_per_sec",
+        unit: "sessions/s",
+        value: report.total_sessions() as f64 / secs,
+    }]
 }
 
 /// Static-analysis coverage of the workspace: how many files the
@@ -326,6 +373,10 @@ pub fn collect_metrics() -> Vec<Metric> {
     // chain), measured end to end by the simulator.
     out.extend(collect_sim_metrics());
 
+    // Hot path 6: the challenge lifecycle under injected transport
+    // faults, driven by the node daemons over the in-process transport.
+    out.extend(collect_node_metrics());
+
     // Not a hot path: static-analysis coverage, recorded so the
     // snapshot shows the lint gate's reach growing with the codebase.
     out.extend(collect_lint_metrics());
@@ -369,6 +420,12 @@ pub const GUARDED_METRICS: &[(&str, bool)] = &[
     ("msm_g1_n1024", false),
     ("encode_stream_1mib", false),
     ("sim_round_throughput", true),
+    // Correctness-as-metric: the fraction of in-flight frame losses
+    // absorbed by node-layer retries. Committed at 1.0; any transport
+    // fault that leaks into a verdict both fails the collection assert
+    // (hard error) and regresses this metric past any tolerance.
+    ("sim_transport_recovery", true),
+    ("node_sessions_per_sec", true),
     // Static-analysis coverage: these only grow with the codebase, so a
     // drop beyond tolerance means the parser or a pass silently lost
     // sight of code, not that the code got faster.
@@ -455,6 +512,22 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
                 .value
         })
         .fold(0.0f64, f64::max);
+    // the recovery fraction is deterministic (a count ratio), so one
+    // run suffices; the soak throughput is wall clock, best of two
+    let transport_recovery = collect_sim_metrics()
+        .into_iter()
+        .find(|m| m.name == "sim_transport_recovery")
+        .expect("sim group measures transport recovery")
+        .value;
+    let node_throughput = (0..2)
+        .map(|_| {
+            collect_node_metrics()
+                .into_iter()
+                .find(|m| m.name == "node_sessions_per_sec")
+                .expect("node group measures session throughput")
+                .value
+        })
+        .fold(0.0f64, f64::max);
     vec![
         Metric {
             name: "preprocess_s50_throughput",
@@ -490,6 +563,16 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
             name: "sim_round_throughput",
             unit: "rounds/s",
             value: sim_throughput,
+        },
+        Metric {
+            name: "sim_transport_recovery",
+            unit: "fraction",
+            value: transport_recovery,
+        },
+        Metric {
+            name: "node_sessions_per_sec",
+            unit: "sessions/s",
+            value: node_throughput,
         },
     ]
     .into_iter()

@@ -1,0 +1,168 @@
+//! Expiry × migration interaction: challenges that time out on either
+//! side of a provider takeover must penalize the party that actually
+//! held the share at that round, and the deposit pools must drain to
+//! zero at completion — an expired challenge can never strand wei in
+//! the contract or bill the wrong provider.
+
+use dsaudit_chain::beacon::TrustedBeacon;
+use dsaudit_chain::chain::Blockchain;
+use dsaudit_chain::types::{eth, Address};
+use dsaudit_contract::harness::{run_round, setup_session, submit_ok, AgreementTerms};
+use dsaudit_core::params::AuditParams;
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xe8b12a)
+}
+
+fn chain() -> Blockchain {
+    Blockchain::new(Box::new(TrustedBeacon::new(b"expiry-takeover")))
+}
+
+/// Timeouts straddling a takeover: the pre-migration expiry is paid
+/// from the outgoing provider's pool, the post-migration expiry from
+/// the successor's, and completion drains the contract to zero.
+#[test]
+fn expiries_on_both_sides_of_a_takeover_bill_the_right_pool() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 3,
+        ..AgreementTerms::default()
+    };
+    let session = setup_session(
+        &mut rng,
+        &mut chain,
+        "straddle",
+        &[9u8; 900],
+        AuditParams::new(4, 3).unwrap(),
+        None,
+        terms,
+    );
+    let owner_before = chain.balance(session.owner);
+    let old_provider = session.provider;
+    let old_before = chain.balance(old_provider);
+
+    // round 0 expires against the original provider: its pool pays
+    assert!(!run_round(&mut rng, &mut chain, &session, false));
+
+    // the owner rehomes the share; the successor posts a deposit
+    // covering the two remaining rounds' worst case
+    let successor = Address::from_label("straddle/successor");
+    let takeover_deposit = 2 * terms.penalty_per_fail;
+    chain.fund_account(successor, takeover_deposit + eth(1));
+    submit_ok(
+        &mut chain,
+        session.owner,
+        session.contract,
+        "migrate",
+        successor.0.to_vec(),
+        0,
+    );
+    submit_ok(
+        &mut chain,
+        successor,
+        session.contract,
+        "takeover",
+        Vec::new(),
+        takeover_deposit,
+    );
+    // the outgoing provider is made whole immediately: deposit back
+    // minus exactly the one expiry it answered for — the takeover can
+    // neither re-bill it for future rounds nor strand its remainder
+    assert_eq!(
+        chain.balance(old_provider) - old_before,
+        terms.provider_deposit - terms.penalty_per_fail,
+        "outgoing provider pays for its own expiry only"
+    );
+
+    // round 1 expires against the successor: *its* pool pays now
+    let mut session = session;
+    session.provider = successor;
+    assert!(!run_round(&mut rng, &mut chain, &session, false));
+    // round 2 passes; the agreement completes
+    assert!(run_round(&mut rng, &mut chain, &session, true));
+
+    // successor: funded takeover_deposit + 1 eth, paid the deposit in,
+    // lost one penalty from it, earned one reward, got the remainder
+    // back at completion
+    assert_eq!(
+        chain.balance(successor),
+        eth(1) + takeover_deposit - terms.penalty_per_fail + terms.reward_per_audit,
+        "successor pays for the post-takeover expiry and keeps its reward"
+    );
+    // owner: both penalties, plus its reward escrow back minus the one
+    // reward actually paid for the passing round
+    assert_eq!(
+        chain.balance(session.owner) - owner_before,
+        terms.owner_deposit + 2 * terms.penalty_per_fail - terms.reward_per_audit,
+        "owner collects exactly the two expiry penalties"
+    );
+    // nothing stranded
+    assert_eq!(chain.balance(session.contract), 0, "contract drained at completion");
+    assert!(chain.all_events().iter().any(|e| e.name == "completed"));
+}
+
+/// Every post-takeover round expiring is the successor's worst case:
+/// its whole deposit converts to penalties, the old provider keeps its
+/// refund untouched, and the contract still drains to zero.
+#[test]
+fn total_expiry_after_takeover_consumes_only_the_successor_pool() {
+    let mut rng = rng();
+    let mut chain = chain();
+    let terms = AgreementTerms {
+        num_audits: 2,
+        ..AgreementTerms::default()
+    };
+    let session = setup_session(
+        &mut rng,
+        &mut chain,
+        "allexpire",
+        &[4u8; 700],
+        AuditParams::new(4, 3).unwrap(),
+        None,
+        terms,
+    );
+    let old_provider = session.provider;
+    let old_before = chain.balance(old_provider);
+
+    // round 0 expires, then the share is rehomed
+    assert!(!run_round(&mut rng, &mut chain, &session, false));
+    let successor = Address::from_label("allexpire/successor");
+    let takeover_deposit = terms.penalty_per_fail; // one round left
+    chain.fund_account(successor, takeover_deposit);
+    submit_ok(
+        &mut chain,
+        session.owner,
+        session.contract,
+        "migrate",
+        successor.0.to_vec(),
+        0,
+    );
+    submit_ok(
+        &mut chain,
+        successor,
+        session.contract,
+        "takeover",
+        Vec::new(),
+        takeover_deposit,
+    );
+    let old_refund = chain.balance(old_provider) - old_before;
+    assert_eq!(old_refund, terms.provider_deposit - terms.penalty_per_fail);
+
+    // the final round also expires — against the successor
+    let mut session = session;
+    session.provider = successor;
+    assert!(!run_round(&mut rng, &mut chain, &session, false));
+
+    // the successor's entire deposit became the penalty; the old
+    // provider's refund did not move again
+    assert_eq!(chain.balance(successor), 0, "successor pool fully consumed");
+    assert_eq!(
+        chain.balance(old_provider) - old_before,
+        old_refund,
+        "old provider is not billed for post-takeover expiries"
+    );
+    assert_eq!(chain.balance(session.contract), 0, "no stranded deposit");
+    assert!(chain.all_events().iter().any(|e| e.name == "completed"));
+}

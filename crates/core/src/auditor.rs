@@ -71,14 +71,15 @@ impl Auditor {
     }
 
     /// Derives a round challenge from 48 bytes of beacon output.
+    ///
+    /// This is the *only* challenge-derivation path: challenges are a
+    /// pure function of the chain's public randomness, so any verifier
+    /// holding the same beacon round derives byte-identical challenges
+    /// (no per-auditor randomness to disagree about, nothing for a
+    /// malicious auditor to bias). Tests that need an arbitrary
+    /// challenge without a beacon use [`Challenge::random`] directly.
     pub fn challenge_from_beacon(&self, beacon: &[u8; 48]) -> Challenge {
         Challenge::from_beacon(beacon)
-    }
-
-    /// Samples a round challenge from an RNG (stand-in for the beacon in
-    /// tests and benches).
-    pub fn issue_challenge<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> Challenge {
-        Challenge::random(rng)
     }
 
     /// Opens a typed audit session over one file (see
@@ -176,7 +177,7 @@ mod tests {
         let prover = Prover::new(&pk, &file, &tags).unwrap();
         let auditor = Auditor::new();
         for _ in 0..3 {
-            let ch = auditor.issue_challenge(&mut rng);
+            let ch = Challenge::random(&mut rng);
             let proof = prover.prove_private(&mut rng, &ch);
             assert!(auditor
                 .verify_private(&pk, &meta, &ch, &proof)

@@ -45,10 +45,13 @@
 //! // provider: validates the authenticators before acknowledging
 //! let provider = StorageProvider::ingest(&mut rng, bundle)?;
 //!
-//! // auditor: a typed session drives challenge -> response -> verdict
+//! // auditor: a typed session drives challenge -> response -> verdict;
+//! // the 48 challenge bytes come from the chain's randomness beacon
+//! // (`dsaudit_chain::beacon`), not from auditor-local RNG state
+//! let beacon_output = [0x5au8; 48];
 //! let auditor = Auditor::new();
 //! let session = auditor.begin_session(provider.public_key(), provider.meta())?;
-//! let round = session.challenge(&mut rng);
+//! let round = session.challenge_from_beacon(&beacon_output);
 //! let response = provider.respond_round(&mut rng, &round.round_challenge());
 //! let proven = round.submit(response).map_err(|(_, e)| e)?;
 //! let (session, verdict) = proven.verify()?;

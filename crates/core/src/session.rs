@@ -5,7 +5,7 @@
 //! **distinct types**, so invalid call orders do not compile:
 //!
 //! ```text
-//! AuditSession --challenge()--> ChallengedRound --submit()--> ProvenRound
+//! AuditSession --challenge_from_beacon()--> ChallengedRound --submit()--> ProvenRound
 //!      ^                                                          |
 //!      +------------------------- verify() -----------------------+
 //! ```
@@ -88,18 +88,13 @@ impl<'a> AuditSession<'a> {
     }
 
     /// Opens the next round from 48 bytes of beacon randomness.
+    ///
+    /// This is the only way to open a round: round challenges are a
+    /// pure function of the chain's public randomness, never of
+    /// auditor-local RNG state, so every verifier replaying the beacon
+    /// derives the same challenge sequence.
     pub fn challenge_from_beacon(self, beacon: &[u8; 48]) -> ChallengedRound<'a> {
         let challenge = Challenge::from_beacon(beacon);
-        ChallengedRound {
-            session: self,
-            challenge,
-        }
-    }
-
-    /// Opens the next round with RNG-sampled randomness (stand-in for
-    /// the beacon in tests and benches).
-    pub fn challenge<R: rand::RngCore + ?Sized>(self, rng: &mut R) -> ChallengedRound<'a> {
-        let challenge = Challenge::random(rng);
         ChallengedRound {
             session: self,
             challenge,
@@ -261,6 +256,15 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(0x5e5510)
     }
 
+    /// A stand-in beacon output for round `round` (distinct per round,
+    /// deterministic — what a chain beacon would publish).
+    fn beacon(round: u64) -> [u8; 48] {
+        let mut out = [0u8; 48];
+        out[..8].copy_from_slice(&round.to_le_bytes());
+        out[8] = 0xb3;
+        out
+    }
+
     fn actors() -> (rand::rngs::StdRng, StorageProvider) {
         let mut rng = rng();
         let params = AuditParams::new(4, 3).unwrap();
@@ -279,7 +283,7 @@ mod tests {
             .unwrap();
         for expected_round in 0..3u64 {
             assert_eq!(session.round(), expected_round);
-            let round = session.challenge(&mut rng);
+            let round = session.challenge_from_beacon(&beacon(expected_round));
             let response = provider.respond_round(&mut rng, &round.round_challenge());
             let proven = round.submit(response).map_err(|(_, e)| e).unwrap();
             let (next, verdict) = proven.verify().unwrap();
@@ -296,7 +300,7 @@ mod tests {
         let session = auditor
             .begin_session(provider.public_key(), provider.meta())
             .unwrap();
-        let round = session.challenge(&mut rng);
+        let round = session.challenge_from_beacon(&beacon(0));
         let mut response = provider.respond_round(&mut rng, &round.round_challenge());
         response.round += 7; // a replayed/future response
         let (round, err) = round.submit(response).expect_err("round mismatch");
@@ -321,7 +325,7 @@ mod tests {
         let session = auditor
             .begin_session(provider.public_key(), provider.meta())
             .unwrap();
-        let round = session.challenge(&mut rng);
+        let round = session.challenge_from_beacon(&beacon(0));
         let (round, err) = round
             .submit_bytes(0, &[0xffu8; 100])
             .expect_err("garbage must not settle the round");
@@ -344,12 +348,12 @@ mod tests {
 
     #[test]
     fn timeout_counts_a_failure_and_advances() {
-        let (mut rng, provider) = actors();
+        let (_, provider) = actors();
         let auditor = Auditor::new();
         let session = auditor
             .begin_session(provider.public_key(), provider.meta())
             .unwrap();
-        let session = session.challenge(&mut rng).timeout();
+        let session = session.challenge_from_beacon(&beacon(0)).timeout();
         assert_eq!(session.round(), 1);
         assert_eq!(session.tally(), (0, 1));
     }

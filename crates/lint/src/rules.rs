@@ -69,6 +69,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "interprocedural: lint:ct functions may only call other ct-annotated or \
                   lint.toml-allowlisted functions",
     },
+    RuleInfo {
+        id: "deadline",
+        summary: "interprocedural: every loop in crates/node awaiting a transport receive \
+                  (recv/try_recv) must be reachable from a timeout/TTL check in the same \
+                  function; unbounded daemon drains spin forever on partitioned peers",
+    },
 ];
 
 /// Types whose in-memory representation is secret material.

@@ -1,0 +1,371 @@
+//! The auditor daemon: issues beacon-derived challenges, tracks each
+//! one through the lifecycle state machine, and settles it exactly
+//! once.
+//!
+//! Challenges are derived deterministically from [`Beacon`] output, so
+//! any two verifiers watching the same beacon issue byte-identical
+//! challenges with identical idempotent ids. Unanswered challenges are
+//! retransmitted with exponential backoff and deterministic jitter
+//! until the TTL, at which point the challenge auto-expires into the
+//! contract's penalty path ([`Outcome::Expired`]).
+
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use dsaudit_chain::beacon::Beacon;
+use dsaudit_core::{
+    Auditor, Challenge, FileMeta, PublicKey, RoundChallenge, Verdict,
+};
+
+use crate::frame::{
+    derive_challenge_id, ChallengeFrame, ChallengeId, Frame, ProofFrame, SettleFrame,
+};
+use crate::lifecycle::{ChallengePhase, ChallengeTrack, Outcome, RetryPolicy};
+use crate::transport::{Millis, PeerId, Transport};
+
+/// Tuning knobs of an [`AuditorNode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditorConfig {
+    /// Challenge time-to-live: an unsettled challenge expires into the
+    /// penalty path this many ms after issue.
+    pub ttl_ms: u64,
+    /// Retransmission policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for AuditorConfig {
+    fn default() -> Self {
+        Self {
+            ttl_ms: 10_000,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Counters over everything an auditor daemon did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditorStats {
+    /// Challenges issued (unique ids).
+    pub issued: u64,
+    /// Challenge retransmissions.
+    pub retries: u64,
+    /// Acks received for live challenges.
+    pub acks: u64,
+    /// Overload sheds received; each schedules a later retry.
+    pub overloaded: u64,
+    /// Proofs verified (pairing check run).
+    pub proofs_verified: u64,
+    /// Terminal `Settled(Accept)` outcomes.
+    pub settled_accept: u64,
+    /// Terminal `Settled(Reject)` outcomes.
+    pub settled_reject: u64,
+    /// Terminal `Expired` outcomes.
+    pub expired: u64,
+    /// Frames that failed to decode (loss; retries recover).
+    pub corrupt_frames: u64,
+    /// Proofs for already-terminal challenges (refused: settlement is
+    /// write-once, so these can never double-settle).
+    pub late_proofs: u64,
+    /// Proofs answering the wrong session round (refused).
+    pub round_mismatches: u64,
+    /// Frames referencing unknown challenge ids.
+    pub unknown_ids: u64,
+}
+
+struct Target {
+    pk: PublicKey,
+    meta: FileMeta,
+}
+
+/// An auditor attached to the transport as a daemon.
+pub struct AuditorNode {
+    peer: PeerId,
+    auditor: Auditor,
+    cfg: AuditorConfig,
+    targets: BTreeMap<PeerId, Target>,
+    tracks: BTreeMap<ChallengeId, ChallengeTrack>,
+    /// Daemon counters.
+    pub stats: AuditorStats,
+}
+
+impl AuditorNode {
+    /// An auditor daemon at transport address `peer`.
+    pub fn new(peer: PeerId, cfg: AuditorConfig) -> Self {
+        Self {
+            peer,
+            auditor: Auditor::new(),
+            cfg,
+            targets: BTreeMap::new(),
+            tracks: BTreeMap::new(),
+            stats: AuditorStats::default(),
+        }
+    }
+
+    /// This daemon's transport address.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// Registers a provider to audit: its public key and the audited
+    /// file's metadata.
+    pub fn register_target(&mut self, provider: PeerId, pk: PublicKey, meta: FileMeta) {
+        self.targets.insert(provider, Target { pk, meta });
+    }
+
+    /// Issues one challenge against `provider`, derived from the
+    /// beacon's output for `beacon_round`. The audit session round *is*
+    /// the beacon round: both sides derive it independently.
+    ///
+    /// The id is a deterministic function of the file name and the
+    /// beacon round, so re-issuing the same `(provider, beacon_round)`
+    /// pair is idempotent: the existing track is kept and its id
+    /// returned, whatever state it is in.
+    pub fn issue<T: Transport>(
+        &mut self,
+        now: Millis,
+        provider: PeerId,
+        beacon: &mut dyn Beacon,
+        beacon_round: u64,
+        transport: &mut T,
+    ) -> Option<ChallengeId> {
+        let target = self.targets.get(&provider)?;
+        let session_round = beacon_round;
+        let id = derive_challenge_id(&target.meta.name, beacon_round, session_round);
+        if self.tracks.contains_key(&id) {
+            return Some(id);
+        }
+        let challenge = Challenge::from_beacon(&beacon.randomness(beacon_round));
+        let track = ChallengeTrack {
+            provider,
+            rc: RoundChallenge {
+                round: session_round,
+                challenge,
+            },
+            beacon_round,
+            issued_at: now,
+            deadline: now + self.cfg.ttl_ms,
+            attempt: 0,
+            next_send: Some(now + self.cfg.retry.backoff_ms(&id, 1)),
+            phase: ChallengePhase::Issued,
+            outcome: None,
+        };
+        self.send_challenge(now, &id, &track, transport);
+        self.tracks.insert(id, track);
+        self.stats.issued += 1;
+        Some(id)
+    }
+
+    fn send_challenge<T: Transport>(
+        &self,
+        now: Millis,
+        id: &ChallengeId,
+        track: &ChallengeTrack,
+        transport: &mut T,
+    ) {
+        let frame = Frame::Challenge(ChallengeFrame {
+            challenge_id: *id,
+            beacon_round: track.beacon_round,
+            round: track.rc.round,
+            expires_at: track.deadline,
+            challenge: track.rc.challenge,
+        });
+        transport.send(now, self.peer, track.provider, frame.to_wire());
+    }
+
+    /// One scheduling step at virtual time `now`: ingest frames, then
+    /// run the timer wheel (expiry first, then retransmissions).
+    pub fn step<T: Transport>(&mut self, now: Millis, transport: &mut T) {
+        // ingest; every frame belongs to a track bounded by its ttl
+        // deadline below, so this loop cannot outlive the ttl horizon
+        while let Some((from, wire)) = transport.recv(now, self.peer) {
+            match Frame::from_wire(&wire) {
+                Ok(frame) => self.handle(now, from, frame, transport),
+                Err(_) => self.stats.corrupt_frames += 1,
+            }
+        }
+        // timer wheel over the ordered track map
+        let ids: Vec<ChallengeId> = self.tracks.keys().copied().collect();
+        for id in ids {
+            let Some(track) = self.tracks.get_mut(&id) else {
+                continue;
+            };
+            if track.is_terminal() {
+                continue;
+            }
+            if now >= track.deadline {
+                // ttl elapsed: the challenge expires into the penalty
+                // path, exactly once
+                if track.settle(Outcome::Expired) {
+                    self.stats.expired += 1;
+                }
+                continue;
+            }
+            if let Some(at) = track.next_send {
+                if now >= at {
+                    track.attempt += 1;
+                    track.next_send = if track.attempt < self.cfg.retry.max_retries {
+                        Some(now + self.cfg.retry.backoff_ms(&id, track.attempt + 1))
+                    } else {
+                        None
+                    };
+                    let snapshot = *track;
+                    self.stats.retries += 1;
+                    self.send_challenge(now, &id, &snapshot, transport);
+                }
+            }
+        }
+    }
+
+    fn handle<T: Transport>(&mut self, now: Millis, from: PeerId, frame: Frame, transport: &mut T) {
+        let id = *frame.challenge_id();
+        let Some(track) = self.tracks.get_mut(&id) else {
+            self.stats.unknown_ids += 1;
+            return;
+        };
+        if track.provider != from {
+            // a frame about someone else's challenge: ignore
+            self.stats.unknown_ids += 1;
+            return;
+        }
+        match frame {
+            Frame::Ack(_) => {
+                if !track.is_terminal() && track.phase == ChallengePhase::Issued {
+                    track.phase = ChallengePhase::Delivered;
+                }
+                self.stats.acks += 1;
+            }
+            Frame::Overloaded(o) => {
+                self.stats.overloaded += 1;
+                if !track.is_terminal() {
+                    track.phase = ChallengePhase::Delivered;
+                    // honor the provider's hint, clamped to the ttl
+                    let at = (now + o.retry_after_ms.max(1)).min(track.deadline);
+                    track.next_send = Some(at);
+                }
+            }
+            Frame::Proof(p) => self.handle_proof(now, id, p, transport),
+            // provider-bound frames echoed back: ignore
+            Frame::Challenge(_) | Frame::Settle(_) => {}
+        }
+    }
+
+    fn handle_proof<T: Transport>(
+        &mut self,
+        now: Millis,
+        id: ChallengeId,
+        p: ProofFrame,
+        transport: &mut T,
+    ) {
+        let Some(track) = self.tracks.get(&id) else {
+            return;
+        };
+        if track.is_terminal() {
+            // write-once settlement: a proof racing the ttl (or a
+            // duplicated frame) cannot settle a second time, but we do
+            // re-send the settle notice when one exists
+            self.stats.late_proofs += 1;
+            if let Some(Outcome::Settled(v)) = track.outcome {
+                let frame = Frame::Settle(SettleFrame {
+                    challenge_id: id,
+                    accepted: v.accepted(),
+                });
+                transport.send(now, self.peer, track.provider, frame.to_wire());
+            }
+            return;
+        }
+        if p.round != track.rc.round {
+            // wrong session round: refuse, keep the challenge open
+            self.stats.round_mismatches += 1;
+            return;
+        }
+        let Some(target) = self.targets.get(&track.provider) else {
+            return;
+        };
+        let verdict = self
+            .auditor
+            .verify_private(&target.pk, &target.meta, &track.rc.challenge, &p.proof);
+        self.stats.proofs_verified += 1;
+        let verdict = match verdict {
+            Ok(v) => v,
+            // metadata was validated at registration; an input error
+            // here means the proof did not convince the auditor
+            Err(_) => Verdict::Reject(dsaudit_core::RejectReason::Equation2),
+        };
+        let provider = track.provider;
+        let Some(track) = self.tracks.get_mut(&id) else {
+            return;
+        };
+        if track.settle(Outcome::Settled(verdict)) {
+            match verdict {
+                Verdict::Accept => self.stats.settled_accept += 1,
+                Verdict::Reject(_) => self.stats.settled_reject += 1,
+            }
+            let frame = Frame::Settle(SettleFrame {
+                challenge_id: id,
+                accepted: verdict.accepted(),
+            });
+            transport.send(now, self.peer, provider, frame.to_wire());
+        }
+    }
+
+    /// Challenges not yet terminal.
+    pub fn pending(&self) -> usize {
+        self.tracks.values().filter(|t| !t.is_terminal()).count()
+    }
+
+    /// Earliest future instant any track needs attention.
+    pub fn next_wakeup(&self) -> Option<Millis> {
+        self.tracks.values().filter_map(|t| t.next_wakeup()).min()
+    }
+
+    /// All tracks, keyed by challenge id (terminal and pending).
+    pub fn tracks(&self) -> &BTreeMap<ChallengeId, ChallengeTrack> {
+        &self.tracks
+    }
+
+    /// `(accept, reject, expired, pending)` counts over all tracks.
+    pub fn outcome_counts(&self) -> (u64, u64, u64, u64) {
+        let mut counts = (0, 0, 0, 0);
+        for track in self.tracks.values() {
+            match track.outcome {
+                Some(Outcome::Settled(Verdict::Accept)) => counts.0 += 1,
+                Some(Outcome::Settled(Verdict::Reject(_))) => counts.1 += 1,
+                Some(Outcome::Expired) => counts.2 += 1,
+                None => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Checks the terminal-state invariant over all tracks: every
+    /// challenge has exactly one terminal outcome and the stats agree.
+    /// Returns human-readable violations (empty = invariant holds).
+    pub fn audit_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let (accept, reject, expired, pending) = self.outcome_counts();
+        if pending > 0 {
+            violations.push(format!("{pending} challenge(s) never reached a terminal state"));
+        }
+        if accept + reject + expired + pending != self.stats.issued {
+            violations.push(format!(
+                "issued {} but tracked {} outcomes",
+                self.stats.issued,
+                accept + reject + expired + pending
+            ));
+        }
+        if (accept, reject, expired)
+            != (
+                self.stats.settled_accept,
+                self.stats.settled_reject,
+                self.stats.expired,
+            )
+        {
+            violations.push(format!(
+                "settlement counters ({}, {}, {}) disagree with track outcomes ({accept}, {reject}, {expired}) — a challenge settled more than once",
+                self.stats.settled_accept, self.stats.settled_reject, self.stats.expired
+            ));
+        }
+        violations
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic event loop driving one auditor daemon and a set of
+//! provider daemons over a shared transport on a virtual clock.
+//!
+//! The loop steps every daemon at the current instant, then advances
+//! the clock to the earliest of the transport's next delivery and the
+//! daemons' next timer wakeups — no busy-waiting, no wall clock, so a
+//! run is a pure function of the seeds and the issue schedule.
+
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use dsaudit_chain::beacon::Beacon;
+
+use crate::auditor::AuditorNode;
+use crate::frame::ChallengeId;
+use crate::provider::ProviderNode;
+use crate::transport::{Millis, PeerId, Transport};
+
+/// One auditor + N providers on a shared transport.
+pub struct Cluster<T: Transport> {
+    /// The shared (typically fault-injecting) transport.
+    pub transport: T,
+    /// The auditor daemon.
+    pub auditor: AuditorNode,
+    /// Provider daemons by transport address.
+    pub providers: BTreeMap<PeerId, ProviderNode>,
+    /// The virtual clock, ms.
+    pub now: Millis,
+}
+
+impl<T: Transport> Cluster<T> {
+    /// A cluster at virtual time zero.
+    pub fn new(transport: T, auditor: AuditorNode) -> Self {
+        Self {
+            transport,
+            auditor,
+            providers: BTreeMap::new(),
+            now: 0,
+        }
+    }
+
+    /// Attaches a provider daemon (keyed by its peer id).
+    pub fn add_provider(&mut self, node: ProviderNode) {
+        self.providers.insert(node.peer(), node);
+    }
+
+    /// Issues one challenge against `provider` from the beacon's
+    /// `beacon_round` output at the current instant.
+    pub fn issue(
+        &mut self,
+        provider: PeerId,
+        beacon: &mut dyn Beacon,
+        beacon_round: u64,
+    ) -> Option<ChallengeId> {
+        self.auditor
+            .issue(self.now, provider, beacon, beacon_round, &mut self.transport)
+    }
+
+    /// Runs the event loop until every issued challenge is terminal or
+    /// the virtual clock passes `horizon`. Returns `true` when all
+    /// challenges terminated (the lifecycle invariant); `false` means
+    /// the horizon was too short — callers treat that as a lost
+    /// challenge.
+    pub fn run_until_settled(&mut self, horizon: Millis) -> bool {
+        // horizon is the outer deadline; each challenge's ttl is the
+        // inner one, so termination needs horizon > max ttl deadline
+        while self.auditor.pending() > 0 {
+            if self.now > horizon {
+                return false;
+            }
+            self.auditor.step(self.now, &mut self.transport);
+            for provider in self.providers.values_mut() {
+                provider.step(self.now, &mut self.transport);
+            }
+            let mut next = self.transport.next_delivery();
+            let mut merge = |t: Option<Millis>| {
+                next = match (next, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            };
+            merge(self.auditor.next_wakeup());
+            for provider in self.providers.values() {
+                merge(provider.next_wakeup());
+            }
+            self.now = match next {
+                Some(t) if t > self.now => t,
+                // an event is due now (e.g. a reordered frame landed at
+                // this instant): re-step after a minimal advance
+                _ => self.now + 1,
+            };
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::AuditorConfig;
+    use crate::lifecycle::{Outcome, RetryPolicy};
+    use crate::provider::{ProviderConfig, ProviderNode};
+    use crate::transport::{InProcTransport, NetFaultConfig, PartitionWindow};
+    use dsaudit_chain::beacon::TrustedBeacon;
+    use dsaudit_core::{AuditParams, DataOwner, StorageProvider, Verdict};
+    use rand::SeedableRng;
+
+    fn provider_handle(seed: u64, corrupt: bool) -> StorageProvider {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = AuditParams::new(4, 3).unwrap();
+        let owner = DataOwner::generate(&mut rng, params);
+        let bundle = owner.outsource(&mut rng, &[0x5au8; 700]);
+        let mut provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
+        if corrupt {
+            // zero every chunk so any sampled subset detects the loss
+            for i in 0..provider.meta().num_chunks {
+                provider.drop_chunk(i);
+            }
+        }
+        provider
+    }
+
+    fn cluster(
+        faults: NetFaultConfig,
+        cfg: AuditorConfig,
+    ) -> (Cluster<InProcTransport>, TrustedBeacon) {
+        let transport = InProcTransport::new(0xc1u64, faults);
+        let auditor = AuditorNode::new(0, cfg);
+        (Cluster::new(transport, auditor), TrustedBeacon::new(b"harness"))
+    }
+
+    fn attach(cluster: &mut Cluster<InProcTransport>, peer: PeerId, corrupt: bool, cfg: ProviderConfig) {
+        let handle = provider_handle(0x9000 + peer as u64, corrupt);
+        cluster
+            .auditor
+            .register_target(peer, handle.public_key().clone(), handle.meta());
+        cluster.add_provider(ProviderNode::new(peer, handle, cfg, 0x400 + peer as u64));
+    }
+
+    #[test]
+    fn honest_provider_settles_accept_over_reliable_network() {
+        let (mut cluster, mut beacon) = cluster(
+            NetFaultConfig::reliable(5),
+            AuditorConfig::default(),
+        );
+        attach(&mut cluster, 1, false, ProviderConfig::default());
+        let id = cluster.issue(1, &mut beacon, 0).unwrap();
+        assert!(cluster.run_until_settled(60_000));
+        let track = &cluster.auditor.tracks()[&id];
+        assert_eq!(track.outcome, Some(Outcome::Settled(Verdict::Accept)));
+        assert!(cluster.auditor.audit_invariants().is_empty());
+    }
+
+    #[test]
+    fn corrupted_data_settles_reject_not_expiry() {
+        let (mut cluster, mut beacon) = cluster(
+            NetFaultConfig::reliable(5),
+            AuditorConfig::default(),
+        );
+        attach(&mut cluster, 1, true, ProviderConfig::default());
+        let id = cluster.issue(1, &mut beacon, 0).unwrap();
+        assert!(cluster.run_until_settled(60_000));
+        assert!(matches!(
+            cluster.auditor.tracks()[&id].outcome,
+            Some(Outcome::Settled(Verdict::Reject(_)))
+        ));
+    }
+
+    #[test]
+    fn partitioned_provider_expires_into_the_penalty_path() {
+        let faults = NetFaultConfig {
+            partitions: vec![PartitionWindow {
+                peer: 1,
+                from: 0,
+                until: u64::MAX,
+            }],
+            ..NetFaultConfig::reliable(5)
+        };
+        let (mut cluster, mut beacon) = cluster(faults, AuditorConfig::default());
+        attach(&mut cluster, 1, false, ProviderConfig::default());
+        let id = cluster.issue(1, &mut beacon, 0).unwrap();
+        assert!(cluster.run_until_settled(60_000));
+        assert_eq!(cluster.auditor.tracks()[&id].outcome, Some(Outcome::Expired));
+        assert!(cluster.auditor.stats.retries > 0, "silence must be retried first");
+        assert!(cluster.auditor.audit_invariants().is_empty());
+    }
+
+    #[test]
+    fn burst_beyond_budgets_is_shed_with_overloaded_then_recovers() {
+        let (mut cluster, mut beacon) = cluster(
+            NetFaultConfig::reliable(2),
+            AuditorConfig {
+                ttl_ms: 30_000,
+                retry: RetryPolicy::default(),
+            },
+        );
+        let tight = ProviderConfig {
+            max_inflight: 2,
+            queue_capacity: 2,
+            prove_ms: 100,
+            ..ProviderConfig::default()
+        };
+        attach(&mut cluster, 1, false, tight);
+        for round in 0..10u64 {
+            cluster.issue(1, &mut beacon, round).unwrap();
+        }
+        assert!(cluster.run_until_settled(120_000));
+        let (accept, reject, expired, pending) = cluster.auditor.outcome_counts();
+        assert_eq!((accept, reject, expired, pending), (10, 0, 0, 0));
+        assert!(
+            cluster.auditor.stats.overloaded > 0,
+            "a 10-challenge burst against budgets of 2+2 must shed"
+        );
+        let provider = &cluster.providers[&1];
+        assert_eq!(provider.stats.overloaded_sent, cluster.auditor.stats.overloaded);
+        assert!(cluster.auditor.audit_invariants().is_empty());
+    }
+
+    #[test]
+    fn reissuing_the_same_beacon_round_is_idempotent() {
+        let (mut cluster, mut beacon) = cluster(
+            NetFaultConfig::reliable(5),
+            AuditorConfig::default(),
+        );
+        attach(&mut cluster, 1, false, ProviderConfig::default());
+        let a = cluster.issue(1, &mut beacon, 0).unwrap();
+        // a duplicate issue of the same beacon round is a no-op, even
+        // while the challenge is still in flight
+        assert_eq!(cluster.issue(1, &mut beacon, 0), Some(a));
+        assert_eq!(cluster.auditor.stats.issued, 1);
+        assert!(cluster.run_until_settled(60_000));
+        // ... and after settlement too: the terminal track is kept
+        assert_eq!(cluster.issue(1, &mut beacon, 0), Some(a));
+        assert_eq!(cluster.auditor.stats.issued, 1);
+        // a new beacon round yields a fresh id
+        let b = cluster.issue(1, &mut beacon, 1).unwrap();
+        assert_ne!(a, b);
+        assert!(cluster.run_until_settled(120_000));
+        assert_eq!(cluster.auditor.stats.issued, 2);
+        assert!(cluster.auditor.audit_invariants().is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! The provider daemon: answers challenges over the transport with
+//! bounded concurrency and idempotent replies.
+//!
+//! Backpressure policy: at most `max_inflight` proofs are being
+//! computed at once; up to `queue_capacity` further challenges wait in
+//! arrival order; anything beyond that is shed immediately with a typed
+//! [`Frame::Overloaded`] reply (never buffered unboundedly). Completed
+//! proofs are memoized until the auditor's `Settle` notice, so a
+//! retransmitted challenge is answered from the memo instead of being
+//! proven twice.
+
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dsaudit_core::{RoundChallenge, StorageProvider};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::frame::{AckFrame, ChallengeFrame, ChallengeId, Frame, OverloadedFrame, ProofFrame};
+use crate::transport::{Millis, PeerId, Transport};
+
+/// Tuning knobs of a [`ProviderNode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProviderConfig {
+    /// Proofs computed concurrently before new work queues.
+    pub max_inflight: usize,
+    /// Challenges waiting behind the in-flight set before shedding.
+    pub queue_capacity: usize,
+    /// Virtual time one proof takes to compute, ms.
+    pub prove_ms: u64,
+    /// `retry_after_ms` hint attached to `Overloaded` replies.
+    pub retry_after_ms: u64,
+    /// Completed proofs memoized for retransmitted challenges.
+    pub memo_capacity: usize,
+}
+
+impl Default for ProviderConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 4,
+            queue_capacity: 8,
+            prove_ms: 40,
+            retry_after_ms: 300,
+            memo_capacity: 1024,
+        }
+    }
+}
+
+/// Counters over everything a provider daemon did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProviderStats {
+    /// Well-formed frames received.
+    pub received: u64,
+    /// Frames that failed to decode (treated as loss; the auditor's
+    /// retransmission recovers them).
+    pub corrupt_frames: u64,
+    /// Challenge retransmissions deduplicated by id.
+    pub duplicates: u64,
+    /// Challenges shed with an `Overloaded` reply.
+    pub overloaded_sent: u64,
+    /// Proofs computed and sent.
+    pub proofs_sent: u64,
+    /// Proofs re-sent from the memo for retransmitted challenges.
+    pub proofs_resent: u64,
+    /// Jobs dropped because their challenge deadline had passed.
+    pub shed_stale: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    auditor: PeerId,
+    rc: RoundChallenge,
+    expires_at: Millis,
+    ready_at: Millis,
+}
+
+/// A storage provider attached to the transport as a daemon.
+pub struct ProviderNode {
+    peer: PeerId,
+    provider: StorageProvider,
+    cfg: ProviderConfig,
+    rng: StdRng,
+    active: BTreeMap<ChallengeId, Job>,
+    queued: VecDeque<(ChallengeId, Job)>,
+    /// Completed proofs awaiting the auditor's settle notice, with FIFO
+    /// eviction order.
+    memo: BTreeMap<ChallengeId, (u64, [u8; dsaudit_core::PRIVATE_PROOF_BYTES])>,
+    memo_order: VecDeque<ChallengeId>,
+    settled: BTreeSet<ChallengeId>,
+    /// Daemon counters.
+    pub stats: ProviderStats,
+}
+
+impl ProviderNode {
+    /// Attaches `provider` to the transport as `peer`; `seed` fixes the
+    /// proof-blinding randomness.
+    pub fn new(peer: PeerId, provider: StorageProvider, cfg: ProviderConfig, seed: u64) -> Self {
+        Self {
+            peer,
+            provider,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            active: BTreeMap::new(),
+            queued: VecDeque::new(),
+            memo: BTreeMap::new(),
+            memo_order: VecDeque::new(),
+            settled: BTreeSet::new(),
+            stats: ProviderStats::default(),
+        }
+    }
+
+    /// This daemon's transport address.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The underlying storage-provider role handle (for fault
+    /// injection in tests: corrupting or dropping held data).
+    pub fn provider_mut(&mut self) -> &mut StorageProvider {
+        &mut self.provider
+    }
+
+    /// Sessions currently proving or queued.
+    pub fn load(&self) -> usize {
+        self.active.len() + self.queued.len()
+    }
+
+    /// Earliest future instant a proof finishes, if any.
+    pub fn next_wakeup(&self) -> Option<Millis> {
+        self.active.values().map(|j| j.ready_at).min()
+    }
+
+    /// One scheduling step at virtual time `now`: ingest frames, shed
+    /// stale work, emit finished proofs, refill the in-flight set.
+    pub fn step<T: Transport>(&mut self, now: Millis, transport: &mut T) {
+        // ingest; bounded per step by what the stale-deadline shedding
+        // below and the backpressure budgets admit
+        while let Some((from, wire)) = transport.recv(now, self.peer) {
+            match Frame::from_wire(&wire) {
+                Ok(frame) => {
+                    self.stats.received += 1;
+                    self.handle(now, from, frame, transport);
+                }
+                Err(_) => self.stats.corrupt_frames += 1,
+            }
+        }
+        // shed anything whose settlement deadline already passed — the
+        // auditor has expired it, so the proof would be wasted work
+        let stale: Vec<ChallengeId> = self
+            .active
+            .iter()
+            .filter(|(_, j)| now >= j.expires_at)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            self.active.remove(&id);
+            self.stats.shed_stale += 1;
+        }
+        self.queued.retain(|(_, j)| {
+            let fresh = now < j.expires_at;
+            if !fresh {
+                self.stats.shed_stale += 1;
+            }
+            fresh
+        });
+        // emit proofs whose virtual compute time has elapsed
+        let ready: Vec<ChallengeId> = self
+            .active
+            .iter()
+            .filter(|(_, j)| now >= j.ready_at)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ready {
+            let Some(job) = self.active.remove(&id) else {
+                continue;
+            };
+            let response = self.provider.respond_round(&mut self.rng, &job.rc);
+            let frame = Frame::Proof(ProofFrame {
+                challenge_id: id,
+                round: response.round,
+                proof: response.proof,
+            });
+            transport.send(now, self.peer, job.auditor, frame.to_wire());
+            self.stats.proofs_sent += 1;
+            self.memoize(id, response.round, response.proof.to_bytes());
+        }
+        // refill the in-flight set from the queue
+        while self.active.len() < self.cfg.max_inflight {
+            let Some((id, mut job)) = self.queued.pop_front() else {
+                break;
+            };
+            job.ready_at = now + self.cfg.prove_ms;
+            self.active.insert(id, job);
+        }
+    }
+
+    fn memoize(
+        &mut self,
+        id: ChallengeId,
+        round: u64,
+        proof: [u8; dsaudit_core::PRIVATE_PROOF_BYTES],
+    ) {
+        if self.memo.insert(id, (round, proof)).is_none() {
+            self.memo_order.push_back(id);
+        }
+        while self.memo.len() > self.cfg.memo_capacity.max(1) {
+            let Some(evict) = self.memo_order.pop_front() else {
+                break;
+            };
+            self.memo.remove(&evict);
+        }
+    }
+
+    fn handle<T: Transport>(&mut self, now: Millis, from: PeerId, frame: Frame, transport: &mut T) {
+        match frame {
+            Frame::Challenge(c) => self.handle_challenge(now, from, c, transport),
+            Frame::Settle(s) => {
+                // idempotent: the memo and any in-flight work for this
+                // challenge are released exactly once
+                self.settled.insert(s.challenge_id);
+                if self.memo.remove(&s.challenge_id).is_some() {
+                    self.memo_order.retain(|id| id != &s.challenge_id);
+                }
+                self.active.remove(&s.challenge_id);
+                self.queued.retain(|(id, _)| id != &s.challenge_id);
+            }
+            // auditor-bound frames echoed back by a confused peer are
+            // ignored; the protocol stays silent rather than amplifying
+            Frame::Ack(_) | Frame::Proof(_) | Frame::Overloaded(_) => {}
+        }
+    }
+
+    fn handle_challenge<T: Transport>(
+        &mut self,
+        now: Millis,
+        from: PeerId,
+        c: ChallengeFrame,
+        transport: &mut T,
+    ) {
+        let id = c.challenge_id;
+        if self.settled.contains(&id) {
+            self.stats.duplicates += 1;
+            return;
+        }
+        if let Some((round, proof)) = self.memo.get(&id) {
+            // already proven: answer from the memo, never prove twice
+            let frame = Frame::Proof(ProofFrame {
+                challenge_id: id,
+                round: *round,
+                proof: dsaudit_core::PrivateProof::from_bytes(proof)
+                    .expect("memoized proof bytes are canonical"),
+            });
+            transport.send(now, self.peer, from, frame.to_wire());
+            self.stats.proofs_resent += 1;
+            return;
+        }
+        if self.active.contains_key(&id) || self.queued.iter().any(|(qid, _)| qid == &id) {
+            // retransmission of work in progress: re-ack so the auditor
+            // knows the challenge was delivered
+            self.stats.duplicates += 1;
+            let ack = Frame::Ack(AckFrame { challenge_id: id });
+            transport.send(now, self.peer, from, ack.to_wire());
+            return;
+        }
+        if now >= c.expires_at {
+            // past its settlement deadline: proving would be wasted
+            self.stats.shed_stale += 1;
+            return;
+        }
+        let job = Job {
+            auditor: from,
+            rc: RoundChallenge {
+                round: c.round,
+                challenge: c.challenge,
+            },
+            expires_at: c.expires_at,
+            ready_at: now + self.cfg.prove_ms,
+        };
+        if self.active.len() < self.cfg.max_inflight {
+            self.active.insert(id, job);
+        } else if self.queued.len() < self.cfg.queue_capacity {
+            self.queued.push_back((id, job));
+        } else {
+            // both budgets full: shed with a typed reply instead of
+            // buffering without bound
+            let frame = Frame::Overloaded(OverloadedFrame {
+                challenge_id: id,
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+            transport.send(now, self.peer, from, frame.to_wire());
+            self.stats.overloaded_sent += 1;
+            return;
+        }
+        let ack = Frame::Ack(AckFrame { challenge_id: id });
+        transport.send(now, self.peer, from, ack.to_wire());
+    }
+}

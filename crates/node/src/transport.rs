@@ -1,0 +1,326 @@
+//! Pluggable frame transport with a deterministic, fault-injecting
+//! in-process implementation.
+//!
+//! A [`Transport`] moves opaque wire bytes between peers on a virtual
+//! millisecond clock; daemons poll it with [`Transport::recv`] inside
+//! their step functions. [`InProcTransport`] is the deterministic
+//! reference implementation: a seeded RNG decides, per send, whether
+//! the frame is dropped, delayed, duplicated, reordered ahead of older
+//! traffic, or byte-corrupted, and scheduled partition windows make a
+//! peer unreachable for a span of virtual time. All state lives in
+//! ordered maps keyed by `(recipient, deliver_at, sequence)`, so a run
+//! is a pure function of the seed and the send schedule.
+
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+/// Virtual-clock milliseconds.
+pub type Millis = u64;
+
+/// A node's address on the transport.
+pub type PeerId = u32;
+
+/// Moves wire bytes between peers on a shared virtual clock.
+pub trait Transport {
+    /// Queues `wire` for delivery from `from` to `to`, subject to the
+    /// implementation's fault model.
+    fn send(&mut self, now: Millis, from: PeerId, to: PeerId, wire: Vec<u8>);
+
+    /// The next frame deliverable to `peer` at or before `now`, with
+    /// its sender, or `None` when nothing is due.
+    fn recv(&mut self, now: Millis, peer: PeerId) -> Option<(PeerId, Vec<u8>)>;
+
+    /// Earliest delivery time of any in-flight frame (lets an event
+    /// loop advance the clock without busy-waiting).
+    fn next_delivery(&self) -> Option<Millis>;
+}
+
+/// A span of virtual time during which one peer is unreachable: every
+/// frame to or from it is silently lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// The cut-off peer.
+    pub peer: PeerId,
+    /// Window start (inclusive), virtual ms.
+    pub from: Millis,
+    /// Window end (exclusive), virtual ms.
+    pub until: Millis,
+}
+
+impl PartitionWindow {
+    fn cuts(&self, now: Millis, a: PeerId, b: PeerId) -> bool {
+        (self.peer == a || self.peer == b) && now >= self.from && now < self.until
+    }
+}
+
+/// Per-send fault probabilities and latency shape of an
+/// [`InProcTransport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetFaultConfig {
+    /// Fixed one-way latency added to every delivered frame, ms. Must
+    /// be at least 1 so delivery is never instantaneous.
+    pub base_latency_ms: u64,
+    /// Probability a frame is silently lost.
+    pub drop_rate: f64,
+    /// Probability a frame takes extra latency.
+    pub delay_rate: f64,
+    /// Upper bound of the extra latency, ms.
+    pub max_extra_delay_ms: u64,
+    /// Probability a frame is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability a frame jumps ahead of older in-flight traffic.
+    pub reorder_rate: f64,
+    /// Probability one byte of the frame is flipped in flight.
+    pub corrupt_rate: f64,
+    /// Scheduled unreachability windows.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl NetFaultConfig {
+    /// A perfectly reliable network with the given latency.
+    pub fn reliable(base_latency_ms: u64) -> Self {
+        Self {
+            base_latency_ms: base_latency_ms.max(1),
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            max_extra_delay_ms: 0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            corrupt_rate: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// Counters over everything the fault layer did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames handed to [`Transport::send`].
+    pub sent: u64,
+    /// Frames handed out by [`Transport::recv`].
+    pub delivered: u64,
+    /// Frames lost to the drop fault.
+    pub dropped: u64,
+    /// Frames lost to a partition window.
+    pub partitioned: u64,
+    /// Extra copies enqueued by the duplicate fault.
+    pub duplicated: u64,
+    /// Frames that took extra latency.
+    pub delayed: u64,
+    /// Frames that jumped the queue.
+    pub reordered: u64,
+    /// Frames with a byte flipped in flight.
+    pub corrupted: u64,
+}
+
+/// Deterministic in-process transport with seeded fault injection.
+pub struct InProcTransport {
+    rng: StdRng,
+    cfg: NetFaultConfig,
+    /// In-flight frames keyed by `(to, deliver_at, seq)`; the sequence
+    /// number breaks ties deterministically in send order.
+    inflight: BTreeMap<(PeerId, Millis, u64), (PeerId, Vec<u8>)>,
+    seq: u64,
+    /// Fault-layer counters.
+    pub stats: TransportStats,
+}
+
+fn chance(rng: &mut StdRng, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    u < p
+}
+
+impl InProcTransport {
+    /// A transport whose fault decisions are a pure function of `seed`.
+    pub fn new(seed: u64, cfg: NetFaultConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            inflight: BTreeMap::new(),
+            seq: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn enqueue(&mut self, to: PeerId, deliver_at: Millis, from: PeerId, wire: Vec<u8>) {
+        self.inflight.insert((to, deliver_at, self.seq), (from, wire));
+        self.seq += 1;
+    }
+
+    /// One delivery's scheduled time: base latency, possibly stretched
+    /// by the delay fault, possibly collapsed to `now + 1` by the
+    /// reorder fault (jumping ahead of older traffic still in flight).
+    fn schedule_one(&mut self, now: Millis) -> Millis {
+        let mut latency = self.cfg.base_latency_ms.max(1);
+        if chance(&mut self.rng, self.cfg.delay_rate) && self.cfg.max_extra_delay_ms > 0 {
+            latency += 1 + self.rng.next_u64() % self.cfg.max_extra_delay_ms;
+            self.stats.delayed += 1;
+        }
+        if chance(&mut self.rng, self.cfg.reorder_rate) {
+            self.stats.reordered += 1;
+            return now + 1;
+        }
+        now + latency
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, now: Millis, from: PeerId, to: PeerId, mut wire: Vec<u8>) {
+        self.stats.sent += 1;
+        if self.cfg.partitions.iter().any(|w| w.cuts(now, from, to)) {
+            self.stats.partitioned += 1;
+            return;
+        }
+        if chance(&mut self.rng, self.cfg.drop_rate) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if chance(&mut self.rng, self.cfg.corrupt_rate) && !wire.is_empty() {
+            let idx = (self.rng.next_u64() % wire.len() as u64) as usize;
+            // flip a bit rather than a whole byte so even minimal
+            // corruption must be caught by the typed decode path
+            if let Some(byte) = wire.get_mut(idx) {
+                *byte ^= 0x20;
+            }
+            self.stats.corrupted += 1;
+        }
+        let duplicate = chance(&mut self.rng, self.cfg.duplicate_rate);
+        let deliver_at = self.schedule_one(now);
+        if duplicate {
+            let dup_at = self.schedule_one(now);
+            self.stats.duplicated += 1;
+            self.enqueue(to, dup_at, from, wire.clone());
+        }
+        self.enqueue(to, deliver_at, from, wire);
+    }
+
+    fn recv(&mut self, now: Millis, peer: PeerId) -> Option<(PeerId, Vec<u8>)> {
+        let key = self
+            .inflight
+            .range((peer, 0, 0)..=(peer, now, u64::MAX))
+            .map(|(k, _)| *k)
+            .next()?;
+        let (from, wire) = self.inflight.remove(&key)?;
+        self.stats.delivered += 1;
+        Some((from, wire))
+    }
+
+    fn next_delivery(&self) -> Option<Millis> {
+        self.inflight.keys().map(|&(_, at, _)| at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_transport_delivers_in_order_after_latency() {
+        let mut t = InProcTransport::new(1, NetFaultConfig::reliable(5));
+        t.send(0, 1, 2, vec![0xa]);
+        t.send(0, 1, 2, vec![0xb]);
+        assert_eq!(t.recv(4, 2), None, "latency not yet elapsed");
+        assert_eq!(t.next_delivery(), Some(5));
+        assert_eq!(t.recv(5, 2), Some((1, vec![0xa])));
+        assert_eq!(t.recv(5, 2), Some((1, vec![0xb])));
+        assert_eq!(t.recv(5, 2), None);
+        let s = t.stats;
+        assert_eq!((s.sent, s.delivered, s.dropped), (2, 2, 0));
+    }
+
+    #[test]
+    fn recv_is_per_peer() {
+        let mut t = InProcTransport::new(1, NetFaultConfig::reliable(1));
+        t.send(0, 1, 2, vec![0xa]);
+        assert_eq!(t.recv(10, 3), None, "frame addressed to peer 2");
+        assert_eq!(t.recv(10, 2), Some((1, vec![0xa])));
+    }
+
+    #[test]
+    fn partitions_cut_both_directions() {
+        let cfg = NetFaultConfig {
+            partitions: vec![PartitionWindow {
+                peer: 2,
+                from: 10,
+                until: 20,
+            }],
+            ..NetFaultConfig::reliable(1)
+        };
+        let mut t = InProcTransport::new(1, cfg);
+        t.send(10, 1, 2, vec![1]);
+        t.send(15, 2, 1, vec![2]);
+        t.send(20, 1, 2, vec![3]); // window closed
+        assert_eq!(t.stats.partitioned, 2);
+        assert_eq!(t.recv(30, 2), Some((1, vec![3])));
+        assert_eq!(t.recv(30, 1), None);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let cfg = NetFaultConfig {
+            drop_rate: 0.3,
+            delay_rate: 0.3,
+            max_extra_delay_ms: 40,
+            duplicate_rate: 0.2,
+            reorder_rate: 0.2,
+            corrupt_rate: 0.2,
+            ..NetFaultConfig::reliable(3)
+        };
+        let run = |seed: u64| {
+            let mut t = InProcTransport::new(seed, cfg.clone());
+            let mut log = Vec::new();
+            for i in 0..200u64 {
+                t.send(i, 1, 2, vec![i as u8, 7, 9]);
+            }
+            let mut now = 0;
+            while t.in_flight() > 0 {
+                now += 1;
+                while let Some(got) = t.recv(now, 2) {
+                    log.push((now, got));
+                }
+            }
+            (log, t.stats)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds, different schedules");
+        let (_, stats) = run(42);
+        assert!(stats.dropped > 0 && stats.duplicated > 0 && stats.corrupted > 0);
+        assert!(stats.reordered > 0 && stats.delayed > 0);
+        assert_eq!(
+            stats.delivered + stats.dropped,
+            stats.sent + stats.duplicated
+        );
+    }
+
+    #[test]
+    fn corruption_touches_exactly_one_bit() {
+        let cfg = NetFaultConfig {
+            corrupt_rate: 1.0,
+            ..NetFaultConfig::reliable(1)
+        };
+        let mut t = InProcTransport::new(9, cfg);
+        let original = vec![0u8; 32];
+        t.send(0, 1, 2, original.clone());
+        let (_, got) = t.recv(5, 2).unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(&original)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+}

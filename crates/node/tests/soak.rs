@@ -1,0 +1,72 @@
+//! The acceptance soak: ≥500 challenge sessions across three fault
+//! schedules, every challenge terminal, zero lost, zero double-settled,
+//! and the whole report byte-for-byte reproducible.
+
+use dsaudit_node::soak::{run_soak, SoakConfig};
+
+#[test]
+fn soak_terminates_every_challenge_and_reproduces_exactly() {
+    let cfg = SoakConfig::default();
+    assert!(cfg.sessions >= 500, "acceptance floor");
+
+    let first = run_soak(&cfg);
+    assert!(
+        first.ok(),
+        "lifecycle invariant violated:\n{}",
+        first.violations().join("\n")
+    );
+    assert_eq!(first.total_sessions(), cfg.sessions as u64);
+
+    // every schedule exercised its intended failure mode
+    let by_name = |n: &str| {
+        first
+            .schedules
+            .iter()
+            .find(|s| s.name == n)
+            .unwrap_or_else(|| panic!("schedule {n} missing"))
+    };
+    let baseline = by_name("baseline");
+    assert!(baseline.settled_accept > 0, "baseline must mostly accept");
+    let lossy = by_name("lossy");
+    assert!(
+        lossy.settled_reject > 0,
+        "the corrupted-data provider must draw rejects through the lossy net"
+    );
+    assert!(lossy.retries > 0, "a 20% drop rate must force retries");
+    assert!(lossy.corrupt_frames > 0, "corrupt frames must surface as typed errors");
+    let partitioned = by_name("partitioned");
+    assert!(
+        partitioned.expired > 0,
+        "the fully partitioned provider's challenges must expire"
+    );
+
+    // a dropped/corrupted frame is a retry, never a verdict: rejects
+    // happen only where data is actually bad (the lossy schedule's
+    // corrupted provider)
+    assert_eq!(baseline.settled_reject, 0, "transport faults must not reject");
+    assert_eq!(partitioned.settled_reject, 0, "partition must expire, not reject");
+
+    // byte-for-byte reproducibility of the full report
+    let second = run_soak(&cfg);
+    assert_eq!(first.to_json(), second.to_json(), "soak must be deterministic");
+}
+
+#[test]
+fn soak_json_is_well_formed_enough_for_ci() {
+    let cfg = SoakConfig {
+        sessions: 30,
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&cfg);
+    let json = report.to_json();
+    assert!(json.contains("\"ok\": true"), "{json}");
+    assert!(json.contains("\"schedules\""));
+    assert_eq!(
+        json.matches("\"name\"").count(),
+        3,
+        "one entry per schedule"
+    );
+    // crude balance check: same number of braces both ways
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}

@@ -8,7 +8,8 @@
 //! 1. **Churn** — providers join, leave (graceful hand-off: blobs and
 //!    contracts migrate), or crash (shares lost with the node).
 //! 2. **Faults** — the fault model corrupts, drops, or withholds
-//!    stored shares.
+//!    stored shares, or eats a proof frame in flight (transport loss,
+//!    recovered by node-layer retries before the deadline).
 //! 3. **Audit** — every share contract's `Chal` trigger fires; online
 //!    providers prove over *whatever bytes they actually store*; the
 //!    per-shard auditors settle all posted proofs with one batched
@@ -73,6 +74,9 @@ struct Placement {
     shard: usize,
     status: ShareStatus,
     withhold: bool,
+    /// The network ate this epoch's first proof frame; the node layer
+    /// resends it within the deadline, so the round still settles.
+    transport: bool,
 }
 
 /// One uploaded file: plaintext kept for end-of-run verification, the
@@ -299,6 +303,7 @@ impl Simulation {
                         shard,
                         status: ShareStatus::Good,
                         withhold: false,
+                        transport: false,
                     });
                     metas.push(meta);
                     tags.push(bundle.tags);
@@ -442,6 +447,8 @@ impl Simulation {
         r.failures += es.failures as u64;
         r.injected_faults += es.injected as u64;
         r.detected_faults += es.detected as u64;
+        r.transport_faults += es.transport_faults as u64;
+        r.transport_retries += es.transport_retries as u64;
         r.repairs += es.repairs as u64;
         r.migrations += es.migrations as u64;
         r.repair_traffic_bytes += es.repair_traffic_bytes;
@@ -582,8 +589,18 @@ impl Simulation {
                 FaultKind::Withhold => {
                     self.placements[pl_id].withhold = true;
                 }
+                FaultKind::Transport => {
+                    self.placements[pl_id].transport = true;
+                }
             }
-            es.injected += 1;
+            // provider faults and network faults are accounted apart:
+            // the former must be detected, the latter must be invisible
+            // to the verdict stream
+            if kind.is_provider_fault() {
+                es.injected += 1;
+            } else {
+                es.transport_faults += 1;
+            }
             injected.push((pl_id, kind));
         }
         injected
@@ -593,7 +610,7 @@ impl Simulation {
     /// bytes actually stored, `Verify` triggers, then per-shard batched
     /// verdicts. Returns, per placement, the expected outcome (ground
     /// truth) and the contract-settled verdict.
-    fn audit_phase(&mut self, _es: &mut EpochStats) -> (Vec<Option<bool>>, Vec<Option<bool>>) {
+    fn audit_phase(&mut self, es: &mut EpochStats) -> (Vec<Option<bool>>, Vec<Option<bool>>) {
         let audit_mark = self.chain.block_count();
         self.chain.advance_time(self.cfg.epoch_secs + 1);
         self.mine_ok("challenge triggers");
@@ -622,6 +639,12 @@ impl Simulation {
             let responds = online && !pl.withhold && pl.status != ShareStatus::Missing;
             if !responds {
                 continue;
+            }
+            if pl.transport {
+                // the first frame was lost in flight; the node layer's
+                // bounded retry resends it inside the proving deadline,
+                // so the submission below is the (successful) retransmit
+                es.transport_retries += 1;
             }
             let file = &self.files[pl.file];
             let (_, _, share_key) = file.manifest.placements[pl.share];
@@ -747,10 +770,29 @@ impl Simulation {
                 es.failures += 1;
             }
             match (exp, got) {
-                (true, false) => self.report.false_rejects += 1,
+                (true, false) => {
+                    // attribute the completeness violation: a healthy,
+                    // served share failing *because the network lost a
+                    // frame* is its own guarded counter — a dropped
+                    // frame must be a retry, never a verdict
+                    let transport_only = injected
+                        .iter()
+                        .any(|&(pl, k)| pl == pl_id && k == FaultKind::Transport)
+                        && !injected
+                            .iter()
+                            .any(|&(pl, k)| pl == pl_id && k.is_provider_fault());
+                    if transport_only {
+                        self.report.transport_false_rejects += 1;
+                    } else {
+                        self.report.false_rejects += 1;
+                    }
+                }
                 (false, true) => self.report.false_accepts += 1,
                 (false, false) => {
-                    if injected.iter().any(|(pl, _)| *pl == pl_id) {
+                    if injected
+                        .iter()
+                        .any(|&(pl, k)| pl == pl_id && k.is_provider_fault())
+                    {
                         es.detected += 1;
                     }
                 }
@@ -839,9 +881,11 @@ impl Simulation {
                 }
             }
         }
-        // withholding is transient: providers resume next epoch
+        // withholding and transport loss are transient: providers
+        // resume (and links heal) next epoch
         for pl in &mut self.placements {
             pl.withhold = false;
+            pl.transport = false;
         }
         if queued_any {
             self.mine_ok("repair migrations");
@@ -910,6 +954,7 @@ mod tests {
                 corrupt: 0.2,
                 drop: 0.0,
                 withhold: 0.0,
+                transport: 0.0,
             },
             epochs: 4,
             ..tiny_config()

@@ -1,5 +1,6 @@
-//! Pluggable share-fault models: bit rot, silent deletion, and proof
-//! withholding, injected per stored share per epoch.
+//! Pluggable share-fault models: bit rot, silent deletion, proof
+//! withholding, and transport loss, injected per stored share per
+//! epoch.
 
 use rand::RngCore;
 
@@ -18,6 +19,12 @@ pub enum FaultKind {
     /// The data is intact but the provider withholds its proof this
     /// epoch (griefing / outage). The round times out.
     Withhold,
+    /// The data is intact and the provider responds, but the network
+    /// eats the first proof frame (drop/delay/corrupt-in-flight). The
+    /// node layer's bounded retries resend it within the proving
+    /// deadline, so the round must still settle `Accept` — a dropped
+    /// frame is a retry, not a verdict.
+    Transport,
 }
 
 impl FaultKind {
@@ -27,7 +34,16 @@ impl FaultKind {
             FaultKind::Corrupt => "corrupt",
             FaultKind::Drop => "drop",
             FaultKind::Withhold => "withhold",
+            FaultKind::Transport => "transport",
         }
+    }
+
+    /// Whether the fault is the *provider's* doing (corrupt, drop,
+    /// withhold) as opposed to the network's. Provider faults must be
+    /// detected and penalized; transport faults must be absorbed by
+    /// retries without ever reaching a verdict.
+    pub fn is_provider_fault(&self) -> bool {
+        !matches!(self, FaultKind::Transport)
     }
 }
 
@@ -49,6 +65,9 @@ pub struct FaultRates {
     pub drop: f64,
     /// Per-share withholding probability per epoch.
     pub withhold: f64,
+    /// Per-share transport-loss probability per epoch (first proof
+    /// frame lost in flight, recovered by the node layer's retries).
+    pub transport: f64,
 }
 
 impl Default for FaultRates {
@@ -57,17 +76,19 @@ impl Default for FaultRates {
             corrupt: 0.01,
             drop: 0.005,
             withhold: 0.005,
+            transport: 0.005,
         }
     }
 }
 
 impl FaultRates {
-    /// Fully honest providers.
+    /// Fully honest providers on a lossless network.
     pub fn none() -> Self {
         Self {
             corrupt: 0.0,
             drop: 0.0,
             withhold: 0.0,
+            transport: 0.0,
         }
     }
 }
@@ -79,12 +100,15 @@ impl FaultModel for FaultRates {
         let corrupt = chance(rng, self.corrupt);
         let drop = chance(rng, self.drop);
         let withhold = chance(rng, self.withhold);
+        let transport = chance(rng, self.transport);
         if corrupt {
             Some(FaultKind::Corrupt)
         } else if drop {
             Some(FaultKind::Drop)
         } else if withhold {
             Some(FaultKind::Withhold)
+        } else if transport {
+            Some(FaultKind::Transport)
         } else {
             None
         }
@@ -103,21 +127,25 @@ mod tests {
             corrupt: 0.2,
             drop: 0.1,
             withhold: 0.1,
+            transport: 0.1,
         };
-        let mut counts = [0usize; 3];
+        let mut counts = [0usize; 4];
         let trials = 5_000;
         for _ in 0..trials {
             match m.sample(&mut rng, 0) {
                 Some(FaultKind::Corrupt) => counts[0] += 1,
                 Some(FaultKind::Drop) => counts[1] += 1,
                 Some(FaultKind::Withhold) => counts[2] += 1,
+                Some(FaultKind::Transport) => counts[3] += 1,
                 None => {}
             }
         }
-        // corrupt ~ 20%, drop ~ 8% (masked by corrupt), withhold ~ 7.2%
+        // corrupt ~ 20%, drop ~ 8% (masked by corrupt), withhold ~ 7.2%,
+        // transport ~ 6.5% (masked by all three provider classes)
         assert!((800..=1200).contains(&counts[0]), "corrupt = {}", counts[0]);
         assert!((250..=550).contains(&counts[1]), "drop = {}", counts[1]);
         assert!((200..=500).contains(&counts[2]), "withhold = {}", counts[2]);
+        assert!((180..=480).contains(&counts[3]), "transport = {}", counts[3]);
     }
 
     #[test]

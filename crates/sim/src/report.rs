@@ -25,10 +25,18 @@ pub struct EpochStats {
     pub passes: u32,
     /// Rounds that failed (bad proof or timeout).
     pub failures: u32,
-    /// Faults injected this epoch (corrupt + drop + withhold).
+    /// Provider faults injected this epoch (corrupt + drop + withhold).
     pub injected: u32,
-    /// Injected faults whose audit round failed (caught this epoch).
+    /// Injected provider faults whose audit round failed (caught this
+    /// epoch).
     pub detected: u32,
+    /// Network faults injected this epoch (proof frames lost in
+    /// flight). Accounted apart from provider faults: these must be
+    /// absorbed by retries, not detected by verdicts.
+    pub transport_faults: u32,
+    /// Proof frames retransmitted by the node layer after a transport
+    /// fault (each one a retry that kept a verdict from happening).
+    pub transport_retries: u32,
     /// Shares reconstructed and re-placed.
     pub repairs: u32,
     /// Contract migrations executed (repair re-homes + graceful-leave
@@ -80,12 +88,27 @@ pub struct SimReport {
     /// (soundness violations; must be zero).
     pub false_accepts: u64,
     /// Rounds that failed although the share was healthy and served
-    /// (completeness violations; must be zero).
+    /// (completeness violations; must be zero). Excludes
+    /// transport-attributed failures, which have their own counter.
     pub false_rejects: u64,
-    /// Faults injected across the run.
+    /// Provider faults (corrupt + drop + withhold) injected across the
+    /// run.
     pub injected_faults: u64,
-    /// Injected faults detected by a failed audit in their epoch.
+    /// Injected provider faults detected by a failed audit in their
+    /// epoch.
     pub detected_faults: u64,
+    /// Network faults injected across the run (proof frames lost in
+    /// flight, recovered by node-layer retries).
+    pub transport_faults: u64,
+    /// Proof frames retransmitted after a transport fault.
+    pub transport_retries: u64,
+    /// Rounds a healthy, served share *failed* because the network lost
+    /// a frame (must be zero: a dropped frame is a retry, not a
+    /// verdict). Guarded separately from [`false_rejects`] so provider
+    /// misdetection and network misattribution cannot mask each other.
+    ///
+    /// [`false_rejects`]: SimReport::false_rejects
+    pub transport_false_rejects: u64,
     /// Shares reconstructed and re-placed.
     pub repairs: u64,
     /// Contract migrations (repair + graceful hand-offs).
@@ -175,6 +198,10 @@ impl SimReport {
             self.injected_faults, self.detected_faults, self.repairs, self.migrations, self.repair_traffic_bytes,
         ));
         s.push_str(&format!(
+            "transport: {} frames lost, {} retransmitted, {} false rejects (must be 0)\n",
+            self.transport_faults, self.transport_retries, self.transport_false_rejects,
+        ));
+        s.push_str(&format!(
             "durability: {} files lost, {}/{} intact at end\n",
             self.files_lost, self.files_intact, self.files,
         ));
@@ -236,6 +263,10 @@ impl SimReport {
             self.injected_faults, self.detected_faults
         ));
         s.push_str(&format!(
+            "  \"transport\": {{ \"faults\": {}, \"retries\": {}, \"false_rejects\": {} }},\n",
+            self.transport_faults, self.transport_retries, self.transport_false_rejects
+        ));
+        s.push_str(&format!(
             "  \"repair\": {{ \"repairs\": {}, \"migrations\": {}, \"traffic_bytes\": {} }},\n",
             self.repairs, self.migrations, self.repair_traffic_bytes
         ));
@@ -252,10 +283,11 @@ impl SimReport {
         for (i, e) in self.per_epoch.iter().enumerate() {
             let comma = if i + 1 == self.per_epoch.len() { "" } else { "," };
             s.push_str(&format!(
-                "    {{ \"epoch\": {}, \"online\": {}, \"audits\": {}, \"passes\": {}, \"failures\": {}, \"injected\": {}, \"detected\": {}, \"repairs\": {}, \"migrations\": {}, \"traffic\": {}, \"min_live\": {}, \"gas\": {}, \"bytes\": {}, \"utilization\": {:.6} }}{}\n",
+                "    {{ \"epoch\": {}, \"online\": {}, \"audits\": {}, \"passes\": {}, \"failures\": {}, \"injected\": {}, \"detected\": {}, \"transport_faults\": {}, \"transport_retries\": {}, \"repairs\": {}, \"migrations\": {}, \"traffic\": {}, \"min_live\": {}, \"gas\": {}, \"bytes\": {}, \"utilization\": {:.6} }}{}\n",
                 e.epoch, e.providers_online, e.audits, e.passes, e.failures, e.injected,
-                e.detected, e.repairs, e.migrations, e.repair_traffic_bytes, e.min_live_shares,
-                e.gas, e.chain_bytes, e.utilization, comma
+                e.detected, e.transport_faults, e.transport_retries, e.repairs, e.migrations,
+                e.repair_traffic_bytes, e.min_live_shares, e.gas, e.chain_bytes, e.utilization,
+                comma
             ));
         }
         s.push_str("  ]\n}\n");

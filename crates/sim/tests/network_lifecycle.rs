@@ -4,7 +4,7 @@
 use dsaudit_sim::{ChurnRates, FaultRates, SimConfig, Simulation};
 
 /// The acceptance-scale configuration: 32 providers, 8 owners, 50
-/// epochs, nonzero churn and all three fault classes.
+/// epochs, nonzero churn and all four fault classes.
 fn acceptance_config() -> SimConfig {
     SimConfig {
         seed: 0xac5e97a9ce,
@@ -25,6 +25,7 @@ fn acceptance_config() -> SimConfig {
             corrupt: 0.01,
             drop: 0.005,
             withhold: 0.005,
+            transport: 0.01,
         },
         ..SimConfig::default()
     }
@@ -65,6 +66,15 @@ fn acceptance_run_is_reproducible_and_sound() {
     assert!(first.injected_faults > 0, "the fault models must fire");
     assert_eq!(first.detected_faults, first.injected_faults);
 
+    // transport faults are accounted apart from provider faults: every
+    // lost frame was retransmitted, and none of them reached a verdict
+    assert!(first.transport_faults > 0, "the transport fault model must fire");
+    assert_eq!(first.transport_retries, first.transport_faults);
+    assert_eq!(
+        first.transport_false_rejects, 0,
+        "a dropped frame is a retry, not a verdict"
+    );
+
     // churn actually exercised
     assert!(first.joins > 0, "providers must join");
     assert!(first.leaves + first.crashes > 0, "providers must depart");
@@ -101,6 +111,7 @@ fn withheld_proofs_time_out_and_shares_are_replaced() {
             corrupt: 0.0,
             drop: 0.0,
             withhold: 0.15,
+            transport: 0.0,
         },
         ..small_config()
     };
@@ -127,6 +138,7 @@ fn simultaneous_withholds_do_not_lose_the_file() {
             corrupt: 0.0,
             drop: 0.0,
             withhold: 0.5,
+            transport: 0.0,
         },
         ..small_config()
     };
@@ -145,6 +157,7 @@ fn dropped_shares_fail_by_timeout_and_get_rebuilt() {
             corrupt: 0.0,
             drop: 0.12,
             withhold: 0.0,
+            transport: 0.0,
         },
         ..small_config()
     };
@@ -154,6 +167,32 @@ fn dropped_shares_fail_by_timeout_and_get_rebuilt() {
     assert_eq!(report.false_accepts, 0);
     assert_eq!(report.false_rejects, 0);
     assert!(report.repairs >= report.injected_faults);
+    assert_eq!(report.files_intact, 2);
+}
+
+#[test]
+fn transport_loss_is_retried_and_never_becomes_a_verdict() {
+    // a third of all proof frames lost in flight: every round must
+    // still pass — the node layer retransmits within the deadline, and
+    // the verdict stream never sees the loss
+    let cfg = SimConfig {
+        faults: FaultRates {
+            corrupt: 0.0,
+            drop: 0.0,
+            withhold: 0.0,
+            transport: 0.3,
+        },
+        ..small_config()
+    };
+    let report = Simulation::new(cfg).run();
+    assert!(report.transport_faults > 0, "transport faults must fire at 30%/share");
+    assert_eq!(report.transport_retries, report.transport_faults);
+    assert_eq!(report.transport_false_rejects, 0, "a dropped frame is a retry, not a verdict");
+    assert_eq!(report.injected_faults, 0, "no provider fault was injected");
+    assert_eq!(report.failures, 0, "no round may fail from transport loss alone");
+    assert_eq!(report.passes, report.audits);
+    assert_eq!(report.false_rejects, 0);
+    assert_eq!(report.repairs, 0, "healthy shares must not be re-placed");
     assert_eq!(report.files_intact, 2);
 }
 

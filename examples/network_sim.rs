@@ -35,6 +35,7 @@ fn main() {
             corrupt: 0.02,
             drop: 0.01,
             withhold: 0.01,
+            transport: 0.02,
         },
         ..SimConfig::default()
     };

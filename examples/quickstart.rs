@@ -4,6 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use dsaudit::chain::beacon::{Beacon, TrustedBeacon};
 use dsaudit::prelude::*;
 use rand::SeedableRng;
 
@@ -40,7 +41,8 @@ fn main() -> Result<(), DsAuditError> {
     //    with a 288-byte private proof for exactly this round.
     let auditor = Auditor::new();
     let session = auditor.begin_session(provider.public_key(), provider.meta())?;
-    let round = session.challenge(&mut rng);
+    let mut beacon = TrustedBeacon::new(b"quickstart");
+    let round = session.challenge_from_beacon(&beacon.randomness(0));
     let response = provider.respond_round(&mut rng, &round.round_challenge());
     println!(
         "proof posted on chain: {} bytes (round {})",

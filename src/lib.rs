@@ -26,6 +26,7 @@
 //! unrepresentable:
 //!
 //! ```
+//! use dsaudit::chain::beacon::{Beacon, TrustedBeacon};
 //! use dsaudit::prelude::*;
 //! use rand::SeedableRng;
 //!
@@ -40,10 +41,13 @@
 //! // storage provider: validates the bundle before acknowledging
 //! let provider = StorageProvider::ingest(&mut rng, bundle)?;
 //!
-//! // auditor: challenge -> 288-byte private response -> verdict
+//! // auditor: challenge -> 288-byte private response -> verdict; the
+//! // challenge is a pure function of the chain's randomness beacon,
+//! // so any verifier derives the identical one
 //! let auditor = Auditor::new();
+//! let mut beacon = TrustedBeacon::new(b"chain randomness");
 //! let session = auditor.begin_session(provider.public_key(), provider.meta())?;
-//! let round = session.challenge(&mut rng);               // from the beacon
+//! let round = session.challenge_from_beacon(&beacon.randomness(0));
 //! let response = provider.respond_round(&mut rng, &round.round_challenge());
 //! let (_, verdict) = round.submit(response).map_err(|(_, e)| e)?.verify()?;
 //! assert!(verdict.accepted());                           // on chain, 288 bytes

@@ -2,7 +2,7 @@
 //! the storage network, the role-oriented audit protocol and the
 //! on-chain contract.
 
-use dsaudit::chain::beacon::TrustedBeacon;
+use dsaudit::chain::beacon::{Beacon, TrustedBeacon};
 use dsaudit::chain::chain::Blockchain;
 use dsaudit::contract::harness::{run_round, setup_session, AgreementTerms};
 use dsaudit::prelude::*;
@@ -45,7 +45,8 @@ fn dsn_upload_then_audit_share() {
     let session = auditor
         .begin_session(provider.public_key(), provider.meta())
         .unwrap();
-    let round = session.challenge(&mut rng);
+    let mut beacon = TrustedBeacon::new(b"end-to-end");
+    let round = session.challenge_from_beacon(&beacon.randomness(0));
     let response = provider.respond_round(&mut rng, &round.round_challenge());
     let (_, verdict) = round
         .submit(response)
@@ -103,7 +104,7 @@ fn wire_roundtrip_preserves_verification() {
     let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
     let meta = provider.meta();
     let auditor = Auditor::new();
-    let ch = auditor.issue_challenge(&mut rng);
+    let ch = auditor.challenge_from_beacon(&TrustedBeacon::new(b"wire-roundtrip").randomness(0));
     let proof = provider.respond(&mut rng, &ch);
     let bytes = proof.encode();
     assert_eq!(bytes.len(), 288);
@@ -119,7 +120,6 @@ fn wire_roundtrip_preserves_verification() {
 #[test]
 fn challenge_determinism_across_actors() {
     let mut beacon = TrustedBeacon::new(b"shared");
-    use dsaudit::chain::beacon::Beacon;
     let bytes = beacon.randomness(5);
     let c1 = Challenge::from_beacon(&bytes);
     let c2 = Challenge::from_beacon(&bytes);

@@ -4,6 +4,7 @@
 
 use std::time::Instant;
 
+use dsaudit::chain::beacon::{Beacon, TrustedBeacon};
 use dsaudit::prelude::*;
 use dsaudit::snark::strawman::StrawmanAudit;
 use rand::SeedableRng;
@@ -30,7 +31,7 @@ fn both_schemes_audit_the_same_1kb_file() {
     let provider = StorageProvider::ingest(&mut rng, bundle).unwrap();
     let meta = provider.meta();
     let auditor = Auditor::new();
-    let ch = auditor.issue_challenge(&mut rng);
+    let ch = auditor.challenge_from_beacon(&TrustedBeacon::new(b"strawman").randomness(0));
     let t0 = Instant::now();
     let mproof = provider.respond(&mut rng, &ch);
     let main_prove = t0.elapsed();

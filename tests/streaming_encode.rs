@@ -5,6 +5,7 @@
 
 use dsaudit::algebra::field::Field;
 use dsaudit::algebra::Fr;
+use dsaudit::chain::beacon::{Beacon, TrustedBeacon};
 use dsaudit::prelude::*;
 use std::io::Read;
 
@@ -96,7 +97,8 @@ fn streaming_outsource_is_auditable_end_to_end() {
     let session = auditor
         .begin_session(provider.public_key(), provider.meta())
         .unwrap();
-    let round = session.challenge(&mut rng);
+    let mut beacon = TrustedBeacon::new(b"streaming");
+    let round = session.challenge_from_beacon(&beacon.randomness(0));
     let response = provider.respond_round(&mut rng, &round.round_challenge());
     let (_, verdict) = round
         .submit(response)

@@ -1,0 +1,74 @@
+//! End-to-end scenario benches: whole-system runs rather than isolated
+//! kernels — a fixed-seed honest network epoch loop through the
+//! simulator (storage → contract → chain per round), the same loop with
+//! all three audit backends running as shadow lanes, and the node-layer
+//! challenge lifecycle driven by the fault-injected daemons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsaudit_backend::BackendId;
+
+/// Honest steady state at toy scale: sized so one run settles fast
+/// enough for Criterion's minimum sample count in a debug build.
+fn tiny_sim_config() -> dsaudit_sim::SimConfig {
+    dsaudit_sim::SimConfig {
+        seed: 0xe2e_5ced,
+        epochs: 2,
+        providers: 6,
+        owners: 1,
+        files_per_owner: 1,
+        file_bytes: 120,
+        erasure_k: 2,
+        erasure_n: 3,
+        shards: 1,
+        churn: dsaudit_sim::ChurnRates::none(),
+        faults: dsaudit_sim::FaultRates::none(),
+        ..dsaudit_sim::SimConfig::default()
+    }
+}
+
+fn bench_sim_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_sim");
+    group.sample_size(10);
+    group.bench_function("honest_epochs", |b| {
+        b.iter(|| {
+            let report = dsaudit_sim::Simulation::new(tiny_sim_config()).run();
+            assert_eq!(report.passes, report.audits, "honest network");
+            report
+        });
+    });
+    group.bench_function("honest_epochs_all_backends", |b| {
+        b.iter(|| {
+            let cfg = dsaudit_sim::SimConfig {
+                backends: BackendId::ALL.to_vec(),
+                ..tiny_sim_config()
+            };
+            let report = dsaudit_sim::Simulation::new(cfg).run();
+            assert_eq!(report.backend_lanes.len(), BackendId::ALL.len());
+            for lane in &report.backend_lanes {
+                assert_eq!(lane.false_accepts + lane.false_rejects, 0);
+            }
+            report
+        });
+    });
+    group.finish();
+}
+
+fn bench_node_soak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_node");
+    group.sample_size(10);
+    let cfg = dsaudit_node::SoakConfig {
+        sessions: 40,
+        ..dsaudit_node::SoakConfig::default()
+    };
+    group.bench_function("soak_40_sessions", |b| {
+        b.iter(|| {
+            let report = dsaudit_node::run_soak(&cfg);
+            assert!(report.ok(), "every challenge must terminate exactly once");
+            report
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_rounds, bench_node_soak);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! File-preparation benches: everything a data owner runs *before*
+//! outsourcing — streaming chunk-blocking encode, tag generation across
+//! `s` (Fig. 7), the fixed-pattern MSM kernels that dominate it, and
+//! per-backend `setup` (commitment + prover kit) head to head.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_backend::{AuditBackend, Groth16MerkleBackend, MerkleBackend, PairingBackend};
+use dsaudit_bench::Env;
+use dsaudit_core::params::AuditParams;
+use dsaudit_core::tag::generate_tags;
+use rand::SeedableRng;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_preprocess");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for s in [10usize, 50, 100] {
+        let params = AuditParams::new(s, 300).expect("valid");
+        let env = Env::new(512 * 1024, params);
+        group.throughput(criterion::Throughput::Bytes(512 * 1024));
+        group.bench_with_input(BenchmarkId::new("tag_gen_512KiB", s), &s, |b, _| {
+            b.iter(|| generate_tags(&env.sk, &env.file));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_stream(c: &mut Criterion) {
+    use dsaudit_algebra::field::Field;
+    use dsaudit_core::EncodedFile;
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(10);
+    let params = AuditParams::default();
+    let data: Vec<u8> = (0..1024 * 1024).map(|i| (i % 251) as u8).collect();
+    let name = dsaudit_algebra::Fr::from_u64(0x57e);
+    group.throughput(criterion::Throughput::Bytes(data.len() as u64));
+    group.bench_function("in_memory_1MiB", |b| {
+        b.iter(|| EncodedFile::encode_with_name(name, &data, params));
+    });
+    group.bench_function("streaming_1MiB", |b| {
+        b.iter(|| {
+            EncodedFile::encode_reader_with_name(name, &mut &data[..], params)
+                .expect("in-memory reader")
+        });
+    });
+    group.finish();
+}
+
+fn bench_fixed_patterns(c: &mut Criterion) {
+    use dsaudit_algebra::endo::mul_each_g1;
+    use dsaudit_algebra::field::Field;
+    use dsaudit_algebra::g1::G1Projective;
+    use dsaudit_algebra::msm::FixedBaseTable;
+    use dsaudit_algebra::Fr;
+    let mut group = c.benchmark_group("msm_fixed_patterns");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf1c5);
+    let scalars: Vec<Fr> = (0..4096).map(|_| Fr::random(&mut rng)).collect();
+    let bases = G1Projective::generator_table().mul_many_affine(&scalars);
+    let k = Fr::random(&mut rng);
+
+    // fixed base, many scalars (key generation, tag generation g1 part)
+    group.bench_function("fixed_base_mul_many_4096", |b| {
+        b.iter(|| G1Projective::generator_table().mul_many_affine(&scalars));
+    });
+    group.bench_function("fixed_base_table_build", |b| {
+        b.iter(|| FixedBaseTable::new(&G1Projective::generator()));
+    });
+    // fixed scalar, many points (the t_i^x hot loop of tag generation)
+    group.bench_function("mul_each_glv_4096", |b| {
+        b.iter(|| mul_each_g1(&bases, k));
+    });
+    // per-point baseline at a smaller size (256 ladders)
+    group.bench_function("per_point_mul_256", |b| {
+        b.iter(|| bases[..256].iter().map(|p| p.mul(k)).collect::<Vec<_>>());
+    });
+    group.finish();
+}
+
+/// Per-backend `setup` head to head: tagging the same blob under the
+/// pairing, Merkle, and Groth16-compressed schemes (the latter pays a
+/// circuit keygen, which is the point of measuring it).
+fn bench_backend_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_setup");
+    group.sample_size(10);
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let backends: Vec<Box<dyn AuditBackend>> = vec![
+        Box::new(PairingBackend::new(AuditParams::new(4, 3).expect("valid"))),
+        Box::new(MerkleBackend { leaf_size: 32, k: 3 }),
+        Box::new(Groth16MerkleBackend { batch: 2 }),
+    ];
+    for backend in &backends {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5e7);
+        group.bench_function(backend.id().name(), |b| {
+            b.iter(|| backend.setup(&mut rng, &data).expect("setup"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_encode_stream,
+    bench_fixed_patterns,
+    bench_backend_setup
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Proving benches: everything a storage provider runs to answer a
+//! challenge — the paper's private/plain proof generation across `s`
+//! and `k` (Figs. 8, 9), the prover's dominant MSM kernel (signed-digit
+//! Pippenger vs. the naive oracle), the Table II Groth16 strawman
+//! prover, and per-backend `prove` head to head.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_backend::{AuditBackend, Groth16MerkleBackend, MerkleBackend, PairingBackend};
+use dsaudit_bench::{rng, Env};
+use dsaudit_core::params::AuditParams;
+use rand::SeedableRng;
+
+fn bench_prove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fig9_prove");
+    group.sample_size(10);
+    for s in [10usize, 50, 100] {
+        let params = AuditParams::new(s, 300).expect("valid");
+        let env = Env::new(300 * s * 31 + 4096, params);
+        let prover = env.prover();
+        let ch = env.challenge();
+        let mut r = rng();
+        group.bench_with_input(BenchmarkId::new("private_k300", s), &s, |b, _| {
+            b.iter(|| prover.prove_private(&mut r, &ch));
+        });
+        group.bench_with_input(BenchmarkId::new("plain_k300", s), &s, |b, _| {
+            b.iter(|| prover.prove_plain(&ch));
+        });
+    }
+    // Fig. 9's k sweep at s = 50
+    for k in [240usize, 298, 458] {
+        let params = AuditParams::new(50, k).expect("valid");
+        let env = Env::new(k * 50 * 31 + 4096, params);
+        let prover = env.prover();
+        let ch = env.challenge();
+        let mut r = rng();
+        group.bench_with_input(BenchmarkId::new("private_s50", k), &k, |b, _| {
+            b.iter(|| prover.prove_private(&mut r, &ch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_msm_sizes(c: &mut Criterion) {
+    use dsaudit_algebra::field::Field;
+    use dsaudit_algebra::g1::G1Projective;
+    use dsaudit_algebra::msm::{msm, msm_naive};
+    use dsaudit_algebra::Fr;
+    let mut group = c.benchmark_group("msm_pippenger");
+    group.sample_size(10);
+    let mut r = rand::rngs::StdRng::seed_from_u64(0x517e);
+    let scalars: Vec<Fr> = (0..8192).map(|_| Fr::random(&mut r)).collect();
+    let bases = G1Projective::generator_table().mul_many_affine(&scalars);
+    for n in [256usize, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::new("signed_digit", n), &n, |b, &n| {
+            b.iter(|| msm(&bases[..n], &scalars[..n]));
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("naive", 256), &256, |b, _| {
+        b.iter(|| msm_naive(&bases[..256], &scalars[..256]));
+    });
+    group.finish();
+}
+
+fn bench_strawman_prove(c: &mut Criterion) {
+    use dsaudit_snark::strawman::StrawmanAudit;
+    let mut r = rand::rngs::StdRng::seed_from_u64(9);
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let audit = StrawmanAudit::commit(&mut r, &data, None).expect("setup");
+    let mut group = c.benchmark_group("table2_strawman");
+    group.sample_size(10);
+    group.bench_function("groth16_prove_1KB", |b| {
+        b.iter(|| audit.respond(&mut r, 3, None).expect("prove"));
+    });
+    group.finish();
+}
+
+/// Per-backend `prove` head to head over the same stored blob and
+/// beacon: HLA aggregation vs. Merkle path extraction vs. a Groth16
+/// batch proof.
+fn bench_backend_prove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_prove");
+    group.sample_size(10);
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let beacon = [0x42u8; 48];
+    let backends: Vec<Box<dyn AuditBackend>> = vec![
+        Box::new(PairingBackend::new(AuditParams::new(4, 3).expect("valid"))),
+        Box::new(MerkleBackend { leaf_size: 32, k: 3 }),
+        Box::new(Groth16MerkleBackend { batch: 2 }),
+    ];
+    for backend in &backends {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0xab0);
+        let setup = backend.setup(&mut r, &data).expect("setup");
+        group.bench_function(backend.id().name(), |b| {
+            b.iter(|| {
+                backend
+                    .prove(&mut r, &setup.kit, &data, &beacon)
+                    .expect("prove")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prove,
+    bench_msm_sizes,
+    bench_strawman_prove,
+    bench_backend_prove
+);
+criterion_main!(benches);

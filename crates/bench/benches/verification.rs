@@ -1,0 +1,167 @@
+//! Verification benches: everything the auditor/contract side runs —
+//! on-chain proof verification (Fig. 5 / Table II), the pairing-engine
+//! kernels behind it (Miller loop, final exponentiation, shared-loop
+//! multi-pairing at the verifier's and the batched scale), the Table II
+//! Groth16 strawman verifier, and per-backend `verify` head to head.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsaudit_algebra::field::Field;
+use dsaudit_algebra::g1::{G1Affine, G1Projective};
+use dsaudit_algebra::g2::{G2Affine, G2Projective};
+use dsaudit_algebra::pairing::{
+    final_exponentiation, miller_loop, miller_loop_generic, multi_miller_loop, multi_pairing,
+    multi_pairing_prepared, G2Prepared,
+};
+use dsaudit_algebra::Fr;
+use dsaudit_backend::{AuditBackend, Groth16MerkleBackend, MerkleBackend, PairingBackend};
+use dsaudit_bench::{rng, Env};
+use dsaudit_core::params::AuditParams;
+use rand::SeedableRng;
+
+fn setup_pairs(n: usize) -> (Vec<G1Affine>, Vec<G2Affine>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a17);
+    let ps = (0..n)
+        .map(|_| G1Projective::generator().mul(Fr::random(&mut rng)).to_affine())
+        .collect();
+    let qs = (0..n)
+        .map(|_| G2Projective::generator().mul(Fr::random(&mut rng)).to_affine())
+        .collect();
+    (ps, qs)
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_verify");
+    group.sample_size(10);
+    let env = Env::new(1024 * 1024, AuditParams::default());
+    let prover = env.prover();
+    let ch = env.challenge();
+    let mut r = rng();
+    let plain = prover.prove_plain(&ch);
+    let private = prover.prove_private(&mut r, &ch);
+    group.bench_function("plain_96B", |b| {
+        b.iter(|| {
+            assert!(env
+                .auditor
+                .verify_plain(&env.pk, &env.meta, &ch, &plain)
+                .expect("valid meta")
+                .accepted())
+        });
+    });
+    group.bench_function("private_288B", |b| {
+        b.iter(|| {
+            assert!(env
+                .auditor
+                .verify_private(&env.pk, &env.meta, &ch, &private)
+                .expect("valid meta")
+                .accepted())
+        });
+    });
+    group.finish();
+}
+
+fn bench_miller_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_miller_loop");
+    group.sample_size(10);
+    let (ps, qs) = setup_pairs(1);
+    let (p, q) = (ps[0], qs[0]);
+    let prepared = G2Prepared::from_affine(&q);
+    group.bench_function("miller_loop", |b| {
+        b.iter(|| miller_loop(&p, &q));
+    });
+    group.bench_function("miller_loop_prepared", |b| {
+        b.iter(|| multi_miller_loop(&[(&p, &prepared)]));
+    });
+    group.bench_function("miller_loop_generic_oracle", |b| {
+        b.iter(|| miller_loop_generic(&p, &q));
+    });
+    group.bench_function("g2_prepare", |b| {
+        b.iter(|| G2Prepared::from_affine(&q));
+    });
+    group.finish();
+}
+
+fn bench_final_exponentiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_final_exp");
+    group.sample_size(10);
+    let (ps, qs) = setup_pairs(1);
+    let f = miller_loop(&ps[0], &qs[0]);
+    group.bench_function("final_exponentiation", |b| {
+        b.iter(|| final_exponentiation(&f));
+    });
+    group.finish();
+}
+
+fn bench_multi_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_multi");
+    group.sample_size(10);
+    let (ps, qs) = setup_pairs(30);
+    let prepared: Vec<G2Prepared> = qs.iter().map(G2Prepared::from_affine).collect();
+    for n in [2usize, 30] {
+        let pairs: Vec<(G1Affine, G2Affine)> =
+            ps[..n].iter().zip(&qs[..n]).map(|(p, q)| (*p, *q)).collect();
+        group.bench_with_input(BenchmarkId::new("multi_pairing", n), &n, |b, _| {
+            b.iter(|| multi_pairing(&pairs));
+        });
+        let prepared_pairs: Vec<(&G1Affine, &G2Prepared)> =
+            ps[..n].iter().zip(&prepared[..n]).collect();
+        group.bench_with_input(BenchmarkId::new("multi_pairing_prepared", n), &n, |b, _| {
+            b.iter(|| multi_pairing_prepared(&prepared_pairs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_strawman_verify(c: &mut Criterion) {
+    use dsaudit_snark::strawman::StrawmanAudit;
+    let mut r = rand::rngs::StdRng::seed_from_u64(9);
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let audit = StrawmanAudit::commit(&mut r, &data, None).expect("setup");
+    let (proof, _) = audit.respond(&mut r, 3, None).expect("prove");
+    let mut group = c.benchmark_group("table2_strawman");
+    group.sample_size(10);
+    group.bench_function("groth16_verify", |b| {
+        b.iter(|| assert!(audit.verify_response(&proof)));
+    });
+    group.finish();
+}
+
+/// Per-backend `verify` head to head: the same blob committed under
+/// each scheme, a fresh honest proof checked against the commitment.
+fn bench_backend_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_verify");
+    group.sample_size(10);
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let beacon = [0x42u8; 48];
+    let backends: Vec<Box<dyn AuditBackend>> = vec![
+        Box::new(PairingBackend::new(AuditParams::new(4, 3).expect("valid"))),
+        Box::new(MerkleBackend { leaf_size: 32, k: 3 }),
+        Box::new(Groth16MerkleBackend { batch: 2 }),
+    ];
+    for backend in &backends {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0xbe7);
+        let setup = backend.setup(&mut r, &data).expect("setup");
+        let proof = backend
+            .prove(&mut r, &setup.kit, &data, &beacon)
+            .expect("prove");
+        group.bench_function(backend.id().name(), |b| {
+            b.iter(|| {
+                assert!(backend
+                    .verify(&setup.commitment, &beacon, &proof)
+                    .expect("well-formed")
+                    .accepted())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_miller_loop,
+    bench_final_exponentiation,
+    bench_multi_pairing,
+    bench_strawman_verify,
+    bench_backend_verify
+);
+criterion_main!(benches);

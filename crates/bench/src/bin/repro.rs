@@ -59,6 +59,7 @@ fn check_json() {
 fn run_sim(args: &[String]) {
     const KNOWN: &[&str] = &[
         "--seed", "--epochs", "--providers", "--owners", "--files", "--k", "--n", "--shards",
+        "--backends",
     ];
     // strict flag parsing: an unknown flag, a missing value, or an
     // unparsable value is an error, not a silent fallback — CI must
@@ -68,6 +69,25 @@ fn run_sim(args: &[String]) {
         if !KNOWN.contains(&args[i].as_str()) {
             eprintln!("sim: unknown flag '{}' (known: {})", args[i], KNOWN.join(" "));
             std::process::exit(2);
+        }
+        if args[i] == "--backends" {
+            // comma-separated backend names (shadow audit lanes)
+            let ok = args
+                .get(i + 1)
+                .is_some_and(|v| {
+                    !v.is_empty()
+                        && v.split(',')
+                            .all(|n| dsaudit_backend::BackendId::from_name(n).is_some())
+                });
+            if !ok {
+                eprintln!(
+                    "sim: flag '--backends' needs a comma-separated list of backend names \
+                     (pairing, merkle, groth16)"
+                );
+                std::process::exit(2);
+            }
+            i += 2;
+            continue;
         }
         // every field narrower than u64 fits in u32, so bound-check
         // here — otherwise flag()'s typed re-parse would silently fall
@@ -102,6 +122,18 @@ fn run_sim(args: &[String]) {
         erasure_k: flag(args, "--k", 3),
         erasure_n: flag(args, "--n", 6),
         shards: flag(args, "--shards", 4),
+        backends: args
+            .iter()
+            .position(|a| a == "--backends")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.split(',')
+                    .map(|n| {
+                        dsaudit_backend::BackendId::from_name(n).expect("validated above")
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
         ..dsaudit_sim::SimConfig::default()
     };
     println!(
@@ -119,6 +151,15 @@ fn run_sim(args: &[String]) {
     if report.false_accepts + report.false_rejects > 0 {
         eprintln!("AUDIT ACCURACY VIOLATION — see report above");
         std::process::exit(1);
+    }
+    for lane in &report.backend_lanes {
+        if lane.false_accepts + lane.false_rejects > 0 {
+            eprintln!(
+                "AUDIT ACCURACY VIOLATION on backend lane `{}` — see report above",
+                lane.backend
+            );
+            std::process::exit(1);
+        }
     }
     if report.transport_false_rejects > 0 {
         eprintln!(
@@ -217,6 +258,115 @@ fn run_node_soak(args: &[String]) {
     println!("every challenge terminated in exactly one of Settled/Expired");
 }
 
+/// Head-to-head comparison of the pluggable audit backends: the same
+/// blob committed, proven, and verified under each scheme (micro side),
+/// and a fixed-seed simulation with all three backends running as
+/// shadow lanes through one challenge and fault schedule (system side).
+fn run_backends() {
+    use dsaudit_backend::{
+        AuditBackend, BackendId, Groth16MerkleBackend, MerkleBackend, PairingBackend,
+    };
+    use dsaudit_bench::time_mean;
+    use dsaudit_core::codec::Codec as _;
+    use dsaudit_core::params::AuditParams;
+    use rand::SeedableRng;
+
+    let data: Vec<u8> = (0..4096).map(|i| (i * 31 % 251) as u8).collect();
+    let beacon = [0x42u8; 48];
+    // instances sized so every scheme challenges the whole 4 KiB blob
+    let backends: Vec<Box<dyn AuditBackend>> = vec![
+        Box::new(PairingBackend::new(AuditParams::new(8, 16).expect("valid"))),
+        Box::new(MerkleBackend { leaf_size: 256, k: 16 }),
+        Box::new(Groth16MerkleBackend { batch: 16 }),
+    ];
+
+    println!("pluggable audit backends, head to head");
+    println!("\nmicro: one {}-byte blob per scheme\n", data.len());
+    println!(
+        "  {:<10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "backend", "setup ms", "prove ms", "verify ms", "proof B", "commit B"
+    );
+    for backend in &backends {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0xbac_4e40);
+        let t0 = std::time::Instant::now();
+        let setup = backend.setup(&mut r, &data).expect("setup");
+        let setup_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let prove_ms = {
+            let t = time_mean(5, || {
+                let _ = backend
+                    .prove(&mut r, &setup.kit, &data, &beacon)
+                    .expect("honest prove");
+            });
+            t.as_secs_f64() * 1e3
+        };
+        let proof = backend
+            .prove(&mut r, &setup.kit, &data, &beacon)
+            .expect("honest prove");
+        let verify_ms = {
+            let t = time_mean(5, || {
+                assert!(backend
+                    .verify(&setup.commitment, &beacon, &proof)
+                    .expect("well-formed proof")
+                    .accepted());
+            });
+            t.as_secs_f64() * 1e3
+        };
+        println!(
+            "  {:<10} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>9}",
+            backend.id().name(),
+            setup_ms,
+            prove_ms,
+            verify_ms,
+            proof.encoded_len(),
+            setup.commitment.encoded_len(),
+        );
+    }
+
+    let cfg = dsaudit_sim::SimConfig {
+        seed: 0xbac_4e40,
+        epochs: 4,
+        providers: 6,
+        owners: 1,
+        files_per_owner: 1,
+        file_bytes: 240,
+        erasure_k: 2,
+        erasure_n: 3,
+        shards: 1,
+        churn: dsaudit_sim::ChurnRates::none(),
+        faults: dsaudit_sim::FaultRates::none(),
+        backends: BackendId::ALL.to_vec(),
+        ..dsaudit_sim::SimConfig::default()
+    };
+    println!(
+        "\nsystem: {} epochs x {} shares, every backend as a shadow lane\n",
+        cfg.epochs,
+        cfg.erasure_n * cfg.files_per_owner * cfg.owners
+    );
+    let report = dsaudit_sim::Simulation::new(cfg).run();
+    println!(
+        "  {:<10} {:>7} {:>11} {:>13} {:>10} {:>6} {:>6}",
+        "backend", "rounds", "gas/round", "proof B/round", "prover ms", "fa", "fr"
+    );
+    let mut violated = false;
+    for lane in &report.backend_lanes {
+        println!(
+            "  {:<10} {:>7} {:>11} {:>13} {:>10.3} {:>6} {:>6}",
+            lane.backend,
+            lane.audits,
+            lane.gas_per_round(),
+            lane.proof_bytes_per_round(),
+            lane.mean_prover_ms(),
+            lane.false_accepts,
+            lane.false_rejects,
+        );
+        violated |= lane.false_accepts + lane.false_rejects > 0;
+    }
+    if violated {
+        eprintln!("AUDIT ACCURACY VIOLATION on a backend lane — see table above");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -247,6 +397,7 @@ fn main() {
         "check" => check_json(),
         "sim" => run_sim(&args),
         "node-soak" => run_node_soak(&args),
+        "backends" => run_backends(),
         "all" => {
             tables::table1();
             divider();
@@ -278,7 +429,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|node-soak|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N] [node-soak: --sessions N --providers N --ttl-ms N --seed N --out PATH]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|node-soak|backends|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N --backends pairing,merkle,groth16] [node-soak: --sessions N --providers N --ttl-ms N --seed N --out PATH]");
             std::process::exit(2);
         }
     }

@@ -243,6 +243,120 @@ pub fn collect_node_metrics() -> Vec<Metric> {
     }]
 }
 
+/// The fixed-seed shadow-lane simulation behind the per-backend gas
+/// figures: a tiny honest network where every share also runs all
+/// three audit backends as shadow lanes through the same challenge
+/// schedule. Gas is deterministic (the nominal per-proof verify cost
+/// plus measured transaction bytes), so one run yields stable
+/// per-round figures.
+fn bench_backend_sim_config() -> dsaudit_sim::SimConfig {
+    dsaudit_sim::SimConfig {
+        seed: 0xbac_4e40,
+        epochs: 4,
+        providers: 6,
+        owners: 1,
+        files_per_owner: 1,
+        file_bytes: 240,
+        erasure_k: 2,
+        erasure_n: 3,
+        shards: 1,
+        churn: dsaudit_sim::ChurnRates::none(),
+        faults: dsaudit_sim::FaultRates::none(),
+        backends: dsaudit_backend::BackendId::ALL.to_vec(),
+        ..dsaudit_sim::SimConfig::default()
+    }
+}
+
+/// Measures the `backend` metric group: per-backend `verify` latency
+/// and proof size over the same 1 KiB blob (the head-to-head micro
+/// side), plus per-round on-chain gas for each shadow lane of the
+/// fixed-seed backend simulation (the whole-system side).
+pub fn collect_backend_metrics() -> Vec<Metric> {
+    use dsaudit_backend::{AuditBackend, Groth16MerkleBackend, MerkleBackend, PairingBackend};
+    use dsaudit_core::codec::Codec as _;
+    let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+    let beacon = [0x42u8; 48];
+    let mut r = rng();
+    // honest setup → prove once, then time verification against the
+    // commitment; proof size is a property of the scheme, not the run
+    let mut measure = |backend: &dyn AuditBackend| -> (f64, f64) {
+        let setup = backend.setup(&mut r, &data).expect("setup");
+        let proof = backend
+            .prove(&mut r, &setup.kit, &data, &beacon)
+            .expect("honest prove");
+        let t = time_mean(10, || {
+            assert!(backend
+                .verify(&setup.commitment, &beacon, &proof)
+                .expect("well-formed proof")
+                .accepted());
+        });
+        (t.as_secs_f64() * 1e6, proof.encoded_len() as f64)
+    };
+    let (pairing_us, _) = measure(&PairingBackend::new(
+        AuditParams::new(4, 3).expect("valid"),
+    ));
+    let (merkle_us, merkle_bytes) = measure(&MerkleBackend { leaf_size: 32, k: 3 });
+    let (groth16_us, groth16_bytes) = measure(&Groth16MerkleBackend { batch: 2 });
+
+    let report = dsaudit_sim::Simulation::new(bench_backend_sim_config()).run();
+    let lane_gas = |name: &str| -> f64 {
+        let lane = report
+            .backend_lanes
+            .iter()
+            .find(|l| l.backend == name)
+            .expect("every listed backend reports a lane");
+        assert_eq!(
+            lane.false_accepts + lane.false_rejects,
+            0,
+            "honest benchmark lanes must agree with ground truth"
+        );
+        lane.gas_per_round() as f64
+    };
+
+    vec![
+        Metric {
+            name: "backend_pairing_verify_us",
+            unit: "us",
+            value: pairing_us,
+        },
+        Metric {
+            name: "backend_merkle_verify_us",
+            unit: "us",
+            value: merkle_us,
+        },
+        Metric {
+            name: "backend_groth16_verify_us",
+            unit: "us",
+            value: groth16_us,
+        },
+        Metric {
+            name: "backend_merkle_proof_bytes",
+            unit: "bytes",
+            value: merkle_bytes,
+        },
+        Metric {
+            name: "backend_groth16_proof_bytes",
+            unit: "bytes",
+            value: groth16_bytes,
+        },
+        Metric {
+            name: "backend_gas_per_round_pairing",
+            unit: "gas",
+            value: lane_gas("pairing"),
+        },
+        Metric {
+            name: "backend_gas_per_round_merkle",
+            unit: "gas",
+            value: lane_gas("merkle"),
+        },
+        Metric {
+            name: "backend_gas_per_round_groth16",
+            unit: "gas",
+            value: lane_gas("groth16"),
+        },
+    ]
+}
+
 /// Static-analysis coverage of the workspace: how many files the
 /// `dsaudit-lint` pass scans and how many rules it enforces. The CI
 /// gate requires zero unsuppressed findings, so the snapshot records
@@ -377,6 +491,10 @@ pub fn collect_metrics() -> Vec<Metric> {
     // faults, driven by the node daemons over the in-process transport.
     out.extend(collect_node_metrics());
 
+    // Hot path 7: the pluggable audit backends head to head — verify
+    // latency, proof size, and per-round gas for every lane.
+    out.extend(collect_backend_metrics());
+
     // Not a hot path: static-analysis coverage, recorded so the
     // snapshot shows the lint gate's reach growing with the codebase.
     out.extend(collect_lint_metrics());
@@ -426,6 +544,17 @@ pub const GUARDED_METRICS: &[(&str, bool)] = &[
     // (hard error) and regresses this metric past any tolerance.
     ("sim_transport_recovery", true),
     ("node_sessions_per_sec", true),
+    // Per-backend head-to-head figures: the Merkle verifier's latency,
+    // the Groth16 lane's constant proof size, and each lane's
+    // deterministic on-chain gas per settled round (nominal verify
+    // cost plus measured transaction bytes). Proof size and gas are
+    // structural — any growth is a wire-format or metering change that
+    // must be deliberate, not drift.
+    ("backend_merkle_verify_us", false),
+    ("backend_groth16_proof_bytes", false),
+    ("backend_gas_per_round_pairing", false),
+    ("backend_gas_per_round_merkle", false),
+    ("backend_gas_per_round_groth16", false),
     // Static-analysis coverage: these only grow with the codebase, so a
     // drop beyond tolerance means the parser or a pass silently lost
     // sight of code, not that the code got faster.
@@ -576,6 +705,14 @@ pub fn collect_guarded_metrics() -> Vec<Metric> {
         },
     ]
     .into_iter()
+    // backend proof sizes and per-round gas are deterministic, and the
+    // verify timing already averages internally — one collection pass;
+    // only the guarded subset participates in the gate
+    .chain(
+        collect_backend_metrics()
+            .into_iter()
+            .filter(|m| GUARDED_METRICS.iter().any(|(n, _)| *n == m.name)),
+    )
     // coverage metrics (call-graph size, audited pass counts) are
     // deterministic — one run, no best-of-three; only the guarded
     // subset participates in the gate

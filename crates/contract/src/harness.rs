@@ -142,6 +142,13 @@ pub struct AgreementTerms {
     /// address (§VII-D amortized verification); `None` keeps classic
     /// per-contract verification at the `Verify` trigger.
     pub batch_auditor: Option<Address>,
+    /// The proof-of-storage scheme this agreement audits with. The
+    /// pairing default is the paper's protocol ([`setup_session`] and
+    /// [`crate::AuditContract`] speak it natively); other backends are
+    /// deployed through [`setup_backend_session`] /
+    /// [`crate::BackendContract`], and contracts with different
+    /// backends coexist on one chain.
+    pub backend: dsaudit_backend::BackendId,
 }
 
 impl Default for AgreementTerms {
@@ -156,8 +163,98 @@ impl Default for AgreementTerms {
             owner_deposit: gwei(1_000_000) * 100,
             provider_deposit: gwei(5_000_000) * 100,
             batch_auditor: None,
+            backend: dsaudit_backend::BackendId::Pairing,
         }
     }
+}
+
+/// A backend-generic audit session on chain: a deployed
+/// [`crate::BackendContract`] with both deposits locked, plus the
+/// provider-side material ([`ProverKit`] and the stored bytes) needed
+/// to answer challenges.
+pub struct BackendSession {
+    /// Deployed contract address.
+    pub contract: Address,
+    /// Data owner account.
+    pub owner: Address,
+    /// Storage provider account.
+    pub provider: Address,
+    /// The scheme this session audits with.
+    pub backend: dsaudit_backend::BackendId,
+    /// Provider-side proving material.
+    pub kit: dsaudit_backend::ProverKit,
+    /// The provider's stored copy of the file (corruptible by tests
+    /// and fault injection).
+    pub stored: Vec<u8>,
+    /// Terms in force.
+    pub terms: AgreementTerms,
+}
+
+/// Sets up a backend-generic audit session: backend setup (tagging /
+/// tree build / SNARK keygen as the scheme demands), deploy, both
+/// deposits. The backend is chosen by `terms.backend`; `nominal_ms`
+/// fixes the metered verification cost for deterministic gas.
+///
+/// # Panics
+/// Panics if backend setup fails or a deposit transaction reverts —
+/// harness programming errors, not runtime conditions.
+pub fn setup_backend_session<R: rand::RngCore>(
+    rng: &mut R,
+    chain: &mut Blockchain,
+    label: &str,
+    data: &[u8],
+    backend: &dyn dsaudit_backend::AuditBackend,
+    terms: AgreementTerms,
+    nominal_ms: Option<f64>,
+) -> BackendSession {
+    let owner = Address::from_label(&format!("{label}/owner"));
+    let provider = Address::from_label(&format!("{label}/provider"));
+    chain.fund_account(owner, terms.owner_deposit + dsaudit_chain::types::eth(1));
+    chain.fund_account(provider, terms.provider_deposit + dsaudit_chain::types::eth(1));
+
+    let setup = backend.setup(rng, data).expect("backend setup");
+    let agreement = crate::backend_contract::BackendAgreement {
+        owner,
+        provider,
+        num_audits: terms.num_audits,
+        interval_secs: terms.audit_interval_secs,
+        deadline_secs: terms.prove_deadline_secs,
+        reward: terms.reward_per_audit,
+        penalty: terms.penalty_per_fail,
+        owner_deposit: terms.owner_deposit,
+        provider_deposit: terms.provider_deposit,
+    };
+    let mut contract = crate::backend_contract::BackendContract::new(
+        backend_box_for_session(backend),
+        setup.commitment,
+        agreement,
+    )
+    .expect("commitment id matches backend");
+    if let Some(ms) = nominal_ms {
+        contract = contract.with_nominal_verify_ms(ms);
+    }
+    let addr = chain.deploy(label, Box::new(contract));
+    submit_ok(chain, owner, addr, "freeze", Vec::new(), terms.owner_deposit);
+    submit_ok(chain, provider, addr, "freeze", Vec::new(), terms.provider_deposit);
+
+    BackendSession {
+        contract: addr,
+        owner,
+        provider,
+        backend: backend.id(),
+        kit: setup.kit,
+        stored: data.to_vec(),
+        terms,
+    }
+}
+
+/// The contract needs its own boxed backend instance; re-resolve the
+/// caller's through the registry (backends are stateless — identity is
+/// the id, configuration defaults are the registry's).
+fn backend_box_for_session(
+    backend: &dyn dsaudit_backend::AuditBackend,
+) -> Box<dyn dsaudit_backend::AuditBackend> {
+    dsaudit_backend::backend_for(backend.id())
 }
 
 /// Submits a contract call and asserts success.

@@ -9,11 +9,13 @@
 #![forbid(unsafe_code)]
 
 pub mod audit_contract;
+pub mod backend_contract;
 pub mod harness;
 pub mod merkle_contract;
 pub mod registry;
 
 pub use audit_contract::{Agreement, AuditContract, Phase, RoundOutcome};
+pub use backend_contract::{BackendAgreement, BackendContract, BackendPhase};
 pub use merkle_contract::{MerkleAuditContract, MerklePhase};
 pub use harness::{
     run_round, run_round_multi, setup_session, AgreementTerms, ContractSession,

@@ -34,6 +34,10 @@ pub struct MerkleAuditContract {
     owner: Address,
     provider: Address,
     verifier: MerkleAudit,
+    /// The stored commitment word: `H(root || depth || leaf_count)`.
+    /// Binding the tree *shape*, not just the root, is what stops a
+    /// provider answering from a shallower tree (depth-spoofing).
+    commitment: [u8; 32],
     num_audits: u64,
     interval_secs: u64,
     deadline_secs: u64,
@@ -72,6 +76,7 @@ impl MerkleAuditContract {
         Self {
             owner,
             provider,
+            commitment: verifier.commitment(),
             verifier,
             num_audits,
             interval_secs,
@@ -261,6 +266,12 @@ impl ContractBehavior for MerkleAuditContract {
                 let Some(rand) = self.challenge_rand else {
                     return Err(VmError::BadState("prove phase without challenge".into()));
                 };
+                // the verifier state must still match the stored
+                // commitment word — a restated root/depth/leaf-count
+                // can never reach the path check
+                if !self.verifier.matches_commitment(&self.commitment) {
+                    return Err(VmError::BadState("verifier state diverged from commitment".into()));
+                }
                 let passed = match self.pending.take() {
                     Some(proof) => {
                         let t0 = std::time::Instant::now();

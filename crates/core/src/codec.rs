@@ -253,6 +253,43 @@ impl Codec for Vec<G1Affine> {
     }
 }
 
+/// G2 vectors cross the wire inside SNARK key material: `count (4 B LE)
+/// || count x 64 B` compressed points, mirroring the G1 tag vector.
+impl Codec for Vec<G2Affine> {
+    const TYPE_NAME: &'static str = "G2Vector";
+
+    fn encoded_len(&self) -> usize {
+        4 + 64 * self.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for p in self {
+            p.encode_into(out);
+        }
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let count = r.u32_le("count")? as usize;
+        // length-prefix consistency bounds the allocation, exactly as
+        // for the G1 tag vector above
+        if r.remaining() < 64 * count {
+            return Err(DsAuditError::Truncated {
+                ty: Self::TYPE_NAME,
+                field: "points",
+                expected: 64 * count,
+                got: r.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bytes = r.array::<64>("point")?;
+            out.push(G2Affine::from_compressed(&bytes).ok_or_else(|| r.malformed("point"))?);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +357,28 @@ mod tests {
         // empty vector is fine
         assert_eq!(
             Vec::<G1Affine>::decode(&Vec::<G1Affine>::new().encode()).unwrap(),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn g2_vector_roundtrips_and_bounds_allocation() {
+        use dsaudit_algebra::g2::G2Projective;
+        let mut rng = rng();
+        let points: Vec<G2Affine> = (0..3)
+            .map(|_| G2Projective::generator().mul(Fr::random(&mut rng)).to_affine())
+            .collect();
+        let bytes = points.encode();
+        assert_eq!(bytes.len(), 4 + 3 * 64);
+        assert_eq!(Vec::<G2Affine>::decode(&bytes).unwrap(), points);
+        let mut forged = bytes.clone();
+        forged[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Vec::<G2Affine>::decode(&forged),
+            Err(DsAuditError::Truncated { field: "points", .. })
+        ));
+        assert_eq!(
+            Vec::<G2Affine>::decode(&Vec::<G2Affine>::new().encode()).unwrap(),
             Vec::new()
         );
     }

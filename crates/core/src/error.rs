@@ -154,6 +154,13 @@ pub enum RejectReason {
     BatchCombination,
     /// A single authenticator failed its pairing validation.
     TagEquation,
+    /// A Merkle-path audit response did not recompute the committed
+    /// root, claimed the wrong leaf index, or had a path length that
+    /// disagrees with the committed tree depth.
+    MerklePath,
+    /// A zk-SNARK possession proof failed pairing verification against
+    /// the committed verifying key and public inputs.
+    SnarkProof,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -163,6 +170,8 @@ impl std::fmt::Display for RejectReason {
             RejectReason::Equation2 => write!(f, "verification equation (2) failed"),
             RejectReason::BatchCombination => write!(f, "batched combination check failed"),
             RejectReason::TagEquation => write!(f, "authenticator equation failed"),
+            RejectReason::MerklePath => write!(f, "merkle path check failed"),
+            RejectReason::SnarkProof => write!(f, "snark proof verification failed"),
         }
     }
 }

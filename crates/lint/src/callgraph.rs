@@ -13,6 +13,13 @@
 //!   workspace method named `m`.
 //! * trait-method calls additionally fan out to every impl of the
 //!   trait (dynamic dispatch is indistinguishable from static here).
+//!   This includes `dyn Trait` receivers: `Box<dyn AuditBackend>`
+//!   unwraps to the trait name, so a call through a trait object
+//!   resolves to every implementor.
+//! * locals bound from a free-fn call (`let b = backend_for(id)`) type
+//!   as the fn's declared return when every same-named free fn agrees
+//!   on it — registry-style factories returning `Box<dyn Trait>` pin
+//!   dispatch to the trait's impls instead of every same-named method.
 //!
 //! Calls that resolve to nothing in the workspace (std, vendored deps)
 //! produce no edge: the passes treat external code per their own
@@ -194,6 +201,10 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     "to_string",
     "write",
     "read",
+    // digest-API name (in-tree Sha256 and every hasher idiom): an
+    // untyped `.finalize()` is a hash being read out, not the
+    // simulator's report assembly
+    "finalize",
 ];
 
 /// Name→candidate-index maps used during edge resolution.
@@ -206,6 +217,10 @@ struct ResolutionMaps {
     methods_by_ty_name: BTreeMap<(String, String), Vec<usize>>,
     /// Impls of each trait: trait name → container names.
     impls_of_trait: BTreeMap<String, Vec<String>>,
+    /// Declared return type of free fns, by bare name — only when every
+    /// free fn with that name agrees on it (ambiguous names type
+    /// nothing). `Box<dyn Trait>` returns unwrap to the trait name.
+    free_fn_ret: BTreeMap<String, String>,
     /// Constructor returns: `(container, method)` for methods returning
     /// `Self`/their own type, used to type `let x = Foo::new(..)`.
     secret_ctor_unused: (),
@@ -217,9 +232,19 @@ impl ResolutionMaps {
         let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut methods_by_ty_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
         let mut impls_of_trait: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut ret_candidates: BTreeMap<String, Option<String>> = BTreeMap::new();
         for (i, node) in fns.iter().enumerate() {
             if node.self_ty.is_empty() {
                 free_by_name.entry(node.def.name.clone()).or_default().push(i);
+                let ret = main_type_name(&node.def.ret);
+                ret_candidates
+                    .entry(node.def.name.clone())
+                    .and_modify(|e| {
+                        if *e != ret {
+                            *e = None;
+                        }
+                    })
+                    .or_insert(ret);
             } else {
                 methods_by_name
                     .entry(node.def.name.clone())
@@ -237,11 +262,16 @@ impl ResolutionMaps {
                 }
             }
         }
+        let free_fn_ret = ret_candidates
+            .into_iter()
+            .filter_map(|(name, ret)| ret.map(|r| (name, r)))
+            .collect();
         ResolutionMaps {
             free_by_name,
             methods_by_name,
             methods_by_ty_name,
             impls_of_trait,
+            free_fn_ret,
             secret_ctor_unused: (),
         }
     }
@@ -288,9 +318,10 @@ impl ResolutionMaps {
 }
 
 /// Best-effort local typing environment: maps local variable names to
-/// type names gleaned from params, `let` ascriptions, and constructor
-/// calls (`let k = SecretKey::new(..)`).
-fn local_types(node: &FnNode) -> BTreeMap<String, String> {
+/// type names gleaned from params, `let` ascriptions, constructor
+/// calls (`let k = SecretKey::new(..)`), and free-fn declared returns
+/// (`let b = backend_for(id)` with `fn backend_for(..) -> Box<dyn T>`).
+fn local_types(node: &FnNode, rets: &BTreeMap<String, String>) -> BTreeMap<String, String> {
     let mut env = BTreeMap::new();
     if !node.self_ty.is_empty() {
         env.insert("self".to_string(), node.self_ty.clone());
@@ -304,11 +335,15 @@ fn local_types(node: &FnNode) -> BTreeMap<String, String> {
         }
     }
     let Some(body) = &node.def.body else { return env };
-    walk_lets(body, &mut env);
+    walk_lets(body, rets, &mut env);
     env
 }
 
-fn walk_lets(stmts: &[crate::ast::Stmt], env: &mut BTreeMap<String, String>) {
+fn walk_lets(
+    stmts: &[crate::ast::Stmt],
+    rets: &BTreeMap<String, String>,
+    env: &mut BTreeMap<String, String>,
+) {
     use crate::ast::Stmt;
     for s in stmts {
         match s {
@@ -318,31 +353,41 @@ fn walk_lets(stmts: &[crate::ast::Stmt], env: &mut BTreeMap<String, String>) {
                         env.insert(names[0].clone(), t);
                     } else if let Some(Expr::Call { segs, .. }) = init {
                         // `let k = SecretKey::new(..)` / `Foo::default()`
-                        if segs.len() >= 2 {
-                            let ty = &segs[segs.len() - 2];
-                            if ty.chars().next().is_some_and(char::is_uppercase) {
-                                env.insert(names[0].clone(), ty.clone());
-                            }
+                        let qual = segs.len() >= 2
+                            && segs[segs.len() - 2]
+                                .chars()
+                                .next()
+                                .is_some_and(char::is_uppercase);
+                        if qual {
+                            env.insert(names[0].clone(), segs[segs.len() - 2].clone());
+                        } else if let Some(ret) = rets.get(&segs[segs.len() - 1]) {
+                            // free fn (bare or `module::f`) with a known
+                            // declared return type
+                            env.insert(names[0].clone(), ret.clone());
                         }
                     }
                 }
                 if let Some(e) = init {
-                    walk_expr_lets(e, env);
+                    walk_expr_lets(e, rets, env);
                 }
                 if let Some(b) = els {
-                    walk_lets(b, env);
+                    walk_lets(b, rets, env);
                 }
             }
-            Stmt::Expr(e) => walk_expr_lets(e, env),
+            Stmt::Expr(e) => walk_expr_lets(e, rets, env),
             Stmt::Item(_) => {}
         }
     }
 }
 
-fn walk_expr_lets(e: &Expr, env: &mut BTreeMap<String, String>) {
+fn walk_expr_lets(
+    e: &Expr,
+    rets: &BTreeMap<String, String>,
+    env: &mut BTreeMap<String, String>,
+) {
     e.walk(&mut |x| {
         if let Expr::Block { stmts, .. } = x {
-            walk_lets(stmts, env);
+            walk_lets(stmts, rets, env);
         }
     });
 }
@@ -370,7 +415,7 @@ fn extract_calls(node: &FnNode, maps: &ResolutionMaps) -> Vec<CallSite> {
     let Some(body) = &node.def.body else {
         return Vec::new();
     };
-    let env = local_types(node);
+    let env = local_types(node, &maps.free_fn_ret);
     let mut sites = Vec::new();
     walk_stmts(body, &mut |e| match e {
         Expr::Call { segs, args, line } => {
@@ -525,6 +570,41 @@ mod tests {
             "struct K;\nimpl K {\n    fn new() -> K { K }\n    fn use_it(&self) {}\n}\nstruct Other;\nimpl Other { fn use_it(&self) {} }\nfn f() {\n    let k = K::new();\n    k.use_it();\n}\n",
         )]);
         assert_eq!(edges(&g, "f"), ["K::new", "K::use_it"]);
+    }
+
+    #[test]
+    fn dyn_trait_receivers_fan_out_to_all_impls() {
+        let g = graph_of(&[(
+            "a.rs",
+            "trait AuditBackend { fn prove(&self); }\n\
+             struct Pairing;\nstruct Merkle;\n\
+             impl AuditBackend for Pairing { fn prove(&self) {} }\n\
+             impl AuditBackend for Merkle { fn prove(&self) {} }\n\
+             fn drive(b: &dyn AuditBackend) { b.prove(); }\n",
+        )]);
+        let e = edges(&g, "drive");
+        assert!(e.contains(&"Pairing::prove".to_string()), "{e:?}");
+        assert!(e.contains(&"Merkle::prove".to_string()), "{e:?}");
+    }
+
+    #[test]
+    fn registry_return_types_pin_dyn_dispatch() {
+        let g = graph_of(&[(
+            "a.rs",
+            "trait AuditBackend { fn prove(&self); }\n\
+             struct Pairing;\nstruct Merkle;\nstruct Decoy;\n\
+             impl AuditBackend for Pairing { fn prove(&self) {} }\n\
+             impl AuditBackend for Merkle { fn prove(&self) {} }\n\
+             impl Decoy { fn prove(&self) {} }\n\
+             fn backend_for(id: u8) -> Box<dyn AuditBackend> { Box::new(Pairing) }\n\
+             fn drive(id: u8) { let b = backend_for(id); b.prove(); }\n",
+        )]);
+        let e = edges(&g, "drive");
+        // the declared return type pins dispatch to the trait's impls,
+        // not every same-named method in the workspace
+        assert!(e.contains(&"Pairing::prove".to_string()), "{e:?}");
+        assert!(e.contains(&"Merkle::prove".to_string()), "{e:?}");
+        assert!(!e.contains(&"Decoy::prove".to_string()), "{e:?}");
     }
 
     #[test]

@@ -31,15 +31,28 @@ impl MerkleAuditProof {
     }
 }
 
-/// Verifier state: just the root and leaf count, as a contract would
-/// store.
-#[derive(Clone, Debug)]
+/// Verifier state: the root plus the tree *shape* (depth and leaf
+/// count), as a contract would store.
+///
+/// Binding the shape matters: a root alone lets a provider answer a
+/// challenge against a shallower tree whose interior node equals the
+/// committed root (depth-spoofing), shrinking the data it must hold.
+/// [`MerkleAudit::commitment`] digests `root || depth || leaf_count`
+/// into the single word the contract keeps, and [`MerkleAudit::verify`]
+/// rejects any path whose length disagrees with the committed depth.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MerkleAudit {
     /// Committed root.
     pub root: [u8; 32],
+    /// Committed tree depth (every valid path has exactly this many
+    /// siblings).
+    pub depth: usize,
     /// Number of leaves (challenge domain).
     pub num_leaves: usize,
 }
+
+/// Domain prefix of the binding commitment digest.
+const COMMITMENT_DOMAIN: &[u8] = b"dsaudit/merkle/commitment/v1";
 
 impl MerkleAudit {
     /// Commits to a file split into `leaf_size`-byte leaves. Returns the
@@ -54,11 +67,29 @@ impl MerkleAudit {
         (
             Self {
                 root: tree.root(),
+                depth: tree.depth(),
                 num_leaves: leaves.len(),
             },
             tree,
             leaves,
         )
+    }
+
+    /// The single digest a contract stores: a domain-separated hash
+    /// binding `root || depth || leaf_count`, so none of the three can
+    /// be restated later without changing the stored word.
+    pub fn commitment(&self) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(COMMITMENT_DOMAIN.len() + 32 + 8 + 8);
+        buf.extend_from_slice(COMMITMENT_DOMAIN);
+        buf.extend_from_slice(&self.root);
+        buf.extend_from_slice(&(self.depth as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.num_leaves as u64).to_le_bytes());
+        sha256(&buf)
+    }
+
+    /// Checks this verifier state against a stored commitment digest.
+    pub fn matches_commitment(&self, commitment: &[u8; 32]) -> bool {
+        self.commitment() == *commitment
     }
 
     /// Derives the challenged leaf index from round randomness.
@@ -68,10 +99,13 @@ impl MerkleAudit {
         (v % self.num_leaves as u64) as usize
     }
 
-    /// Verifies a response for the given round randomness.
+    /// Verifies a response for the given round randomness: the path
+    /// must claim the challenged index, be exactly the committed depth
+    /// long, and recompute the committed root.
     pub fn verify(&self, randomness: &[u8], proof: &MerkleAuditProof) -> bool {
         let expect_idx = self.challenge_index(randomness);
         proof.path.index == expect_idx
+            && proof.path.siblings.len() == self.depth
             && proof
                 .path
                 .verify(&Sha256Hasher::leaf(&proof.leaf_data), &self.root)
@@ -201,6 +235,59 @@ mod tests {
         assert_eq!(passed, 64);
         // and the cheater stores far less than the file
         assert!(cheater.cache_bytes() < data.len());
+    }
+
+    /// The commitment digest binds every field: restating the root,
+    /// the depth, or the leaf count produces a different stored word.
+    #[test]
+    fn commitment_binds_each_field() {
+        let data: Vec<u8> = (0..4096).map(|i| (i % 199) as u8).collect();
+        let (audit, _, _) = MerkleAudit::commit(&data, 64);
+        let stored = audit.commitment();
+        assert!(audit.matches_commitment(&stored));
+
+        let mut tampered = audit.clone();
+        tampered.root[0] ^= 1;
+        assert!(!tampered.matches_commitment(&stored), "root not bound");
+
+        let mut tampered = audit.clone();
+        tampered.depth -= 1;
+        assert!(!tampered.matches_commitment(&stored), "depth not bound");
+
+        let mut tampered = audit.clone();
+        tampered.num_leaves -= 1;
+        assert!(!tampered.matches_commitment(&stored), "leaf count not bound");
+    }
+
+    /// The depth-spoofing attack the binding exists for: a provider
+    /// restating the same root as a shallower tree (so each "leaf"
+    /// covers more data it no longer stores) cannot match the stored
+    /// commitment, and a path of the wrong length never verifies.
+    #[test]
+    fn depth_spoof_is_rejected() {
+        let data: Vec<u8> = (0..64 * 8).map(|i| i as u8).collect();
+        let (audit, tree, leaves) = MerkleAudit::commit(&data, 64); // 8 leaves, depth 3
+        assert_eq!(audit.depth, 3);
+        let stored = audit.commitment();
+
+        // restated shape with the genuine root fails the binding check
+        let spoof = MerkleAudit {
+            root: audit.root,
+            depth: audit.depth - 1,
+            num_leaves: audit.num_leaves / 2,
+        };
+        assert!(!spoof.matches_commitment(&stored));
+
+        // a structurally valid proof whose path is one level short (or
+        // long) is rejected by the depth check before the root check
+        let rand = 3u64.to_le_bytes();
+        let idx = audit.challenge_index(&rand);
+        let mut short = honest_response(&tree, &leaves, idx);
+        short.path.siblings.pop();
+        assert!(!audit.verify(&rand, &short));
+        let mut long = honest_response(&tree, &leaves, idx);
+        long.path.siblings.push([0u8; 32]);
+        assert!(!audit.verify(&rand, &long));
     }
 
     /// With high-entropy challenges the cache cannot cover the domain

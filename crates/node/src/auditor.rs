@@ -13,9 +13,11 @@
 
 use std::collections::BTreeMap;
 
+use dsaudit_backend::BackendId;
 use dsaudit_chain::beacon::Beacon;
+use dsaudit_core::codec::Codec;
 use dsaudit_core::{
-    Auditor, Challenge, FileMeta, PublicKey, RoundChallenge, Verdict,
+    Auditor, Challenge, FileMeta, PrivateProof, PublicKey, RoundChallenge, Verdict,
 };
 
 use crate::frame::{
@@ -71,6 +73,10 @@ pub struct AuditorStats {
     pub round_mismatches: u64,
     /// Frames referencing unknown challenge ids.
     pub unknown_ids: u64,
+    /// Proof bodies tagged for a backend this auditor cannot verify,
+    /// or whose payload failed its backend decode (refused; the
+    /// challenge stays open and the retry path recovers).
+    pub backend_mismatches: u64,
 }
 
 struct Target {
@@ -165,6 +171,7 @@ impl AuditorNode {
     ) {
         let frame = Frame::Challenge(ChallengeFrame {
             challenge_id: *id,
+            backend: BackendId::Pairing,
             beacon_round: track.beacon_round,
             round: track.rc.round,
             expires_at: track.deadline,
@@ -279,12 +286,23 @@ impl AuditorNode {
             self.stats.round_mismatches += 1;
             return;
         }
+        // the erased body must be tagged for the scheme this auditor
+        // verifies, and its payload must decode under it — wire-level
+        // problems refuse the proof (retries recover), never settle
+        if p.proof.backend != BackendId::Pairing {
+            self.stats.backend_mismatches += 1;
+            return;
+        }
+        let Ok(proof) = PrivateProof::decode(&p.proof.bytes) else {
+            self.stats.backend_mismatches += 1;
+            return;
+        };
         let Some(target) = self.targets.get(&track.provider) else {
             return;
         };
         let verdict = self
             .auditor
-            .verify_private(&target.pk, &target.meta, &track.rc.challenge, &p.proof);
+            .verify_private(&target.pk, &target.meta, &track.rc.challenge, &proof);
         self.stats.proofs_verified += 1;
         let verdict = match verdict {
             Ok(v) => v,

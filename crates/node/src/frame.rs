@@ -13,8 +13,9 @@
 #![deny(missing_docs)]
 
 use dsaudit_algebra::Fr;
+use dsaudit_backend::{BackendId, BackendProof};
 use dsaudit_core::codec::{ByteReader, Codec};
-use dsaudit_core::{Challenge, DsAuditError, PrivateProof};
+use dsaudit_core::{Challenge, DsAuditError};
 use dsaudit_crypto::sha256::sha256;
 
 /// A challenge's globally unique, deterministic identifier.
@@ -45,6 +46,10 @@ pub fn derive_challenge_id(file_name: &Fr, beacon_round: u64, session_round: u64
 pub struct ChallengeFrame {
     /// Deterministic challenge id (see [`derive_challenge_id`]).
     pub challenge_id: ChallengeId,
+    /// The proof-of-storage scheme this challenge must be answered
+    /// with. One id byte on the wire; an unknown id fails decode with
+    /// a typed error — it can never reach verdict logic.
+    pub backend: BackendId,
     /// Beacon round the challenge was derived from.
     pub beacon_round: u64,
     /// The audit session's round counter.
@@ -64,17 +69,20 @@ pub struct AckFrame {
     pub challenge_id: ChallengeId,
 }
 
-/// Proof of storage: provider → auditor. The 288-byte privacy-assured
-/// response, echoing the session round so the auditor can match
-/// response to round.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Proof of storage: provider → auditor. The erased, backend-tagged
+/// proof body (288 B for the pairing scheme, variable for others),
+/// echoing the session round so the auditor can match response to
+/// round.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProofFrame {
     /// The challenge being answered.
     pub challenge_id: ChallengeId,
     /// The session round the proof answers.
     pub round: u64,
-    /// The privacy-assured proof.
-    pub proof: PrivateProof,
+    /// The backend-tagged proof body. The frame layer treats the
+    /// payload as opaque bytes — only the daemon holding the matching
+    /// commitment interprets them.
+    pub proof: BackendProof,
 }
 
 /// Backpressure shed: provider → auditor. The provider's in-flight and
@@ -100,12 +108,13 @@ pub struct SettleFrame {
 
 /// One message of the node protocol.
 ///
-/// The size skew between variants is intentional: a `Proof` carries the
-/// full 288-byte proof body inline so `Frame` stays `Copy` and moves
-/// through the transport without per-message allocation — frames are
-/// short-lived stack values, never stored in bulk.
+/// `Frame` is `Clone`, not `Copy`: a `Proof` body is variable-length
+/// per backend (288 B pairing, `O(k · depth)` Merkle paths, 128 B
+/// Groth16), so the proof payload lives in a heap buffer. Frames are
+/// still short-lived values — cloned only when memoized for
+/// retransmission, never stored in bulk.
 #[allow(clippy::large_enum_variant)]
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
     /// Auditor → provider: open a challenge.
     Challenge(ChallengeFrame),
@@ -190,7 +199,7 @@ impl Codec for Frame {
 
     fn encoded_len(&self) -> usize {
         1 + match self {
-            Frame::Challenge(f) => 32 + 8 + 8 + 8 + f.challenge.encoded_len(),
+            Frame::Challenge(f) => 32 + 1 + 8 + 8 + 8 + f.challenge.encoded_len(),
             Frame::Ack(_) => 32,
             Frame::Proof(f) => 32 + 8 + f.proof.encoded_len(),
             Frame::Overloaded(_) => 32 + 8,
@@ -203,6 +212,7 @@ impl Codec for Frame {
             Frame::Challenge(f) => {
                 out.push(TAG_CHALLENGE);
                 out.extend_from_slice(&f.challenge_id);
+                out.push(f.backend.as_u8());
                 out.extend_from_slice(&f.beacon_round.to_le_bytes());
                 out.extend_from_slice(&f.round.to_le_bytes());
                 out.extend_from_slice(&f.expires_at.to_le_bytes());
@@ -236,12 +246,15 @@ impl Codec for Frame {
         match tag {
             TAG_CHALLENGE => {
                 let challenge_id = r.array::<32>("challenge_id")?;
+                let backend = BackendId::from_u8(u8::from_le_bytes(r.array::<1>("backend id")?))
+                    .ok_or_else(|| r.malformed("backend id"))?;
                 let beacon_round = u64::from_le_bytes(r.array::<8>("beacon_round")?);
                 let round = u64::from_le_bytes(r.array::<8>("round")?);
                 let expires_at = u64::from_le_bytes(r.array::<8>("expires_at")?);
                 let challenge = Challenge::decode_from(r)?;
                 Ok(Frame::Challenge(ChallengeFrame {
                     challenge_id,
+                    backend,
                     beacon_round,
                     round,
                     expires_at,
@@ -254,7 +267,7 @@ impl Codec for Frame {
             TAG_PROOF => {
                 let challenge_id = r.array::<32>("challenge_id")?;
                 let round = u64::from_le_bytes(r.array::<8>("round")?);
-                let proof = PrivateProof::decode_from(r)?;
+                let proof = BackendProof::decode_from(r)?;
                 Ok(Frame::Proof(ProofFrame {
                     challenge_id,
                     round,
@@ -302,12 +315,31 @@ mod tests {
         vec![
             Frame::Challenge(ChallengeFrame {
                 challenge_id: id,
+                backend: BackendId::Pairing,
+                beacon_round: 7,
+                round: 3,
+                expires_at: 90_000,
+                challenge,
+            }),
+            Frame::Challenge(ChallengeFrame {
+                challenge_id: id,
+                backend: BackendId::Groth16Merkle,
                 beacon_round: 7,
                 round: 3,
                 expires_at: 90_000,
                 challenge,
             }),
             Frame::Ack(AckFrame { challenge_id: id }),
+            Frame::Proof(ProofFrame {
+                challenge_id: id,
+                round: 3,
+                // the frame layer is backend-agnostic: any tagged
+                // payload rides in a Proof frame
+                proof: BackendProof {
+                    backend: BackendId::Merkle,
+                    bytes: vec![0xaa; 37],
+                },
+            }),
             Frame::Overloaded(OverloadedFrame {
                 challenge_id: id,
                 retry_after_ms: 250,
@@ -381,6 +413,28 @@ mod tests {
                     "flip at byte {i} slipped through the checksum"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn unknown_backend_id_is_a_typed_decode_error_not_a_verdict() {
+        let mut rng = rng();
+        for (frame_idx, byte_off) in [(0usize, 1 + 32), (3, 1 + 32 + 8)] {
+            // challenge frame: backend byte follows the id; proof
+            // frame: the BackendProof's own id byte follows the round
+            let frame = sample_frames(&mut rng).remove(frame_idx);
+            let mut body = frame.encode();
+            body[byte_off] = 0x7f;
+            let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+            wire.extend_from_slice(&body);
+            wire.extend_from_slice(&crate::frame::sha256(&body)[..Frame::CHECKSUM_BYTES]);
+            assert_eq!(
+                Frame::from_wire(&wire),
+                Err(DsAuditError::Malformed {
+                    ty: "Frame",
+                    field: "backend id"
+                })
+            );
         }
     }
 

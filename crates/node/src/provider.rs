@@ -13,6 +13,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use dsaudit_backend::{BackendId, BackendProof};
+use dsaudit_core::codec::Codec;
 use dsaudit_core::{RoundChallenge, StorageProvider};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -64,6 +66,9 @@ pub struct ProviderStats {
     pub proofs_resent: u64,
     /// Jobs dropped because their challenge deadline had passed.
     pub shed_stale: u64,
+    /// Challenges for a backend this daemon holds no kit for (dropped;
+    /// the auditor's TTL expires them into the penalty path).
+    pub backend_mismatches: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -84,7 +89,7 @@ pub struct ProviderNode {
     queued: VecDeque<(ChallengeId, Job)>,
     /// Completed proofs awaiting the auditor's settle notice, with FIFO
     /// eviction order.
-    memo: BTreeMap<ChallengeId, (u64, [u8; dsaudit_core::PRIVATE_PROOF_BYTES])>,
+    memo: BTreeMap<ChallengeId, (u64, BackendProof)>,
     memo_order: VecDeque<ChallengeId>,
     settled: BTreeSet<ChallengeId>,
     /// Daemon counters.
@@ -175,14 +180,20 @@ impl ProviderNode {
                 continue;
             };
             let response = self.provider.respond_round(&mut self.rng, &job.rc);
+            // the daemon speaks the pairing scheme; the proof crosses
+            // the wire as an erased, backend-tagged body
+            let proof = BackendProof {
+                backend: BackendId::Pairing,
+                bytes: response.proof.encode(),
+            };
             let frame = Frame::Proof(ProofFrame {
                 challenge_id: id,
                 round: response.round,
-                proof: response.proof,
+                proof: proof.clone(),
             });
             transport.send(now, self.peer, job.auditor, frame.to_wire());
             self.stats.proofs_sent += 1;
-            self.memoize(id, response.round, response.proof.to_bytes());
+            self.memoize(id, response.round, proof);
         }
         // refill the in-flight set from the queue
         while self.active.len() < self.cfg.max_inflight {
@@ -194,12 +205,7 @@ impl ProviderNode {
         }
     }
 
-    fn memoize(
-        &mut self,
-        id: ChallengeId,
-        round: u64,
-        proof: [u8; dsaudit_core::PRIVATE_PROOF_BYTES],
-    ) {
+    fn memoize(&mut self, id: ChallengeId, round: u64, proof: BackendProof) {
         if self.memo.insert(id, (round, proof)).is_none() {
             self.memo_order.push_back(id);
         }
@@ -238,6 +244,12 @@ impl ProviderNode {
         transport: &mut T,
     ) {
         let id = c.challenge_id;
+        if c.backend != BackendId::Pairing {
+            // this daemon holds only pairing kits; a challenge for a
+            // backend it cannot answer is dropped, never guessed at
+            self.stats.backend_mismatches += 1;
+            return;
+        }
         if self.settled.contains(&id) {
             self.stats.duplicates += 1;
             return;
@@ -247,8 +259,7 @@ impl ProviderNode {
             let frame = Frame::Proof(ProofFrame {
                 challenge_id: id,
                 round: *round,
-                proof: dsaudit_core::PrivateProof::from_bytes(proof)
-                    .expect("memoized proof bytes are canonical"),
+                proof: proof.clone(),
             });
             transport.send(now, self.peer, from, frame.to_wire());
             self.stats.proofs_resent += 1;

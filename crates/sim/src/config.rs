@@ -1,6 +1,7 @@
 //! Simulation configuration: population sizes, protocol parameters,
 //! economics, and the churn/fault rates of the default models.
 
+use dsaudit_backend::BackendId;
 use dsaudit_chain::cost::ChainCapacity;
 use dsaudit_chain::types::{gwei, Wei};
 use dsaudit_core::AuditParams;
@@ -62,6 +63,13 @@ pub struct SimConfig {
     ///
     /// [`Simulation::new`]: crate::Simulation::new
     pub faults: FaultRates,
+    /// Shadow audit lanes: for every listed backend, each share gets a
+    /// second, backend-generic contract driven through the *same*
+    /// challenge and fault schedule as the primary pairing path, so one
+    /// run compares the schemes head to head (per-backend verdicts,
+    /// gas, proof bytes, prover time). Empty (the default) disables the
+    /// lanes and keeps the classic report byte-identical.
+    pub backends: Vec<BackendId>,
 }
 
 impl Default for SimConfig {
@@ -85,6 +93,7 @@ impl Default for SimConfig {
             capacity: ChainCapacity::default(),
             churn: ChurnRates::default(),
             faults: FaultRates::default(),
+            backends: Vec::new(),
         }
     }
 }
@@ -119,6 +128,12 @@ impl SimConfig {
         // false accept. Reject such configs up front.
         let share_len = self.file_bytes.div_ceil(self.erasure_k);
         let share_chunks = share_len.div_ceil(self.audit.chunk_bytes()).max(1);
+        for (i, b) in self.backends.iter().enumerate() {
+            assert!(
+                !self.backends[..i].contains(b),
+                "backend lane `{b}` listed twice"
+            );
+        }
         assert!(
             self.audit.k >= share_chunks,
             "audit.k = {} challenges fewer than the {share_chunks} chunks of a share \
@@ -150,6 +165,16 @@ mod tests {
     #[test]
     fn default_config_validates() {
         SimConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_backend_lanes_are_rejected() {
+        let cfg = SimConfig {
+            backends: vec![BackendId::Merkle, BackendId::Merkle],
+            ..SimConfig::default()
+        };
+        cfg.validate();
     }
 
     #[test]

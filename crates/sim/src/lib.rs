@@ -48,4 +48,4 @@ pub use churn::{ChurnModel, ChurnRates};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use fault::{FaultKind, FaultModel, FaultRates};
-pub use report::{EpochStats, SimReport};
+pub use report::{BackendLane, EpochStats, SimReport};

@@ -4,7 +4,67 @@
 //! Every field is either an exact counter or derived from exact
 //! counters with fixed-precision formatting, so two runs of the same
 //! [`SimConfig`](crate::SimConfig) render **byte-for-byte identical**
-//! reports — the property the reproducibility suite asserts.
+//! reports — the property the reproducibility suite asserts. The one
+//! exception: the head-to-head [`BackendLane`] prover times are
+//! wall-clock measurements (proving really runs); configs with no
+//! backend lanes (the default) keep the byte-identity guarantee whole.
+
+/// Head-to-head totals for one shadow audit lane: a second,
+/// backend-generic contract per share, driven through the same
+/// challenge and fault schedule as the primary pairing path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackendLane {
+    /// Stable backend name (`pairing`, `merkle`, `groth16`).
+    pub backend: String,
+    /// Rounds this lane settled.
+    pub audits: u64,
+    /// Rounds passed.
+    pub passes: u64,
+    /// Rounds failed (bad proof or timeout).
+    pub failures: u64,
+    /// Rounds passed although the share was faulty (must be zero).
+    pub false_accepts: u64,
+    /// Rounds failed although the share was healthy and served (must
+    /// be zero).
+    pub false_rejects: u64,
+    /// Gas the lane's contracts metered (proof storage at `prove` +
+    /// verification compute at the `Verify` trigger, at the nominal
+    /// per-ms rate).
+    pub gas: u64,
+    /// Proof bytes persisted on chain by the lane.
+    pub proof_bytes: u64,
+    /// Wall-clock milliseconds spent proving (the report's one
+    /// measured, machine-dependent quantity).
+    pub prover_ms_total: f64,
+    /// Proofs actually computed (timeout rounds prove nothing).
+    pub prover_calls: u64,
+}
+
+impl BackendLane {
+    /// Mean metered gas per settled round.
+    pub fn gas_per_round(&self) -> u64 {
+        if self.audits == 0 {
+            return 0;
+        }
+        self.gas / self.audits
+    }
+
+    /// Mean on-chain proof size per computed proof.
+    pub fn proof_bytes_per_round(&self) -> u64 {
+        if self.prover_calls == 0 {
+            return 0;
+        }
+        self.proof_bytes / self.prover_calls
+    }
+
+    /// Mean wall-clock proving time per computed proof.
+    pub fn mean_prover_ms(&self) -> f64 {
+        if self.prover_calls == 0 {
+            return 0.0;
+        }
+        self.prover_ms_total / self.prover_calls as f64
+    }
+}
 
 /// One epoch's measurements.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -135,6 +195,9 @@ pub struct SimReport {
     pub chain_bytes: u64,
     /// Blocks mined.
     pub blocks: u64,
+    /// Head-to-head shadow lanes, one per backend the config listed
+    /// (empty for the default pairing-only run).
+    pub backend_lanes: Vec<BackendLane>,
 }
 
 impl SimReport {
@@ -215,6 +278,23 @@ impl SimReport {
             self.mean_utilization(),
             self.max_utilization(),
         ));
+        if !self.backend_lanes.is_empty() {
+            s.push_str("backend lanes (shadow contracts, same fault schedule):\n");
+            for l in &self.backend_lanes {
+                s.push_str(&format!(
+                    "  {:>8}: {} rounds, {} pass / {} fail, false accepts {}, false rejects {}, gas/round {}, proof bytes/round {}, prover {:.3} ms/round\n",
+                    l.backend,
+                    l.audits,
+                    l.passes,
+                    l.failures,
+                    l.false_accepts,
+                    l.false_rejects,
+                    l.gas_per_round(),
+                    l.proof_bytes_per_round(),
+                    l.mean_prover_ms(),
+                ));
+            }
+        }
         s.push_str(
             "epoch | online | audits pass fail | inj det | repair migr | min-live | gas      | bytes  | util\n",
         );
@@ -279,6 +359,17 @@ impl SimReport {
             self.blocks, self.chain_bytes, self.total_gas, self.setup_gas,
             self.mean_epoch_gas(), self.mean_utilization(), self.max_utilization()
         ));
+        s.push_str("  \"backend_lanes\": [\n");
+        for (i, l) in self.backend_lanes.iter().enumerate() {
+            let comma = if i + 1 == self.backend_lanes.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{ \"backend\": \"{}\", \"audits\": {}, \"passes\": {}, \"failures\": {}, \"false_accepts\": {}, \"false_rejects\": {}, \"gas\": {}, \"gas_per_round\": {}, \"proof_bytes\": {}, \"proof_bytes_per_round\": {}, \"prover_ms_total\": {:.3}, \"prover_ms_per_round\": {:.3} }}{}\n",
+                l.backend, l.audits, l.passes, l.failures, l.false_accepts, l.false_rejects,
+                l.gas, l.gas_per_round(), l.proof_bytes, l.proof_bytes_per_round(),
+                l.prover_ms_total, l.mean_prover_ms(), comma
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"per_epoch\": [\n");
         for (i, e) in self.per_epoch.iter().enumerate() {
             let comma = if i + 1 == self.per_epoch.len() { "" } else { "," };
@@ -374,6 +465,50 @@ mod tests {
         assert!(a.to_text().contains("rounds: 24 settled, 23 pass / 1 fail"));
         // the json stays parseable by the bench harness's line parser
         assert!(a.to_json().lines().count() > 10);
+    }
+
+    #[test]
+    fn backend_lane_rendering_and_derived_metrics() {
+        let mut r = sample();
+        r.backend_lanes = vec![
+            BackendLane {
+                backend: "pairing".into(),
+                audits: 24,
+                passes: 23,
+                failures: 1,
+                gas: 2400,
+                proof_bytes: 288 * 23,
+                prover_ms_total: 46.0,
+                prover_calls: 23,
+                ..BackendLane::default()
+            },
+            BackendLane {
+                backend: "merkle".into(),
+                audits: 24,
+                passes: 23,
+                failures: 1,
+                gas: 1200,
+                proof_bytes: 900 * 23,
+                prover_ms_total: 2.3,
+                prover_calls: 23,
+                ..BackendLane::default()
+            },
+        ];
+        assert_eq!(r.backend_lanes[0].gas_per_round(), 100);
+        assert_eq!(r.backend_lanes[0].proof_bytes_per_round(), 288);
+        assert!((r.backend_lanes[0].mean_prover_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(BackendLane::default().gas_per_round(), 0);
+        assert_eq!(BackendLane::default().proof_bytes_per_round(), 0);
+        assert_eq!(BackendLane::default().mean_prover_ms(), 0.0);
+        let text = r.to_text();
+        assert!(text.contains("backend lanes (shadow contracts, same fault schedule):"));
+        assert!(text.contains("pairing: 24 rounds, 23 pass / 1 fail"));
+        let json = r.to_json();
+        assert!(json.contains("\"backend\": \"merkle\""));
+        assert!(json.contains("\"proof_bytes_per_round\": 900"));
+        // an empty lane list still renders a (stable, empty) array
+        assert!(sample().to_json().contains("\"backend_lanes\": [\n  ],\n"));
+        assert!(!sample().to_text().contains("backend lanes"));
     }
 
     #[test]

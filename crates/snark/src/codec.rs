@@ -1,0 +1,216 @@
+//! Wire codecs for the Groth16 objects that cross trust boundaries.
+//!
+//! The groth16-merkle audit backend ships the verifying key inside the
+//! on-chain commitment, the proving key inside the prover's kit, and the
+//! proof itself every round — so all three implement the protocol's
+//! canonical [`Codec`], with the same guarantees as every other wire
+//! type: no panics on malformed input, bounded allocations, and typed
+//! errors naming the offending field.
+
+use dsaudit_core::codec::{ByteReader, Codec};
+use dsaudit_core::DsAuditError;
+
+use crate::groth16::{Proof, ProvingKey, VerifyingKey};
+
+/// `A || B || C` compressed: exactly [`Proof::COMPRESSED_BYTES`].
+impl Codec for Proof {
+    const TYPE_NAME: &'static str = "Groth16Proof";
+
+    fn encoded_len(&self) -> usize {
+        Proof::COMPRESSED_BYTES
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.a.encode_into(out);
+        self.b.encode_into(out);
+        self.c.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let a = r.array::<32>("a")?;
+        let a = dsaudit_algebra::g1::G1Affine::from_compressed(&a).ok_or_else(|| r.malformed("a"))?;
+        let b = r.array::<64>("b")?;
+        let b = dsaudit_algebra::g2::G2Affine::from_compressed(&b).ok_or_else(|| r.malformed("b"))?;
+        let c = r.array::<32>("c")?;
+        let c = dsaudit_algebra::g1::G1Affine::from_compressed(&c).ok_or_else(|| r.malformed("c"))?;
+        Ok(Proof { a, b, c })
+    }
+}
+
+/// `alpha_g1 || beta_g2 || gamma_g2 || delta_g2 || ic` (ic is a
+/// length-prefixed G1 vector).
+impl Codec for VerifyingKey {
+    const TYPE_NAME: &'static str = "Groth16VerifyingKey";
+
+    fn encoded_len(&self) -> usize {
+        32 + 64 * 3 + self.ic.encoded_len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha_g1.encode_into(out);
+        self.beta_g2.encode_into(out);
+        self.gamma_g2.encode_into(out);
+        self.delta_g2.encode_into(out);
+        self.ic.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let alpha_g1 = point_g1(r, "alpha_g1")?;
+        let beta_g2 = point_g2(r, "beta_g2")?;
+        let gamma_g2 = point_g2(r, "gamma_g2")?;
+        let delta_g2 = point_g2(r, "delta_g2")?;
+        let ic = Vec::decode_from(r)?;
+        Ok(VerifyingKey {
+            alpha_g1,
+            beta_g2,
+            gamma_g2,
+            delta_g2,
+            ic,
+        })
+    }
+}
+
+/// All five setup points, the five query vectors (each length-prefixed),
+/// then the embedded verifying key.
+impl Codec for ProvingKey {
+    const TYPE_NAME: &'static str = "Groth16ProvingKey";
+
+    fn encoded_len(&self) -> usize {
+        32 * 3
+            + 64 * 2
+            + self.a_query.encoded_len()
+            + self.b_g1_query.encoded_len()
+            + self.b_g2_query.encoded_len()
+            + self.l_query.encoded_len()
+            + self.h_query.encoded_len()
+            + self.vk.encoded_len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha_g1.encode_into(out);
+        self.beta_g1.encode_into(out);
+        self.beta_g2.encode_into(out);
+        self.delta_g1.encode_into(out);
+        self.delta_g2.encode_into(out);
+        self.a_query.encode_into(out);
+        self.b_g1_query.encode_into(out);
+        self.b_g2_query.encode_into(out);
+        self.l_query.encode_into(out);
+        self.h_query.encode_into(out);
+        self.vk.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, DsAuditError> {
+        let alpha_g1 = point_g1(r, "alpha_g1")?;
+        let beta_g1 = point_g1(r, "beta_g1")?;
+        let beta_g2 = point_g2(r, "beta_g2")?;
+        let delta_g1 = point_g1(r, "delta_g1")?;
+        let delta_g2 = point_g2(r, "delta_g2")?;
+        let a_query = Vec::decode_from(r)?;
+        let b_g1_query = Vec::decode_from(r)?;
+        let b_g2_query = Vec::decode_from(r)?;
+        let l_query = Vec::decode_from(r)?;
+        let h_query = Vec::decode_from(r)?;
+        let vk = VerifyingKey::decode_from(r)?;
+        Ok(ProvingKey {
+            alpha_g1,
+            beta_g1,
+            beta_g2,
+            delta_g1,
+            delta_g2,
+            a_query,
+            b_g1_query,
+            b_g2_query,
+            l_query,
+            h_query,
+            vk,
+        })
+    }
+}
+
+fn point_g1(
+    r: &mut ByteReader<'_>,
+    field: &'static str,
+) -> Result<dsaudit_algebra::g1::G1Affine, DsAuditError> {
+    let bytes = r.array::<32>(field)?;
+    dsaudit_algebra::g1::G1Affine::from_compressed(&bytes).ok_or_else(|| r.malformed(field))
+}
+
+fn point_g2(
+    r: &mut ByteReader<'_>,
+    field: &'static str,
+) -> Result<dsaudit_algebra::g2::G2Affine, DsAuditError> {
+    let bytes = r.array::<64>(field)?;
+    dsaudit_algebra::g2::G2Affine::from_compressed(&bytes).ok_or_else(|| r.malformed(field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r1cs::ConstraintSystem;
+    use dsaudit_algebra::field::Field;
+    use dsaudit_algebra::Fr;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x5a4c0dec)
+    }
+
+    /// A tiny satisfied circuit (x * y = z with z public) whose setup
+    /// gives all three objects realistic shapes.
+    fn tiny_setup() -> (ProvingKey, Proof) {
+        let mut r = rng();
+        let x = Fr::from_u64(3);
+        let y = Fr::from_u64(5);
+        let mut cs = ConstraintSystem::new();
+        let z = cs.alloc_public(x * y);
+        let xv = cs.alloc_witness(x);
+        let yv = cs.alloc_witness(y);
+        let prod = cs.mul(xv, yv);
+        cs.enforce_equal(
+            crate::r1cs::LinearCombination::from_var(prod),
+            crate::r1cs::LinearCombination::from_var(z),
+        );
+        let pk = crate::groth16::setup(&mut r, &cs).expect("tiny circuit fits");
+        let proof = crate::groth16::prove(&mut r, &pk, &cs).expect("satisfied");
+        (pk, proof)
+    }
+
+    #[test]
+    fn proof_roundtrips_at_compressed_size() {
+        let (_, proof) = tiny_setup();
+        let bytes = proof.encode();
+        assert_eq!(bytes.len(), Proof::COMPRESSED_BYTES);
+        assert_eq!(Proof::decode(&bytes).unwrap(), proof);
+    }
+
+    #[test]
+    fn keys_roundtrip() {
+        let (pk, _) = tiny_setup();
+        let vk_bytes = pk.vk.encode();
+        let vk2 = VerifyingKey::decode(&vk_bytes).unwrap();
+        assert_eq!(vk2.ic, pk.vk.ic);
+        assert_eq!(vk2.alpha_g1, pk.vk.alpha_g1);
+        let pk_bytes = pk.encode();
+        let pk2 = ProvingKey::decode(&pk_bytes).unwrap();
+        assert_eq!(pk2.a_query, pk.a_query);
+        assert_eq!(pk2.b_g2_query, pk.b_g2_query);
+        assert_eq!(pk2.h_query, pk.h_query);
+        assert_eq!(pk2.vk.ic, pk.vk.ic);
+    }
+
+    #[test]
+    fn proof_truncation_and_bitflips_are_typed_errors() {
+        let (_, proof) = tiny_setup();
+        let bytes = proof.encode();
+        for cut in 0..bytes.len() {
+            assert!(Proof::decode(&bytes[..cut]).is_err(), "truncated at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            Proof::decode(&extended),
+            Err(DsAuditError::Malformed { field: "trailing bytes", .. })
+        ));
+    }
+}

@@ -144,6 +144,79 @@ pub fn merkle_membership_circuit(
     cs
 }
 
+/// Synthesizes the batched membership circuit the groth16-merkle audit
+/// backend proves: one shared public root, `B` challenged paths.
+///
+/// Unlike [`merkle_membership_circuit`], the path direction bits are
+/// **public inputs** (allocated before any witness, as the R1CS layout
+/// requires). With witness bits a prover holding any single leaf could
+/// answer every challenge by re-routing the path — the bits must be
+/// pinned by the verifier, who derives them from the challenge beacon.
+/// No booleanity constraints are needed on them: the verifier computes
+/// the bit values itself, so a prover cannot choose them.
+///
+/// Every entry is `(leaf, siblings, index)`; all sibling vectors must
+/// have the same length (the committed tree depth), which keeps the
+/// constraint layout — and therefore the setup keys — independent of
+/// *which* indices are challenged.
+///
+/// Returns the constraint system ready for setup/prove.
+pub fn merkle_batch_membership_circuit(
+    root: Fr,
+    entries: &[(Fr, Vec<Fr>, usize)],
+) -> ConstraintSystem {
+    let mut cs = ConstraintSystem::new();
+    let root_v = cs.alloc_public(root);
+    // all public inputs first: each entry's direction bits, low bit first
+    let mut bit_vars = Vec::with_capacity(entries.len());
+    for (_, siblings, index) in entries {
+        let mut bits = Vec::with_capacity(siblings.len());
+        for level in 0..siblings.len() {
+            let bit = (index >> level) & 1 == 1;
+            bits.push(cs.alloc_public(if bit { Fr::one() } else { Fr::zero() }));
+        }
+        bit_vars.push(bits);
+    }
+    for ((leaf, siblings, _), bits) in entries.iter().zip(&bit_vars) {
+        let leaf_v = cs.alloc_witness(*leaf);
+        let mut cur = FrVar::from_variable(&cs, leaf_v);
+        for (sib, b) in siblings.iter().zip(bits) {
+            let b_var = FrVar::from_variable(&cs, *b);
+            let sib_var = {
+                let v = cs.alloc_witness(*sib);
+                FrVar::from_variable(&cs, v)
+            };
+            // swap = b * (sib - cur); left = cur + swap; right = sib - swap
+            let diff = sib_var.sub(&cur);
+            let swap = mul_vars(&mut cs, &b_var, &diff);
+            let left = cur.add(&swap);
+            let right = sib_var.sub(&swap);
+            cur = mimc_hash2_gadget(&mut cs, &left, &right);
+        }
+        cs.enforce_equal(cur.lc, LinearCombination::from_var(root_v));
+    }
+    cs
+}
+
+/// The public-input vector [`merkle_batch_membership_circuit`] expects:
+/// the root followed by each challenged index's direction bits (low bit
+/// first, `depth` bits per index). Prover and verifier both call this,
+/// so the layout cannot drift between them.
+pub fn batch_public_inputs(root: Fr, indices: &[u64], depth: usize) -> Vec<Fr> {
+    let mut out = Vec::with_capacity(1 + indices.len() * depth);
+    out.push(root);
+    for index in indices {
+        for level in 0..depth {
+            out.push(if (index >> level) & 1 == 1 {
+                Fr::one()
+            } else {
+                Fr::zero()
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +298,47 @@ mod tests {
         let per_level = 2 * 3 * MIMC_ROUNDS + 2;
         assert!(cs.constraints.len() >= 5 * per_level);
         assert!(cs.constraints.len() <= 5 * per_level + 10);
+    }
+
+    fn batch_entries(
+        tree: &MerkleTree<MimcHasher>,
+        leaves: &[Fr],
+        indices: &[usize],
+    ) -> Vec<(Fr, Vec<Fr>, usize)> {
+        indices
+            .iter()
+            .map(|&i| (leaves[i], tree.open(i).siblings, i))
+            .collect()
+    }
+
+    #[test]
+    fn batch_circuit_accepts_honest_paths_and_pins_bits_publicly() {
+        let leaves: Vec<Fr> = (0..16u64).map(Fr::from_u64).collect();
+        let tree = MerkleTree::<MimcHasher>::from_leaves(leaves.clone());
+        let indices = [3usize, 11, 6];
+        let cs = merkle_batch_membership_circuit(
+            tree.root(),
+            &batch_entries(&tree, &leaves, &indices),
+        );
+        assert!(cs.is_satisfied());
+        // the circuit's own public assignment must match the helper the
+        // verifier uses, or prover and verifier would drift apart
+        let expect = batch_public_inputs(
+            tree.root(),
+            &indices.map(|i| i as u64),
+            tree.depth(),
+        );
+        assert_eq!(cs.public_inputs(), expect);
+        assert_eq!(expect.len(), 1 + indices.len() * tree.depth());
+    }
+
+    #[test]
+    fn batch_circuit_rejects_one_bad_leaf() {
+        let leaves: Vec<Fr> = (0..16u64).map(Fr::from_u64).collect();
+        let tree = MerkleTree::<MimcHasher>::from_leaves(leaves.clone());
+        let mut entries = batch_entries(&tree, &leaves, &[2, 9]);
+        entries[1].0 = Fr::from_u64(77); // second challenged leaf corrupted
+        let cs = merkle_batch_membership_circuit(tree.root(), &entries);
+        assert!(!cs.is_satisfied());
     }
 }

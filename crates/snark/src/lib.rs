@@ -9,12 +9,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod gadgets;
 pub mod groth16;
 pub mod r1cs;
 pub mod strawman;
 
-pub use gadgets::{merkle_membership_circuit, mimc_hash2_gadget, mimc_permute_gadget, FrVar};
+pub use gadgets::{
+    batch_public_inputs, merkle_batch_membership_circuit, merkle_membership_circuit,
+    mimc_hash2_gadget, mimc_permute_gadget, FrVar,
+};
 pub use groth16::{prove, setup, verify, PreparedVerifier, Proof, ProvingKey, SnarkError, VerifyingKey};
 pub use r1cs::{ConstraintSystem, LinearCombination, Variable};
 pub use strawman::{StrawmanAudit, StrawmanStats};

@@ -85,8 +85,12 @@ pub(crate) fn msm_limbs<C: CurveParams>(
     if bases.is_empty() {
         return Projective::identity();
     }
+    let _span = dsaudit_obs::span("algebra.msm");
+    dsaudit_obs::counter_inc("algebra.msm_calls");
+    dsaudit_obs::observe("algebra.msm_points", bases.len() as u64);
     let c = window_size(bases.len(), nbits);
     let num_windows = nbits.div_ceil(c) + 1;
+    dsaudit_obs::observe("algebra.msm_windows", num_windows as u64);
     let digits = signed_digits(scalars, c, num_windows);
     // Windows are independent until the final combine, so fan them out
     // across the thread pool. Each worker pools the batch-affine rounds

@@ -236,6 +236,7 @@ pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Prepared)]) -> Fq12 {
 /// The Miller loop `f_{6x+2, Q}(P)` through the projective engine
 /// (prepares `Q` on the fly).
 pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    let _span = dsaudit_obs::span("algebra.miller_loop");
     multi_miller_loop(&[(p, &G2Prepared::from_affine(q))])
 }
 
@@ -392,6 +393,7 @@ pub fn final_exp_hard_generic(f: &Fq12) -> Fq12 {
 
 /// Full final exponentiation `f^{(q^12 - 1)/r}`.
 pub fn final_exponentiation(f: &Fq12) -> Gt {
+    let _span = dsaudit_obs::span("algebra.final_exp");
     let easy = final_exp_easy(f);
     Gt(final_exp_hard(&easy))
 }
@@ -420,7 +422,14 @@ pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Gt {
 /// for verifiers whose G2 points (`g2`, `eps`, `delta`) are fixed across
 /// audits.
 pub fn multi_pairing_prepared(pairs: &[(&G1Affine, &G2Prepared)]) -> Gt {
-    final_exponentiation(&multi_miller_loop(pairs))
+    let _span = dsaudit_obs::span("algebra.pairing_product");
+    dsaudit_obs::counter_inc("algebra.pairing_products");
+    dsaudit_obs::observe("algebra.pairing_terms", pairs.len() as u64);
+    let f = {
+        let _miller = dsaudit_obs::span("algebra.miller_loop");
+        multi_miller_loop(pairs)
+    };
+    final_exponentiation(&f)
 }
 
 /// An element of the pairing target group `GT` (order `r`, multiplicative).

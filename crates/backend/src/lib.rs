@@ -14,7 +14,7 @@
 //! erased [`ProverKit`]; each round the chain's randomness beacon is
 //! the challenge, the provider answers with an erased [`BackendProof`],
 //! and the verifier returns the protocol's usual
-//! [`Verdict`](dsaudit_core::Verdict) — `Reject` for a proof that
+//! [`Verdict`] — `Reject` for a proof that
 //! decodes but does not verify, a typed error for bytes that don't
 //! decode. All three wire objects lead with a [`BackendId`] byte, so a
 //! chain can host contracts on different backends side by side and a

@@ -19,18 +19,10 @@ use crate::{AuditBackend, BackendError, BackendId, BackendSetup};
 
 /// The pairing backend; configured by the paper's audit parameters
 /// (blocks per chunk `s`, challenges per round `k`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PairingBackend {
     /// Audit parameters every file under this backend is encoded with.
     pub params: AuditParams,
-}
-
-impl Default for PairingBackend {
-    fn default() -> Self {
-        Self {
-            params: AuditParams::default(),
-        }
-    }
 }
 
 impl PairingBackend {

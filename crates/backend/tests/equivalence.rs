@@ -151,7 +151,7 @@ proptest! {
     #[test]
     fn bit_flips_never_decode_to_the_original(pos in 0usize..4096, bit in 0u8..8) {
         for (id, bytes) in honest_proofs() {
-            let original = dsaudit_backend::BackendProof::decode(&bytes).expect("honest");
+            let original = dsaudit_backend::BackendProof::decode(bytes).expect("honest");
             let mut flipped = bytes.clone();
             let pos = pos % flipped.len();
             flipped[pos] ^= 1 << bit;

@@ -258,6 +258,112 @@ fn run_node_soak(args: &[String]) {
     println!("every challenge terminated in exactly one of Settled/Expired");
 }
 
+/// Runs a deterministic scenario with a virtual-clock telemetry
+/// registry installed and writes all three exporter artifacts — the
+/// JSON-lines event log, the aggregated span tree, and Prometheus-style
+/// text exposition. The registry rides the scenario's own virtual
+/// clock, so repeated runs produce byte-identical traces (the CI
+/// artifact is diffable across PRs).
+fn run_trace(args: &[String]) {
+    use std::sync::Arc;
+    const KNOWN: &[&str] = &["--scenario", "--out-dir"];
+    let mut i = 1;
+    while i < args.len() {
+        if !KNOWN.contains(&args[i].as_str()) {
+            eprintln!("trace: unknown flag '{}' (known: {})", args[i], KNOWN.join(" "));
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("trace: flag '{}' needs a value", args[i]);
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    let scenario = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("sim");
+    if scenario != "sim" && scenario != "node-soak" {
+        eprintln!("trace: --scenario must be 'sim' or 'node-soak', got '{scenario}'");
+        std::process::exit(2);
+    }
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+
+    let reg = Arc::new(dsaudit_obs::Registry::new_virtual());
+    dsaudit_obs::install(Arc::clone(&reg));
+    match scenario {
+        "sim" => {
+            let cfg = dsaudit_sim::SimConfig {
+                seed: 0xd5a_517,
+                epochs: 6,
+                providers: 8,
+                owners: 2,
+                erasure_k: 2,
+                erasure_n: 4,
+                shards: 2,
+                faults: dsaudit_sim::FaultRates {
+                    corrupt: 0.02,
+                    drop: 0.0,
+                    withhold: 0.0,
+                    transport: 0.1,
+                },
+                ..dsaudit_sim::SimConfig::default()
+            };
+            println!(
+                "tracing sim: {} epochs over {} providers (seed {:#x}, virtual clock)",
+                cfg.epochs, cfg.providers, cfg.seed
+            );
+            let report = dsaudit_sim::Simulation::new(cfg).run();
+            println!("  {} audits, {} passes, {} failures", report.audits, report.passes, report.failures);
+        }
+        _ => {
+            let cfg = dsaudit_node::SoakConfig {
+                sessions: 60,
+                ..dsaudit_node::SoakConfig::default()
+            };
+            println!(
+                "tracing node-soak: {} sessions per schedule (seed {:#x}, virtual clock)",
+                cfg.sessions, cfg.seed
+            );
+            let report = dsaudit_node::run_soak(&cfg);
+            println!("  {} sessions, invariant {}", report.total_sessions(), if report.ok() { "held" } else { "VIOLATED" });
+        }
+    }
+    let _ = dsaudit_obs::uninstall();
+    let snap = reg.snapshot();
+
+    let tag = scenario.replace('-', "_");
+    let artifacts = [
+        (format!("{out_dir}/TRACE_{tag}.jsonl"), dsaudit_obs::export::export_jsonl(&snap)),
+        (format!("{out_dir}/TRACE_{tag}.spans.txt"), dsaudit_obs::export::export_span_tree(&snap)),
+        (format!("{out_dir}/TRACE_{tag}.prom"), dsaudit_obs::export::export_prometheus(&snap)),
+    ];
+    for (path, body) in &artifacts {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({} bytes)", body.len());
+    }
+    println!(
+        "trace: {} span(s), {} counter(s), {} histogram(s), {} event(s) \
+         ({} span(s) / {} event(s) dropped)",
+        snap.spans.len(),
+        snap.counters.len(),
+        snap.histograms.len(),
+        snap.events.len(),
+        snap.dropped_spans,
+        snap.dropped_events
+    );
+}
+
 /// Head-to-head comparison of the pluggable audit backends: the same
 /// blob committed, proven, and verified under each scheme (micro side),
 /// and a fixed-seed simulation with all three backends running as
@@ -397,6 +503,7 @@ fn main() {
         "check" => check_json(),
         "sim" => run_sim(&args),
         "node-soak" => run_node_soak(&args),
+        "trace" => run_trace(&args),
         "backends" => run_backends(),
         "all" => {
             tables::table1();
@@ -429,7 +536,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|node-soak|backends|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N --backends pairing,merkle,groth16] [node-soak: --sessions N --providers N --ttl-ms N --seed N --out PATH]");
+            eprintln!("usage: repro [table1|table2|fig4..fig10|fig10b|costs|baseline|attack|sim|node-soak|backends|trace|json|check|all] [--full] [--mb N] [sim: --epochs N --providers N --owners N --files N --k N --n N --shards N --seed N --backends pairing,merkle,groth16] [node-soak: --sessions N --providers N --ttl-ms N --seed N --out PATH] [trace: --scenario sim|node-soak --out-dir DIR]");
             std::process::exit(2);
         }
     }

@@ -148,10 +148,45 @@ impl BackendContract {
 
     fn charge(&mut self, env: &mut CallEnv, gas: u64) {
         self.metered_gas += gas;
+        dsaudit_obs::counter_add("contract.gas", gas);
+        dsaudit_obs::counter_add(self.gas_metric(), gas);
         env.charge_gas(gas);
     }
 
+    /// Obs counter name for this contract's per-backend gas total
+    /// (static strings so the metered path never formats).
+    fn gas_metric(&self) -> &'static str {
+        match self.backend.id() {
+            dsaudit_backend::BackendId::Pairing => "contract.gas.pairing",
+            dsaudit_backend::BackendId::Merkle => "contract.gas.merkle",
+            dsaudit_backend::BackendId::Groth16Merkle => "contract.gas.groth16",
+        }
+    }
+
+    /// Obs counter name for this contract's per-backend proof bytes.
+    fn proof_bytes_metric(&self) -> &'static str {
+        match self.backend.id() {
+            dsaudit_backend::BackendId::Pairing => "contract.proof_bytes.pairing",
+            dsaudit_backend::BackendId::Merkle => "contract.proof_bytes.merkle",
+            dsaudit_backend::BackendId::Groth16Merkle => "contract.proof_bytes.groth16",
+        }
+    }
+
+    /// Obs counter name for settled rounds, split by outcome.
+    fn round_metric(&self, passed: bool) -> &'static str {
+        match (self.backend.id(), passed) {
+            (dsaudit_backend::BackendId::Pairing, true) => "contract.rounds_passed.pairing",
+            (dsaudit_backend::BackendId::Pairing, false) => "contract.rounds_failed.pairing",
+            (dsaudit_backend::BackendId::Merkle, true) => "contract.rounds_passed.merkle",
+            (dsaudit_backend::BackendId::Merkle, false) => "contract.rounds_failed.merkle",
+            (dsaudit_backend::BackendId::Groth16Merkle, true) => "contract.rounds_passed.groth16",
+            (dsaudit_backend::BackendId::Groth16Merkle, false) => "contract.rounds_failed.groth16",
+        }
+    }
+
     fn settle(&mut self, env: &mut CallEnv, passed: bool) {
+        let _span = dsaudit_obs::span("contract.settle");
+        dsaudit_obs::counter_inc(self.round_metric(passed));
         if passed {
             let reward = self.terms.reward.min(self.owner_pool);
             self.owner_pool -= reward;
@@ -242,6 +277,8 @@ impl ContractBehavior for BackendContract {
                     )));
                 }
                 self.onchain_proof_bytes += data.len();
+                dsaudit_obs::counter_add("contract.proof_bytes", data.len() as u64);
+                dsaudit_obs::counter_add(self.proof_bytes_metric(), data.len() as u64);
                 let gas = GasSchedule::default().storage_gas(data.len() + 48);
                 self.charge(env, gas);
                 self.pending = Some(proof);

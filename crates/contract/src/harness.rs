@@ -170,8 +170,8 @@ impl Default for AgreementTerms {
 
 /// A backend-generic audit session on chain: a deployed
 /// [`crate::BackendContract`] with both deposits locked, plus the
-/// provider-side material ([`ProverKit`] and the stored bytes) needed
-/// to answer challenges.
+/// provider-side material ([`dsaudit_backend::ProverKit`] and the
+/// stored bytes) needed to answer challenges.
 pub struct BackendSession {
     /// Deployed contract address.
     pub contract: Address,

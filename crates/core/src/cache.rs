@@ -9,12 +9,22 @@
 //! oldest entry out first, so a flood of throwaway keys cycles through
 //! without wiping a hot working set all at once — and keep the hit/miss
 //! counters the bench harness and tests read.
+//!
+//! Counters live *inside* the same mutex as the map, so a
+//! [`CacheStats`] snapshot is consistent with the cache body even under
+//! concurrent readers. Hits and misses are mirrored onto the
+//! `dsaudit-obs` registry (`core.cache.chi.*` / `core.cache.g2.*`) in
+//! batches of `OBS_FLUSH_EVERY` (64) lookups rather than one obs call
+//! per lookup: a warm verify performs hundreds of cache hits, and the
+//! telemetry mirror must not dominate the cost it measures. The obs
+//! counters therefore lag the exact [`CacheStats`] totals by at most
+//! one batch; the flush points are a deterministic function of the
+//! lookup sequence, so virtual-clock traces stay byte-reproducible.
 
 #![deny(missing_docs)]
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dsaudit_algebra::g1::G1Affine;
@@ -36,17 +46,32 @@ pub struct CacheStats {
 ///
 /// Misses compute outside the lock (two racing lookups may both compute
 /// a fresh entry, which is benign for deterministic values); insertion
-/// evicts the oldest keys until the capacity bound holds.
+/// evicts the oldest keys until the capacity bound holds. The counters
+/// sit inside the same mutex as the map, so [`BoundedCache::stats`] is
+/// one consistent snapshot rather than two racing atomic loads.
 struct BoundedCache<K, V> {
     inner: Mutex<BoundedMap<K, V>>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Obs counter names, built once so the hot path never formats.
+    hit_metric: String,
+    miss_metric: String,
 }
+
+/// Cache lookups between flushes of the hit/miss deltas to the obs
+/// registry. Small enough that traces track the caches closely, large
+/// enough that the mirror costs one obs call pair per batch instead of
+/// one per lookup on the verify hot path.
+const OBS_FLUSH_EVERY: u64 = 64;
 
 struct BoundedMap<K, V> {
     map: HashMap<K, V>,
     order: VecDeque<K>,
+    hits: u64,
+    misses: u64,
+    /// Hits not yet flushed to the obs registry.
+    pending_hits: u64,
+    /// Misses not yet flushed to the obs registry.
+    pending_misses: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
@@ -61,25 +86,57 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, metric: &str) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         Self {
             inner: Mutex::new(BoundedMap {
                 map: HashMap::new(),
                 order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                pending_hits: 0,
+                pending_misses: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hit_metric: format!("{metric}.hits"),
+            miss_metric: format!("{metric}.misses"),
         }
     }
 
     fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.locked().map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
+        let (warm, flush) = {
+            let mut inner = self.locked();
+            let warm = inner.map.get(&key).cloned();
+            if warm.is_some() {
+                inner.hits = inner.hits.saturating_add(1);
+                inner.pending_hits = inner.pending_hits.saturating_add(1);
+            } else {
+                inner.misses = inner.misses.saturating_add(1);
+                inner.pending_misses = inner.pending_misses.saturating_add(1);
+            }
+            let flush = if inner.pending_hits.saturating_add(inner.pending_misses)
+                >= OBS_FLUSH_EVERY
+            {
+                let deltas = (inner.pending_hits, inner.pending_misses);
+                inner.pending_hits = 0;
+                inner.pending_misses = 0;
+                Some(deltas)
+            } else {
+                None
+            };
+            (warm, flush)
+        };
+        if let Some((hits, misses)) = flush {
+            if hits > 0 {
+                dsaudit_obs::counter_add(&self.hit_metric, hits);
+            }
+            if misses > 0 {
+                dsaudit_obs::counter_add(&self.miss_metric, misses);
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = warm {
+            return v;
+        }
         let v = compute();
         let mut inner = self.locked();
         if inner.map.insert(key.clone(), v.clone()).is_none() {
@@ -99,10 +156,14 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
         self.locked().map.len()
     }
 
+    /// One snapshot under the cache's own lock: the totals are exactly
+    /// the hit/miss split of the lookups that have completed, never a
+    /// torn pair from two separate atomics.
     fn stats(&self) -> CacheStats {
+        let inner = self.locked();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: inner.hits,
+            misses: inner.misses,
         }
     }
 }
@@ -131,7 +192,7 @@ impl ChiCache {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            cache: BoundedCache::new(capacity),
+            cache: BoundedCache::new(capacity, "core.cache.chi"),
         }
     }
 
@@ -188,7 +249,7 @@ impl PreparedG2Cache {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            cache: BoundedCache::new(capacity),
+            cache: BoundedCache::new(capacity, "core.cache.g2"),
         }
     }
 

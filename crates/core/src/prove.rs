@@ -112,6 +112,8 @@ impl<'a> Prover<'a> {
     /// `dsaudit_algebra::msm`, and the two results share one batched
     /// affine conversion.
     pub fn prove_plain(&self, challenge: &Challenge) -> PlainProof {
+        let _span = dsaudit_obs::span("core.prove_plain");
+        dsaudit_obs::counter_inc("core.proofs_plain");
         let (sigma, pk_coeffs) = self.aggregate(challenge);
         let (y, quot) = self.open(pk_coeffs, challenge.r);
         let psi = msm_g1(&self.pk.alpha_powers_g1[..quot.len()], &quot);
@@ -140,6 +142,8 @@ impl<'a> Prover<'a> {
         rng: &mut R,
         challenge: &Challenge,
     ) -> (PrivateProof, ProveTimings) {
+        let _span = dsaudit_obs::span("core.prove_private");
+        dsaudit_obs::counter_inc("core.proofs_private");
         let mut t = ProveTimings::default();
 
         let t0 = Instant::now();

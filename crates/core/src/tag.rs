@@ -37,7 +37,9 @@ use crate::par::par_map;
 /// pre-processing phase (Fig. 7) and the target of the MSM overhaul
 /// (~3x over the per-chunk double-and-add baseline on one core).
 pub fn generate_tags(sk: &SecretKey, file: &EncodedFile) -> Vec<G1Affine> {
+    let _span = dsaudit_obs::span("core.tag_gen");
     let d = file.num_chunks();
+    dsaudit_obs::counter_add("core.tags_generated", d as u64);
     // field part: M_i(alpha) * x via Horner, parallel over chunks
     let evals: Vec<Fr> = par_map(d, |i| {
         let mut eval = Fr::zero();

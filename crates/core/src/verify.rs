@@ -64,6 +64,7 @@ impl FileMeta {
 /// Computes `chi = prod_{(i, c_i)} H(name || i)^{c_i}` from public data,
 /// with the hash-to-curve points served from the given [`ChiCache`].
 pub fn compute_chi(cache: &ChiCache, name: Fr, set: &[(u64, Fr)]) -> G1Projective {
+    let _span = dsaudit_obs::span("core.compute_chi");
     let hashes: Vec<G1Affine> = par_map(set.len(), |j| cache.index_oracle(name, set[j].0));
     let coeffs: Vec<Fr> = set.iter().map(|(_, c)| *c).collect();
     msm_g1(&hashes, &coeffs)
@@ -78,7 +79,12 @@ pub(crate) fn verify_plain_with(
     proof: &PlainProof,
 ) -> Result<Verdict, DsAuditError> {
     meta.validate()?;
-    let set = challenge.expand(meta.num_chunks, meta.k);
+    let _span = dsaudit_obs::span("core.verify_plain");
+    let set = {
+        let _expand = dsaudit_obs::span("core.challenge_expand");
+        challenge.expand(meta.num_chunks, meta.k)
+    };
+    dsaudit_obs::observe("core.challenge_set", set.len() as u64);
     let chi = compute_chi(auditor.chi_cache(), meta.name, &set);
     // g1^{-y} * chi^{-1} * psi^{r}, with the fixed-base term served from
     // the shared generator table
@@ -96,6 +102,7 @@ pub(crate) fn verify_plain_with(
         (&psi_neg, delta_p.as_ref()),
     ])
     .is_identity();
+    dsaudit_obs::counter_inc(if holds { "core.verdict.accept" } else { "core.verdict.reject" });
     Ok(Verdict::from_equation(holds, RejectReason::Equation1))
 }
 
@@ -108,7 +115,12 @@ pub(crate) fn verify_private_with(
     proof: &PrivateProof,
 ) -> Result<Verdict, DsAuditError> {
     meta.validate()?;
-    let set = challenge.expand(meta.num_chunks, meta.k);
+    let _span = dsaudit_obs::span("core.verify_private");
+    let set = {
+        let _expand = dsaudit_obs::span("core.challenge_expand");
+        challenge.expand(meta.num_chunks, meta.k)
+    };
+    dsaudit_obs::observe("core.challenge_set", set.len() as u64);
     let chi = compute_chi(auditor.chi_cache(), meta.name, &set);
     let zeta = h_prime(&proof.r_commit);
     let sigma_zeta = proof.sigma.mul(zeta);
@@ -133,6 +145,7 @@ pub(crate) fn verify_private_with(
         (&affine[2], delta_p.as_ref()),
     ]);
     let holds = product == proof.r_commit.invert();
+    dsaudit_obs::counter_inc(if holds { "core.verdict.accept" } else { "core.verdict.reject" });
     Ok(Verdict::from_equation(holds, RejectReason::Equation2))
 }
 

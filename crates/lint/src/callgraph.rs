@@ -205,6 +205,11 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     // untyped `.finalize()` is a hash being read out, not the
     // simulator's report assembly
     "finalize",
+    // atomic API names: an untyped `.load(Ordering::..)`/`.store(..)`
+    // receiver is a static atomic (the obs enabled gate), not
+    // `Provider::load` or a config loader
+    "load",
+    "store",
 ];
 
 /// Name→candidate-index maps used during edge resolution.

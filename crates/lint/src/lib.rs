@@ -94,9 +94,10 @@ pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<(String, lexer::Lexed
 }
 
 /// Analyzes every workspace `.rs` file under `root`: the per-file
-/// token rules, then the workspace call graph and the four
+/// token rules, then the workspace call graph and the five
 /// interprocedural passes (panic-reachability, secret-taint,
-/// ct-closure, deadline) with `lint.toml` suppressions applied.
+/// ct-closure, deadline, obs-purity) with `lint.toml` suppressions
+/// applied.
 ///
 /// `root` should be the workspace root (the directory holding the
 /// top-level `Cargo.toml`); paths in findings are reported relative to
@@ -127,6 +128,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
         passes::secret_taint(&graph, &cfg),
         passes::ct_closure(&graph, &cfg),
         passes::deadline(&graph, &cfg),
+        passes::obs_purity(&graph, &cfg),
     ] {
         report.findings.extend(pass.findings);
         report.suppressed.extend(pass.suppressed);

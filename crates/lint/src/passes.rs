@@ -1,5 +1,6 @@
 //! The interprocedural passes over the workspace call graph:
-//! panic-reachability, secret-taint, ct-closure, and deadline.
+//! panic-reachability, secret-taint, ct-closure, deadline, and
+//! obs-purity.
 //!
 //! All of them consume the [`CallGraph`] plus the audited allow-list from
 //! `lint.toml` ([`crate::config::LintConfig`]): pass findings are
@@ -9,8 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use crate::ast::{walk_stmts, Expr};
-use crate::callgraph::{CallGraph, FnNode};
+use crate::ast::{walk_stmts, Expr, Stmt};
+use crate::callgraph::{CallGraph, CallSite, FnNode};
 use crate::config::LintConfig;
 use crate::report::{Finding, Suppression};
 
@@ -1018,6 +1019,185 @@ pub fn deadline(graph: &CallGraph, cfg: &LintConfig) -> PassResult {
     out
 }
 
+// ---------------------------------------------------------------------------
+// obs-purity
+// ---------------------------------------------------------------------------
+
+/// Source prefix of the telemetry crate; a call counts as an obs call
+/// when *every* resolved callee lives here.
+const OBS_PREFIX: &str = "crates/obs/src/";
+
+/// Whether `site` resolves exclusively to functions in the obs crate.
+/// Requiring *all* candidates (and at least one) keeps over-approximated
+/// method dispatch from tarring unrelated same-named methods — a
+/// documented under-approximation compensated by the obs crate's
+/// distinctive public names (`counter_add`, `sample_count`, ...).
+fn is_obs_site(graph: &CallGraph, site: &CallSite) -> bool {
+    !site.callees.is_empty()
+        && site
+            .callees
+            .iter()
+            .all(|&c| graph.fns.get(c).is_some_and(|f| f.file.starts_with(OBS_PREFIX)))
+}
+
+/// `(line, display)` key of a call/method expression, matching how
+/// [`CallSite::display`] is built.
+fn call_key(e: &Expr) -> Option<(u32, String)> {
+    match e {
+        Expr::Call { segs, line, .. } => Some((*line, segs.join("::"))),
+        Expr::Method { name, line, .. } => Some((*line, format!(".{name}"))),
+        _ => None,
+    }
+}
+
+/// Records the *discarded-result* call positions of one statement list
+/// (not nested lists): expression statements, and `let` initializers
+/// whose every binding is underscore-prefixed (the span-guard idiom
+/// `let _span = dsaudit_obs::span(..)`). Recurses only into let-else
+/// diverging blocks, which no expression owns.
+fn mark_discard_level(stmts: &[Stmt], out: &mut BTreeMap<(u32, String), u32>) {
+    for st in stmts {
+        match st {
+            Stmt::Expr(e) => {
+                if let Some(k) = call_key(e) {
+                    *out.entry(k).or_insert(0) += 1;
+                }
+            }
+            Stmt::Let { names, init, els, .. } => {
+                if let Some(e) = init {
+                    if !names.is_empty() && names.iter().all(|n| n.starts_with('_')) {
+                        if let Some(k) = call_key(e) {
+                            *out.entry(k).or_insert(0) += 1;
+                        }
+                    }
+                }
+                if let Some(b) = els {
+                    mark_discard_level(b, out);
+                }
+            }
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Multiset of `(line, display)` keys at which a call's result is
+/// provably discarded anywhere in `body`. Every nested statement list
+/// is owned by a `Block`/`If`/`Loop`/`For` expression (which the walk
+/// visits exactly once) except let-else blocks, which
+/// [`mark_discard_level`] chases itself.
+fn discard_positions(body: &[Stmt]) -> BTreeMap<(u32, String), u32> {
+    let mut out = BTreeMap::new();
+    mark_discard_level(body, &mut out);
+    walk_stmts(body, &mut |e| match e {
+        Expr::Block { stmts, .. } => mark_discard_level(stmts, &mut out),
+        Expr::If { then, .. } => mark_discard_level(then, &mut out),
+        Expr::Loop { body, .. } | Expr::For { body, .. } => mark_discard_level(body, &mut out),
+        _ => {}
+    });
+    out
+}
+
+/// **obs-purity**: observability must be write-only. Over the call
+/// graph, (a) no function on a path from a verdict/codec entry point
+/// (`is_panic_entry`) or a `lint:ct` kernel may *consume* an obs
+/// return value — every obs call must sit in statement position or bind
+/// to an underscore-prefixed local (the span-guard idiom) — and (b) no
+/// `lint:ct` kernel may call into the obs crate at all (even a disabled
+/// check is a data-independent-timing hazard inside a ct region).
+/// Together these prove, structurally, that enabling telemetry cannot
+/// change a verdict, a codec result, or ct behavior.
+pub fn obs_purity(graph: &CallGraph, cfg: &LintConfig) -> PassResult {
+    let n = graph.fns.len();
+    let mut out = PassResult::default();
+
+    // (b) ct kernels are obs-free, reachable or not.
+    for (i, node) in graph.fns.iter().enumerate() {
+        if !node.is_ct || node.in_test {
+            continue;
+        }
+        for site in &graph.calls[i] {
+            if !is_obs_site(graph, site) {
+                continue;
+            }
+            let names: Vec<String> =
+                site.callees.iter().map(|&c| graph.fns[c].qname()).collect();
+            let f = Finding {
+                file: node.file.clone(),
+                line: site.line,
+                rule: "obs-purity",
+                message: format!(
+                    "`{}` is lint:ct but calls obs function(s) {} via `{}` — telemetry \
+                     is forbidden inside constant-time kernels",
+                    node.qname(),
+                    names.join(", "),
+                    site.display
+                ),
+                hint: "instrument the non-ct wrapper around the kernel instead",
+            };
+            out.push(f, cfg, node);
+        }
+    }
+
+    // Forward reachability from verdict/codec entries and ct kernels,
+    // skipping test code (tests may snapshot and assert on telemetry).
+    let mut reach = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, node) in graph.fns.iter().enumerate() {
+        if is_panic_entry(node) || (node.is_ct && !node.in_test && !node.is_trait_decl) {
+            reach[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for site in &graph.calls[i] {
+            for &callee in &site.callees {
+                if !reach[callee] && !graph.fns[callee].in_test {
+                    reach[callee] = true;
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+
+    // (a) on every reachable function, each obs call site must appear
+    // at a discarded-result position at least as often as it occurs.
+    for (i, node) in graph.fns.iter().enumerate() {
+        if !reach[i] || node.in_test || node.is_ct || node.file.starts_with(OBS_PREFIX) {
+            continue;
+        }
+        let Some(body) = &node.def.body else {
+            continue;
+        };
+        let allowed = discard_positions(body);
+        let mut obs_sites: BTreeMap<(u32, String), u32> = BTreeMap::new();
+        for site in &graph.calls[i] {
+            if is_obs_site(graph, site) {
+                *obs_sites.entry((site.line, site.display.clone())).or_insert(0) += 1;
+            }
+        }
+        for ((line, display), count) in obs_sites {
+            if count <= allowed.get(&(line, display.clone())).copied().unwrap_or(0) {
+                continue;
+            }
+            let f = Finding {
+                file: node.file.clone(),
+                line,
+                rule: "obs-purity",
+                message: format!(
+                    "`{}` consumes the return value of obs call `{}` on a \
+                     verdict/codec/ct-reachable path — observability must be write-only",
+                    node.qname(),
+                    display
+                ),
+                hint: "call obs in statement position, or bind its guard to an \
+                       underscore-prefixed local (`let _span = ...`)",
+            };
+            out.push(f, cfg, node);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1201,6 +1381,91 @@ mod tests {
              fn handle(_m: u8) {}\n",
         )]);
         let r = deadline(&g, &empty_cfg());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    /// A fake obs crate plus an instrumented verify chain, all clean:
+    /// statement-position calls and an underscore-bound span guard.
+    const OBS_SRC: (&str, &str) = (
+        "crates/obs/src/lib.rs",
+        "pub fn counter_inc(name: &str) {}\n\
+         pub fn observe(name: &str, value: u64) {}\n\
+         pub fn span(name: &str) -> Span { Span }\n\
+         pub struct Span;\n",
+    );
+
+    #[test]
+    fn obs_purity_accepts_discarded_obs_calls() {
+        let g = graph_of(&[
+            OBS_SRC,
+            (
+                "crates/x/src/lib.rs",
+                "fn verify_thing(v: &[u8]) -> bool {\n\
+                     let _span = dsaudit_obs::span(\"x.verify\");\n\
+                     dsaudit_obs::counter_inc(\"x.calls\");\n\
+                     if v.is_empty() {\n\
+                         dsaudit_obs::observe(\"x.len\", 0);\n\
+                     }\n\
+                     true\n\
+                 }\n",
+            ),
+        ]);
+        let r = obs_purity(&g, &empty_cfg());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn obs_purity_flags_consumed_return_value() {
+        let g = graph_of(&[
+            OBS_SRC,
+            (
+                "crates/x/src/lib.rs",
+                "fn verify_thing(v: &[u8]) -> bool {\n\
+                     let guard = dsaudit_obs::span(\"x.verify\");\n\
+                     helper(&guard)\n\
+                 }\n\
+                 fn helper(_g: &Span) -> bool { true }\n",
+            ),
+        ]);
+        let r = obs_purity(&g, &empty_cfg());
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "obs-purity");
+        assert!(r.findings[0].message.contains("dsaudit_obs::span"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn obs_purity_flags_obs_call_inside_ct_kernel() {
+        let g = graph_of(&[
+            OBS_SRC,
+            (
+                "crates/x/src/lib.rs",
+                "// lint:ct\nfn kernel(x: u64) -> u64 {\n\
+                     dsaudit_obs::counter_inc(\"x.kernel\");\n\
+                     x.wrapping_mul(3)\n\
+                 }\n",
+            ),
+        ]);
+        let r = obs_purity(&g, &empty_cfg());
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(
+            r.findings[0].message.contains("lint:ct"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn obs_purity_ignores_unreachable_consumers() {
+        // snapshot/export plumbing consumes obs values legitimately —
+        // it is not on any verify/decode/ct path.
+        let g = graph_of(&[
+            OBS_SRC,
+            (
+                "crates/bench/src/lib.rs",
+                "fn render() -> Span { dsaudit_obs::span(\"bench\") }\n",
+            ),
+        ]);
+        let r = obs_purity(&g, &empty_cfg());
         assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 

@@ -70,6 +70,12 @@ pub const RULES: &[RuleInfo] = &[
                   lint.toml-allowlisted functions",
     },
     RuleInfo {
+        id: "obs-purity",
+        summary: "interprocedural: observability is write-only — no verdict/codec/ct-\
+                  reachable function may consume an obs return value (statement position \
+                  or `let _x = ...` only), and lint:ct kernels may not call obs at all",
+    },
+    RuleInfo {
         id: "deadline",
         summary: "interprocedural: every loop in crates/node awaiting a transport receive \
                   (recv/try_recv) must be reachable from a timeout/TTL check in the same \

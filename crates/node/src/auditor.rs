@@ -159,6 +159,7 @@ impl AuditorNode {
         self.send_challenge(now, &id, &track, transport);
         self.tracks.insert(id, track);
         self.stats.issued += 1;
+        dsaudit_obs::counter_inc("node.session.issued");
         Some(id)
     }
 
@@ -188,7 +189,10 @@ impl AuditorNode {
         while let Some((from, wire)) = transport.recv(now, self.peer) {
             match Frame::from_wire(&wire) {
                 Ok(frame) => self.handle(now, from, frame, transport),
-                Err(_) => self.stats.corrupt_frames += 1,
+                Err(_) => {
+                    self.stats.corrupt_frames += 1;
+                    dsaudit_obs::counter_inc("node.corrupt_frames");
+                }
             }
         }
         // timer wheel over the ordered track map
@@ -205,6 +209,7 @@ impl AuditorNode {
                 // path, exactly once
                 if track.settle(Outcome::Expired) {
                     self.stats.expired += 1;
+                    dsaudit_obs::counter_inc("node.session.expired");
                 }
                 continue;
             }
@@ -218,6 +223,7 @@ impl AuditorNode {
                     };
                     let snapshot = *track;
                     self.stats.retries += 1;
+                    dsaudit_obs::counter_inc("node.retries");
                     self.send_challenge(now, &id, &snapshot, transport);
                 }
             }
@@ -239,11 +245,14 @@ impl AuditorNode {
             Frame::Ack(_) => {
                 if !track.is_terminal() && track.phase == ChallengePhase::Issued {
                     track.phase = ChallengePhase::Delivered;
+                    dsaudit_obs::counter_inc("node.session.delivered");
                 }
                 self.stats.acks += 1;
+                dsaudit_obs::counter_inc("node.acks");
             }
             Frame::Overloaded(o) => {
                 self.stats.overloaded += 1;
+                dsaudit_obs::counter_inc("node.sheds");
                 if !track.is_terminal() {
                     track.phase = ChallengePhase::Delivered;
                     // honor the provider's hint, clamped to the ttl
@@ -272,6 +281,7 @@ impl AuditorNode {
             // duplicated frame) cannot settle a second time, but we do
             // re-send the settle notice when one exists
             self.stats.late_proofs += 1;
+            dsaudit_obs::counter_inc("node.late_proofs");
             if let Some(Outcome::Settled(v)) = track.outcome {
                 let frame = Frame::Settle(SettleFrame {
                     challenge_id: id,
@@ -284,6 +294,7 @@ impl AuditorNode {
         if p.round != track.rc.round {
             // wrong session round: refuse, keep the challenge open
             self.stats.round_mismatches += 1;
+            dsaudit_obs::counter_inc("node.round_mismatches");
             return;
         }
         // the erased body must be tagged for the scheme this auditor
@@ -304,6 +315,7 @@ impl AuditorNode {
             .auditor
             .verify_private(&target.pk, &target.meta, &track.rc.challenge, &proof);
         self.stats.proofs_verified += 1;
+        dsaudit_obs::counter_inc("node.proofs_verified");
         let verdict = match verdict {
             Ok(v) => v,
             // metadata was validated at registration; an input error
@@ -319,6 +331,11 @@ impl AuditorNode {
                 Verdict::Accept => self.stats.settled_accept += 1,
                 Verdict::Reject(_) => self.stats.settled_reject += 1,
             }
+            dsaudit_obs::counter_inc(if verdict.accepted() {
+                "node.session.settled_accept"
+            } else {
+                "node.session.settled_reject"
+            });
             let frame = Frame::Settle(SettleFrame {
                 challenge_id: id,
                 accepted: verdict.accepted(),

@@ -69,6 +69,9 @@ impl<T: Transport> Cluster<T> {
             if self.now > horizon {
                 return false;
             }
+            // the cluster's virtual time drives obs timestamps, so a
+            // trace of a deterministic run is itself reproducible
+            dsaudit_obs::tick_virtual(self.now);
             self.auditor.step(self.now, &mut self.transport);
             for provider in self.providers.values_mut() {
                 provider.step(self.now, &mut self.transport);

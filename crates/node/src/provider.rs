@@ -193,6 +193,7 @@ impl ProviderNode {
             });
             transport.send(now, self.peer, job.auditor, frame.to_wire());
             self.stats.proofs_sent += 1;
+            dsaudit_obs::counter_inc("node.provider.proofs_sent");
             self.memoize(id, response.round, proof);
         }
         // refill the in-flight set from the queue
@@ -263,6 +264,7 @@ impl ProviderNode {
             });
             transport.send(now, self.peer, from, frame.to_wire());
             self.stats.proofs_resent += 1;
+            dsaudit_obs::counter_inc("node.provider.proofs_resent");
             return;
         }
         if self.active.contains_key(&id) || self.queued.iter().any(|(qid, _)| qid == &id) {
@@ -300,6 +302,7 @@ impl ProviderNode {
             });
             transport.send(now, self.peer, from, frame.to_wire());
             self.stats.overloaded_sent += 1;
+            dsaudit_obs::counter_inc("node.provider.overloaded_sent");
             return;
         }
         let ack = Frame::Ack(AckFrame { challenge_id: id });

@@ -217,6 +217,8 @@ fn run_schedule(
     corrupt_one: bool,
     sessions: u32,
 ) -> ScheduleReport {
+    let _span = dsaudit_obs::span("node.schedule");
+    dsaudit_obs::point("node.schedule", name);
     let auditor_cfg = AuditorConfig {
         ttl_ms: cfg.ttl_ms,
         retry: RetryPolicy {

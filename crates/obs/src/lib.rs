@@ -1,0 +1,204 @@
+//! Offline structured observability for the dsaudit stack.
+//!
+//! This crate is the bottom of the dependency graph: it depends on
+//! nothing in the workspace (and nothing outside `std`), so every other
+//! layer — algebra kernels, core role handles, the contract VM, the
+//! node daemons, the simulator — can emit telemetry through it without
+//! creating cycles.
+//!
+//! # Model
+//!
+//! Telemetry flows into a [`Registry`]: monotonic **counters**,
+//! fixed-bucket power-of-two **histograms**, bounded point **events**,
+//! and hierarchical **spans** (opened by [`span`], closed when the
+//! returned [`Span`] guard drops). The registry timestamps everything
+//! through a pluggable clock: wall-clock ([`Registry::new_wall`]) on a
+//! bench box, or a caller-driven virtual clock
+//! ([`Registry::new_virtual`], advanced via [`tick_virtual`]) so that
+//! deterministic runs — the simulator and the node harness both already
+//! run on virtual time — produce byte-identical telemetry.
+//!
+//! # The no-op default
+//!
+//! Nothing is recorded until a registry is [`install`]ed. Every
+//! recording entry point first checks one relaxed atomic load and
+//! returns immediately when disabled, so instrumentation left in hot
+//! paths (MSM, pairing product, verify) costs a load-and-branch and
+//! never allocates. Instrumented code cannot observe whether obs is
+//! enabled: every facade function returns `()` except [`span`], whose
+//! guard is an opaque token. The `obs-purity` lint rule in
+//! `dsaudit-lint` proves, over the interprocedural call graph, that no
+//! verdict-, codec-, or `lint:ct`-reachable path consumes an obs return
+//! value and that no `lint:ct` kernel calls into this crate.
+//!
+//! # Exporters
+//!
+//! A [`Snapshot`] (one consistent lock acquisition) feeds three
+//! total, panic-free renderers in [`export`]: a JSON-lines event log,
+//! an aggregated span tree ("text flamegraph"), and Prometheus-style
+//! text exposition. See `docs/OBSERVABILITY.md` for the formats.
+
+pub mod export;
+mod registry;
+
+pub use registry::{Event, EventKind, Histogram, Registry, Snapshot, SpanRecord, HIST_BUCKETS};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Fast-path gate: `true` only while a registry is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed registry, if any. Guarded by a mutex rather than an
+/// `RwLock` because it is touched only on the (cheap) enabled path and
+/// at install/uninstall time.
+static SINK: Mutex<Option<Arc<Registry>>> = Mutex::new(None);
+
+fn sink() -> Option<Arc<Registry>> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    SINK.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// Installs `registry` as the process-wide telemetry sink and enables
+/// recording. Replaces any previously installed registry.
+pub fn install(registry: Arc<Registry>) {
+    let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = Some(registry);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables recording and removes the installed registry, returning it
+/// so callers can snapshot and export after the run.
+pub fn uninstall() -> Option<Arc<Registry>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    guard.take()
+}
+
+/// Whether a registry is currently installed.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to the counter `name`. No-op when disabled.
+pub fn counter_add(name: &str, n: u64) {
+    if let Some(reg) = sink() {
+        reg.counter_add(name, n);
+    }
+}
+
+/// Adds 1 to the counter `name`. No-op when disabled.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Records `value` into the histogram `name`. No-op when disabled.
+pub fn observe(name: &str, value: u64) {
+    if let Some(reg) = sink() {
+        reg.observe(name, value);
+    }
+}
+
+/// Records a point event (a named, timestamped occurrence with a short
+/// free-form detail string). No-op when disabled.
+pub fn point(name: &str, detail: &str) {
+    if let Some(reg) = sink() {
+        reg.point(name, detail);
+    }
+}
+
+/// Advances the installed registry's virtual clock to `now_ms`
+/// (caller's virtual milliseconds). No-op when disabled or when the
+/// installed registry uses the wall clock.
+pub fn tick_virtual(now_ms: u64) {
+    if let Some(reg) = sink() {
+        reg.set_virtual_ms(now_ms);
+    }
+}
+
+/// RAII guard for a hierarchical span opened by [`span`]. The span
+/// closes when the guard drops. Inert (and free) when obs is disabled.
+///
+/// Bind it as `let _span = dsaudit_obs::span("...")` — the `obs-purity`
+/// lint requires the binding to be underscore-prefixed so no program
+/// logic can depend on it.
+#[must_use = "a span closes when its guard drops; bind it as `let _span = ...`"]
+pub struct Span {
+    active: Option<(Arc<Registry>, usize)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((reg, id)) = self.active.take() {
+            reg.end_span(id);
+        }
+    }
+}
+
+/// Opens a span named `name`, nested under the innermost span still
+/// open on this registry. Returns an inert guard when disabled.
+pub fn span(name: &str) -> Span {
+    match sink() {
+        Some(reg) => {
+            let id = reg.begin_span(name);
+            Span { active: Some((reg, id)) }
+        }
+        None => Span { active: None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global facade is process-wide state; this single test owns
+    // the whole install/record/uninstall cycle so no other test in this
+    // binary touches the globals concurrently. Registry-level behavior
+    // is tested (without globals) in `registry` and `export`.
+    #[test]
+    fn facade_roundtrip_and_noop_when_disabled() {
+        // Disabled: everything is a no-op and span guards are inert.
+        assert!(!is_enabled());
+        counter_inc("never.recorded");
+        observe("never.recorded", 7);
+        {
+            let _span = span("never.recorded");
+        }
+        tick_virtual(123);
+
+        let reg = Arc::new(Registry::new_virtual());
+        install(Arc::clone(&reg));
+        assert!(is_enabled());
+        tick_virtual(5);
+        counter_inc("facade.hits");
+        counter_add("facade.hits", 2);
+        observe("facade.size", 64);
+        point("facade.phase", "warmup");
+        {
+            let _outer = span("facade.outer");
+            tick_virtual(6);
+            let _inner = span("facade.inner");
+            tick_virtual(9);
+        }
+
+        let back = uninstall().expect("registry was installed");
+        assert!(!is_enabled());
+        counter_inc("facade.hits"); // after uninstall: dropped
+        let snap = back.snapshot();
+        assert_eq!(snap.counter("facade.hits"), 3);
+        assert_eq!(snap.counter("never.recorded"), 0);
+        assert_eq!(snap.spans.len(), 2);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.name, "facade.outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(outer.start_ns, 5_000_000);
+        assert_eq!(inner.start_ns, 6_000_000);
+        assert_eq!(inner.end_ns, Some(9_000_000));
+        assert_eq!(outer.end_ns, Some(9_000_000));
+        assert!(Arc::ptr_eq(&reg, &back));
+    }
+}

@@ -521,6 +521,10 @@ impl Simulation {
     }
 
     fn run_epoch(&mut self, epoch: u32) {
+        // virtual chain time drives obs timestamps: traces of the same
+        // seeded run are byte-identical
+        dsaudit_obs::tick_virtual(self.chain.now);
+        let _span = dsaudit_obs::span("sim.epoch");
         let mark_block = self.chain.block_count();
         let mark_now = self.chain.now;
         let mut es = EpochStats {
@@ -575,6 +579,17 @@ impl Simulation {
         r.joins += es.joins as u64;
         r.leaves += es.leaves as u64;
         r.crashes += es.crashes as u64;
+        dsaudit_obs::tick_virtual(self.chain.now);
+        dsaudit_obs::counter_add("sim.audits", es.audits as u64);
+        dsaudit_obs::counter_add("sim.passes", es.passes as u64);
+        dsaudit_obs::counter_add("sim.failures", es.failures as u64);
+        dsaudit_obs::counter_add("sim.faults.injected", es.injected as u64);
+        dsaudit_obs::counter_add("sim.faults.detected", es.detected as u64);
+        dsaudit_obs::counter_add("sim.faults.transport", es.transport_faults as u64);
+        dsaudit_obs::counter_add("sim.transport_retries", es.transport_retries as u64);
+        dsaudit_obs::counter_add("sim.repairs", es.repairs as u64);
+        dsaudit_obs::counter_add("sim.migrations", es.migrations as u64);
+        dsaudit_obs::observe("sim.epoch_gas", es.gas);
         r.per_epoch.push(es);
     }
 
@@ -898,8 +913,8 @@ impl Simulation {
         // primary path is scored against — a corrupted share must fail
         // (and a healthy one pass) under *every* backend
         for li in 0..self.shadows.len() {
-            for pl_id in 0..self.placements.len() {
-                let Some(exp) = expected[pl_id] else {
+            for (pl_id, exp) in expected.iter().enumerate() {
+                let Some(exp) = *exp else {
                     continue;
                 };
                 let got = *settled
@@ -955,11 +970,16 @@ impl Simulation {
                             .any(|&(pl, k)| pl == pl_id && k.is_provider_fault());
                     if transport_only {
                         self.report.transport_false_rejects += 1;
+                        dsaudit_obs::counter_inc("sim.transport_false_rejects");
                     } else {
                         self.report.false_rejects += 1;
+                        dsaudit_obs::counter_inc("sim.false_rejects");
                     }
                 }
-                (false, true) => self.report.false_accepts += 1,
+                (false, true) => {
+                    self.report.false_accepts += 1;
+                    dsaudit_obs::counter_inc("sim.false_accepts");
+                }
                 (false, false) => {
                     if injected
                         .iter()
